@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it, and writes it to ``results/<artifact>.txt``.  Timing of a
+representative kernel goes through pytest-benchmark so
+``pytest benchmarks/ --benchmark-only`` reports machine-local numbers
+alongside the table artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealing import SimulatedQPUSampler, chimera_graph
+from repro.datasets import annealing_instances, figure1_graph, gate_instances
+
+
+@pytest.fixture(scope="session")
+def gate_graphs():
+    return gate_instances()
+
+
+@pytest.fixture(scope="session")
+def annealing_graphs():
+    return annealing_instances()
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def qpu():
+    """One QPU per session so embeddings are computed once."""
+    return SimulatedQPUSampler(hardware=chimera_graph(16), max_call_time_us=None)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2024)
+
+
+def emit(artifact: str, text: str) -> None:
+    """Print a table and persist it under results/."""
+    from repro.analysis import write_result
+
+    print("\n" + text)
+    path = write_result(artifact, text)
+    print(f"[written to {path}]")

@@ -1,0 +1,72 @@
+"""E2 — Fig. 12: amplitude distribution during qTKP's iterations.
+
+The paper runs qTKP (k = 2, unique size-4 solution) on the Fig. 1 graph
+with 20k shots and plots the measured frequency over the 64 basis
+states before iterating and after iterations 1, 3, and 6.  Checked
+shapes: uniform start; solution probability ~20.5% after one round;
+error probability below 1% at the final (6th) round and within the
+pi^2/(4I)^2 bound.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.analysis import bound_error, format_table
+from repro.core.oracle import KCplexOracle
+from repro.grover import PhaseOracleGrover
+
+SHOTS = 20_000
+SNAPSHOTS = (0, 1, 3, 6)
+
+
+def _engine(fig1):
+    oracle = KCplexOracle(fig1.complement(), 2, 4)
+    return PhaseOracleGrover(6, oracle.predicate)
+
+
+def test_fig12_amplitude_distribution(benchmark, fig1):
+    engine = _engine(fig1)
+    assert engine.num_marked == 1  # the paper's unique solution
+    solution = next(iter(engine.marked))
+
+    run = benchmark(lambda: engine.run(6, snapshot_at=SNAPSHOTS))
+
+    rng = np.random.default_rng(7)
+    rows = []
+    for it in SNAPSHOTS:
+        amps = run.amplitude_snapshots[it]
+        probs = amps**2
+        counts = rng.multinomial(SHOTS, probs / probs.sum())
+        success = probs[solution]
+        rows.append(
+            (
+                f"iteration {it}",
+                f"{success:.4f}",
+                f"{1 - success:.4f}",
+                int(counts[solution]),
+                f"{bound_error(it):.4f}" if it else "n/a",
+            )
+        )
+
+    # Shape criteria from the paper's narrative.
+    p0 = run.amplitude_snapshots[0][solution] ** 2
+    p1 = run.amplitude_snapshots[1][solution] ** 2
+    p6 = run.amplitude_snapshots[6][solution] ** 2
+    assert p0 == pytest.approx(1 / 64)
+    # Paper reports 20.5% after round 1; ideal Grover gives exactly
+    # sin^2(3*asin(1/8)) = 13.5% — we assert the exact value and record
+    # the deviation in EXPERIMENTS.md.
+    assert p1 == pytest.approx(0.1348, abs=0.01)
+    assert 1 - p6 < 0.01                          # paper: 0.075% at round 6
+    assert 1 - p6 <= bound_error(6)
+
+    emit(
+        "fig12_amplitude",
+        format_table(
+            ["state", "P(solution)", "error prob", f"hits/{SHOTS}", "pi^2/(4I)^2"],
+            rows,
+            title="Fig. 12: solution amplitude vs Grover iteration "
+            "(Fig. 1 graph, k=2, T=4, M=1)",
+        ),
+    )

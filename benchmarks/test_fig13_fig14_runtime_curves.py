@@ -1,0 +1,125 @@
+"""E8/E9 — Figs. 13-14: objective cost vs runtime for the four solvers.
+
+The paper plots cost against runtime (log scale) for qaMKP (QPU),
+haMKP (hybrid), SA, and MILP (Gurobi) on D_20_100 and D_30_300
+(k = 3, R = 2, Delta-t = 1 us).  Headline shapes:
+
+* qaMKP converges fast at small budgets (well below 10^4 us) — it
+  reaches a good sub-optimal cost orders of magnitude before MILP;
+* MILP and the hybrid find the true optimum given large budgets;
+* SA sits between: decent costs, slow final convergence;
+* qaMKP's convergence is weaker on D_30_300 than on D_20_100 (longer
+  chains), leaving a gap to SA at the largest QPU budget.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis import format_table
+from repro.core import build_mkp_qubo, qamkp
+from repro.kplex import maximum_kplex
+
+QPU_BUDGETS = (1.0, 10.0, 100.0, 1_000.0, 10_000.0)
+SA_BUDGETS = (10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0)
+MILP_BUDGETS = (10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0)
+
+
+def _sweep(graph, solver, budgets, qpu, seed):
+    out = []
+    for budget in budgets:
+        result = qamkp(
+            graph, 3, runtime_us=budget, delta_t_us=1.0,
+            solver=solver, qpu=qpu, seed=seed,
+        )
+        out.append((budget, result.cost))
+    return out
+
+
+@pytest.mark.parametrize(
+    ("artifact", "instance"),
+    [("fig13_runtime_d20", "D_20_100"), ("fig14_runtime_d30", "D_30_300")],
+)
+def test_cost_versus_runtime_curves(benchmark, annealing_graphs, qpu, artifact, instance):
+    g = annealing_graphs[instance]
+    optimum = maximum_kplex(g, 3).size
+
+    if artifact == "fig13_runtime_d20":
+        benchmark(
+            lambda: qamkp(g, 3, runtime_us=100.0, solver="qpu", qpu=qpu, seed=5)
+        )
+    else:
+        benchmark.pedantic(
+            lambda: qamkp(g, 3, runtime_us=100.0, solver="qpu", qpu=qpu, seed=5),
+            rounds=3,
+        )
+
+    qpu_curve = _sweep(g, "qpu", QPU_BUDGETS, qpu, seed=8)
+    sa_curve = _sweep(g, "sa", SA_BUDGETS, qpu, seed=8)
+    milp_curve = _sweep(g, "milp", MILP_BUDGETS, qpu, seed=8)
+    hybrid = qamkp(g, 3, solver="hybrid", seed=8)
+
+    rows = (
+        [("qaMKP", f"{b:.0f}", f"{c:.1f}") for b, c in qpu_curve]
+        + [("SA", f"{b:.0f}", f"{c:.1f}") for b, c in sa_curve]
+        + [("MILP", f"{b:.0f}", f"{c:.1f}") for b, c in milp_curve]
+        + [("haMKP", f"{hybrid.runtime_us:.0f}", f"{hybrid.cost:.1f}")]
+    )
+
+    # --- shape criteria ------------------------------------------------
+    qpu_costs = [c for _b, c in qpu_curve]
+    assert qpu_costs[-1] <= qpu_costs[0], "qaMKP cost must fall with budget"
+
+    # The hybrid solver reaches the optimum at its 3 s floor (paper: the
+    # hybrid "almost always finds a solution within this period").
+    assert hybrid.cost == -optimum
+
+    # MILP improves with budget.  (The paper's Gurobi reaches the
+    # optimum around 10^6 us; open-source HiGHS on the same
+    # linearisation is slower — see EXPERIMENTS.md — so we assert
+    # monotone improvement rather than optimality.)
+    milp_costs = [c for _b, c in milp_curve]
+    assert milp_costs[-1] <= milp_costs[0]
+
+    # The paper's headline: qaMKP reaches a good sub-optimal cost orders
+    # of magnitude before MILP.  Compare the budget each needs to get
+    # below the MILP early cost.
+    milp_early = milp_costs[0]
+    qpu_first_better = next(
+        (b for b, c in qpu_curve if c < milp_early), None
+    )
+    assert qpu_first_better is not None
+    assert qpu_first_better <= milp_curve[0][0] / 10, (
+        "qaMKP must undercut MILP's early cost at least 10x earlier"
+    )
+
+    emit(
+        artifact,
+        format_table(
+            ["solver", "runtime (us)", "cost"],
+            rows,
+            title=f"{'Fig. 13' if instance == 'D_20_100' else 'Fig. 14'}: "
+            f"cost vs runtime on {instance} (k=3, R=2, Delta-t=1 us); "
+            f"optimum cost = {-optimum}",
+        ),
+    )
+
+
+def test_fig14_degradation_vs_fig13(benchmark, annealing_graphs, qpu):
+    """The paper's cross-figure claim: qaMKP converges relatively worse
+    on D_30_300 than on D_20_100 because its chains are longer."""
+    gaps = {}
+    for instance in ("D_20_100", "D_30_300"):
+        g = annealing_graphs[instance]
+        qpu_res = qamkp(g, 3, runtime_us=10_000.0, solver="qpu", qpu=qpu, seed=8)
+        sa_res = qamkp(g, 3, runtime_us=10_000.0, solver="sa", seed=8)
+        gaps[instance] = (qpu_res.cost - sa_res.cost, qpu_res.info["average_chain_length"])
+    benchmark(
+        lambda: qamkp(
+            annealing_graphs["D_30_300"], 3, runtime_us=1_000.0,
+            solver="qpu", qpu=qpu, seed=8,
+        )
+    )
+    # Longer chains on the bigger instance...
+    assert gaps["D_30_300"][1] > gaps["D_20_100"][1]
+    # ... and a larger cost gap to SA at the same budget.
+    assert gaps["D_30_300"][0] >= gaps["D_20_100"][0]

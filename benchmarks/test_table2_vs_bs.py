@@ -1,0 +1,103 @@
+"""E3 — Table II: qMKP vs the classical BS baseline across sizes.
+
+The paper reports, per instance (k = 2): the optimum size, BS and qMKP
+runtimes, the time and size of qMKP's first feasible result, and the
+error probability.  Absolute microseconds are hardware-bound, so the
+harness uses the calibrated work model of
+:mod:`repro.analysis.runtime_model` — anchored on the paper's
+``G_{10,23}`` row — and reports raw work counts alongside.
+
+Shape criteria: optima match (4, 4, 5, 6); qMKP beats BS on every row;
+the first feasible result arrives within ~35% of the qMKP budget with
+at least half the optimal size; the error probability is tiny and
+shrinks as n grows.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import RuntimeModel, format_table
+from repro.core import qmkp
+from repro.kplex import maximum_kplex
+
+INSTANCES = ("G_7_8", "G_8_10", "G_9_15", "G_10_23")
+EXPECTED_OPTIMA = {"G_7_8": 4, "G_8_10": 4, "G_9_15": 5, "G_10_23": 6}
+K = 2
+
+
+def _qmkp_error_probability(result) -> float:
+    """Chance the whole binary search returned a suboptimal answer."""
+    failure = 0.0
+    for probe in result.probes:
+        if probe.num_marked > 0:
+            per_attempt = 1.0 - probe.success_probability
+            failure = 1.0 - (1.0 - failure) * (1.0 - per_attempt ** 8)
+    return failure
+
+
+def test_table2_qmkp_vs_bs(benchmark, gate_graphs):
+    bs_runs = {name: maximum_kplex(gate_graphs[name], K) for name in INSTANCES}
+    qmkp_runs = {
+        name: qmkp(gate_graphs[name], K, rng=np.random.default_rng(11))
+        for name in INSTANCES
+    }
+    benchmark(lambda: qmkp(gate_graphs["G_10_23"], K, rng=np.random.default_rng(11)))
+
+    anchor = "G_10_23"
+    model = RuntimeModel.calibrated(
+        anchor_nodes=bs_runs[anchor].stats.nodes,
+        anchor_gate_units=qmkp_runs[anchor].gate_units,
+        anchor_n=gate_graphs[anchor].num_vertices,
+    )
+
+    rows = []
+    for name in INSTANCES:
+        g = gate_graphs[name]
+        bs, qm = bs_runs[name], qmkp_runs[name]
+        assert bs.size == EXPECTED_OPTIMA[name]
+        assert qm.size == EXPECTED_OPTIMA[name]
+
+        bs_us = model.classical_time_us(bs.stats.nodes, g.num_vertices)
+        qm_us = model.quantum_time_us(qm.gate_units)
+        first = qm.progression[0]
+        first_us = model.quantum_time_us(first.cumulative_gate_units)
+        error = _qmkp_error_probability(qm)
+
+        # Shape criteria.
+        assert qm_us < bs_us, f"{name}: quantum must win under the model"
+        assert first_us / qm_us < 0.5
+        assert first.size * 2 >= qm.size
+        assert error < 1e-2
+
+        rows.append(
+            (
+                name,
+                qm.size,
+                f"{bs_us:.1f}",
+                f"{qm_us:.1f}",
+                f"{bs_us / qm_us:.2f}x",
+                f"{first_us:.1f}",
+                first.size,
+                f"{error:.1e}",
+                bs.stats.nodes,
+                qm.gate_units,
+            )
+        )
+
+    # Error probability shrinks as instances grow (paper's trend).
+    errors = [float(r[7]) for r in rows]
+    assert errors[-1] <= errors[0]
+
+    emit(
+        "table2_vs_bs",
+        format_table(
+            [
+                "dataset", "max 2-plex", "BS (model us)", "qMKP (model us)",
+                "speedup", "first-result (us)", "first size",
+                "error prob", "BS nodes", "qMKP gates",
+            ],
+            rows,
+            title="Table II: qMKP vs BS, k=2 "
+            "(model microseconds, calibrated on the G_10_23 anchor)",
+        ),
+    )

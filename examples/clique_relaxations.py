@@ -1,0 +1,82 @@
+"""Beyond k-plexes: n-clans and n-clubs on the same toolbox.
+
+The paper's adaptability section argues the oracle machinery carries
+over to distance-based clique relaxations.  This example compares four
+cohesion models on one noisy "terrorist cell" graph (the classic
+Krebs-style use case the paper cites): clique, 2-plex, 2-clan, 2-club —
+and shows why the relaxations recover the true cell where the clique
+model fails.
+
+Run with:  python examples/clique_relaxations.py
+"""
+
+from __future__ import annotations
+
+from repro.graphs import Graph
+from repro.kplex import (
+    is_kplex,
+    maximum_kplex,
+    maximum_nclan_bruteforce,
+    maximum_nclub_bruteforce,
+)
+
+
+def build_cell_network() -> Graph:
+    """A covert network: a dense 6-person cell observed with two missing
+    ties (surveillance never sees every link), plus peripheral contacts."""
+    cell = [0, 1, 2, 3, 4, 5]
+    edges = [
+        (u, v) for i, u in enumerate(cell) for v in cell[i + 1:]
+    ]
+    edges.remove((0, 3))  # unobserved tie
+    edges.remove((2, 5))  # unobserved tie
+    # peripheral contacts
+    edges += [(5, 6), (6, 7), (1, 8), (8, 9), (9, 10), (4, 10)]
+    return Graph(11, edges)
+
+
+def names(subset) -> str:
+    return "{" + ", ".join(f"m{v}" for v in sorted(subset)) + "}"
+
+
+def main() -> None:
+    g = build_cell_network()
+    print(f"observed network: {g.num_vertices} members, {g.num_edges} ties\n")
+
+    clique = maximum_kplex(g, 1)
+    print(f"clique (1-plex):       size {clique.size}  {names(clique.subset)}")
+    print("  -> misses the cell: two unobserved ties break the clique\n")
+
+    plex = maximum_kplex(g, 2)
+    print(f"2-plex:                size {plex.size}  {names(plex.subset)}")
+    assert is_kplex(g, plex.subset, 2)
+    assert set(range(6)) == set(plex.subset), "2-plex recovers the full cell"
+    print("  -> recovers all six members despite the missing ties\n")
+
+    clan = maximum_nclan_bruteforce(g, 2)
+    print(f"2-clan:                size {len(clan)}  {names(clan)}")
+    club = maximum_nclub_bruteforce(g, 2)
+    print(f"2-club:                size {len(club)}  {names(club)}")
+    print(
+        "  -> distance-based models also tolerate the noise, but admit\n"
+        "     peripheral members reachable within two hops"
+    )
+    assert len(club) >= len(clan) >= 6
+
+    # --- the paper's adaptability claim, executed ------------------------
+    import numpy as np
+
+    from repro.core import maximum_nclub_quantum
+
+    rng = np.random.default_rng(0)
+    quantum = maximum_nclub_quantum(g, 2, rng=rng)
+    print(
+        f"\nquantum 2-club search: size {quantum.size}  "
+        f"({quantum.oracle_calls} oracle calls) — same machinery as qMKP,\n"
+        "the oracle swapped for the distance predicate"
+    )
+    assert quantum.size == len(club)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Overlapping community detection via maximal k-plex enumeration.
+
+The paper motivates MKP with community detection; in practice analysts
+rarely want only the single largest community — they enumerate all
+maximal cohesive groups and study their overlap structure.  This
+example plants three overlapping communities in a noisy graph, lists
+every maximal 2-plex above a size floor, and recovers the planted
+structure.
+
+Run with:  python examples/community_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs import Graph
+from repro.kplex import enumerate_maximal_kplexes, maximum_connected_kplex
+
+
+def build_network(seed: int = 4) -> tuple[Graph, list[set[int]]]:
+    """Three overlapping near-cliques (sizes 5, 5, 4) plus noise."""
+    communities = [
+        {0, 1, 2, 3, 4},
+        {4, 5, 6, 7, 8},      # shares member 4 with the first
+        {8, 9, 10, 11},       # shares member 8 with the second
+    ]
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    for community in communities:
+        members = sorted(community)
+        pairs = [
+            (u, v) for i, u in enumerate(members) for v in members[i + 1:]
+        ]
+        # Drop one intra-community tie per community: real data is noisy.
+        dropped = rng.choice(pairs)
+        edges.update(p for p in pairs if p != dropped)
+    # Sparse random noise between communities.
+    for _ in range(4):
+        u, v = rng.sample(range(12), 2)
+        edges.add((min(u, v), max(u, v)))
+    return Graph(12, sorted(edges)), communities
+
+
+def main() -> None:
+    graph, planted = build_network()
+    print(
+        f"network: {graph.num_vertices} members, {graph.num_edges} ties; "
+        f"{len(planted)} planted communities\n"
+    )
+
+    print("maximal 2-plexes of size >= 4:")
+    found: list[frozenset[int]] = []
+    for plex in enumerate_maximal_kplexes(graph, 2, min_size=4):
+        found.append(plex)
+        print(f"  size {len(plex)}: {sorted(plex)}")
+
+    # Every planted community appears inside some detected plex.
+    for community in planted:
+        assert any(community <= plex or plex <= community or
+                   len(community & plex) >= len(community) - 1
+                   for plex in found), community
+    print("\nall planted communities recovered (up to one noisy member)")
+
+    core = maximum_connected_kplex(graph, 2)
+    print(
+        f"\nlargest connected 2-plex: size {core.size} — {sorted(core.subset)}"
+    )
+    # Overlap structure of the three largest communities: the shared
+    # members are exactly the planted bridge vertices.
+    top = sorted(found, key=len, reverse=True)[:3]
+    for i, a in enumerate(top):
+        for b in top[i + 1:]:
+            if a & b:
+                print(
+                    f"communities {sorted(a)} and {sorted(b)} "
+                    f"share {sorted(a & b)}"
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Watching Grover converge: the paper's Fig. 12 as ASCII art.
+
+Runs qTKP's search (k = 2, T = 4, unique solution) on the Fig. 1 graph
+and draws the probability distribution over all 64 subsets after each
+iteration, plus the exact/bounded error-probability trajectory.
+
+Run with:  python examples/grover_convergence.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import bound_error
+from repro.core.oracle import KCplexOracle
+from repro.datasets import figure1_graph
+from repro.grover import PhaseOracleGrover
+
+BAR_WIDTH = 56
+
+
+def bar(probability: float, peak: float) -> str:
+    filled = int(round(BAR_WIDTH * probability / peak)) if peak else 0
+    return "#" * filled
+
+
+def main() -> None:
+    graph = figure1_graph()
+    oracle = KCplexOracle(graph.complement(), k=2, threshold=4)
+    engine = PhaseOracleGrover(graph.num_vertices, oracle.predicate)
+    solution = next(iter(engine.marked))
+    run = engine.run(6, snapshot_at=range(7))
+
+    print(
+        f"searching {1 << graph.num_vertices} subsets for a 2-plex of "
+        f"size >= 4; M = {engine.num_marked} solution "
+        f"({sorted(v + 1 for v in graph.bitmask_to_subset(solution))})\n"
+    )
+    for iteration in range(7):
+        amps = run.amplitude_snapshots[iteration]
+        probs = amps**2
+        peak = float(probs.max())
+        p_sol = float(probs[solution])
+        print(
+            f"iteration {iteration}:  P(solution) = {p_sol:7.4f}   "
+            f"P(any other) = {float(probs.sum()) - p_sol:7.4f}"
+        )
+        print(f"  solution  |{bar(p_sol, peak)}")
+        other = float(probs[(solution + 1) % 64])
+        print(f"  a non-sol |{bar(other, peak)}")
+
+    print(
+        "\nerror probability vs the paper's pi^2/(4I)^2 reference "
+        "(a bound only at the optimal I = 6):"
+    )
+    for iteration in range(1, 7):
+        exact = 1.0 - run.history[iteration]
+        print(
+            f"  I={iteration}:  exact {exact:9.6f}   bound "
+            f"{bound_error(iteration):9.6f}"
+        )
+    print(
+        "\nmeasuring now collapses to the solution with probability "
+        f"{run.success_probability:.4%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Anatomy of the qTKP oracle, drawn gate by gate.
+
+Builds the k-cplex oracle for a 3-vertex path graph — small enough to
+draw — and walks through the paper's four components: graph encoding,
+degree counting, degree comparison, and size determination.  Ends with
+the resource budget of the same oracle on the paper's Fig. 1 graph and
+the full MPS run that validates it.
+
+Run with:  python examples/oracle_anatomy.py
+"""
+
+from __future__ import annotations
+
+from repro.core.oracle import KCplexOracle
+from repro.datasets import figure1_graph
+from repro.graphs import Graph
+from repro.quantum import draw_circuit
+
+K = 2
+THRESHOLD = 2
+
+
+def main() -> None:
+    # A path v1 - v2 - v3; its complement has the single edge (v1, v3).
+    graph = Graph(3, [(0, 1), (1, 2)])
+    oracle = KCplexOracle(graph.complement(), K, THRESHOLD)
+
+    print(
+        f"graph: path on 3 vertices; searching for a {K}-plex of size "
+        f">= {THRESHOLD}\n"
+        f"complement edges: {sorted(graph.complement().edges)}\n"
+    )
+    print(
+        f"U_check uses {oracle.num_qubits} qubits and "
+        f"{oracle.u_check.num_gates} gates:\n"
+    )
+    print(draw_circuit(oracle.u_check))
+
+    print("\ncomponent budget (U_check + uncompute + mark):")
+    costs = oracle.component_costs()
+    for name, value in (
+        ("graph encoding", costs.encode),
+        ("degree counting", costs.degree_count),
+        ("degree comparison", costs.degree_compare),
+        ("size determination", costs.size_check),
+        ("marking Toffoli", costs.mark),
+    ):
+        print(f"  {name:<20} {value:>4} gates")
+
+    print("\nthe same oracle on the paper's Fig. 1 graph:")
+    big = KCplexOracle(figure1_graph().complement(), 2, 4)
+    big_costs = big.component_costs()
+    print(
+        f"  {big.num_qubits} qubits, {big_costs.total} gates per call; "
+        "degree counting takes "
+        f"{100 * big_costs.shares()['degree_count']:.0f}% of the checking work"
+    )
+    print(
+        "\nevery one of those gates is X-family, so the whole circuit is\n"
+        "verified bit-exactly against the k-plex predicate (see\n"
+        "tests/properties/test_oracle_properties.py) and runs on the MPS\n"
+        "simulator at full width (benchmarks/test_mps_validation.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — quantum algorithms for the Maximum k-Plex Problem.
+
+A full reproduction of "Gate-Based and Annealing-Based Quantum
+Algorithms for the Maximum K-Plex Problem" (Li, Cong, Zhou; ICDE 2024),
+including every substrate the paper runs on: a gate-model circuit
+simulator, a Grover engine, a simulated quantum annealer with minor
+embedding, a MILP solver, and the classical k-plex toolbox.
+
+Quick start::
+
+    from repro import Graph, qmkp, qamkp
+
+    g = Graph(6, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 3), (3, 4), (4, 5)])
+    result = qmkp(g, k=2)            # gate-based maximum k-plex
+    print(sorted(result.subset))      # [0, 1, 3, 4]
+
+    annealed = qamkp(g, k=2, runtime_us=100.0, solver="sa", seed=7)
+    print(sorted(annealed.repaired))
+
+Package map:
+
+* :mod:`repro.graphs`    — graph type, generators, IO, reductions
+* :mod:`repro.kplex`     — classical predicates, exact solvers, heuristics
+* :mod:`repro.quantum`   — circuit IR, simulators, arithmetic circuits
+* :mod:`repro.grover`    — diffusion, schedules, Grover simulation
+* :mod:`repro.core`      — the paper's qTKP / qMKP / qaMKP and the QUBO
+* :mod:`repro.annealing` — QUBO models, SA / QPU / hybrid samplers
+* :mod:`repro.milp`      — linearisation + HiGHS / branch-and-bound
+* :mod:`repro.datasets`  — the paper's pinned evaluation instances
+* :mod:`repro.analysis`  — error & runtime models, table rendering
+"""
+
+from .core import (
+    KCplexOracle,
+    MkpQubo,
+    QAMKPResult,
+    QMKPResult,
+    QTKPResult,
+    build_mkp_qubo,
+    cost_versus_runtime,
+    qamkp,
+    qmkp,
+    qtkp,
+)
+from .graphs import Graph
+from .kplex import is_kcplex, is_kplex, maximum_kplex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "KCplexOracle",
+    "MkpQubo",
+    "QAMKPResult",
+    "QMKPResult",
+    "QTKPResult",
+    "__version__",
+    "build_mkp_qubo",
+    "cost_versus_runtime",
+    "is_kcplex",
+    "is_kplex",
+    "maximum_kplex",
+    "qamkp",
+    "qmkp",
+    "qtkp",
+]

@@ -1,0 +1,30 @@
+"""Analysis layer: error models, runtime models, table rendering."""
+
+from .error_model import (
+    bound_error,
+    exact_error,
+    iterations_for_error,
+    noise_limited_iterations,
+    noisy_success_probability,
+    repeated_error,
+)
+from .progression import AnytimeCurve, curve_from_cost_runs, curve_from_qmkp
+from .runtime_model import PAPER_ANCHOR, RuntimeModel
+from .tables import format_table, results_dir, write_result
+
+__all__ = [
+    "AnytimeCurve",
+    "PAPER_ANCHOR",
+    "RuntimeModel",
+    "bound_error",
+    "curve_from_cost_runs",
+    "curve_from_qmkp",
+    "exact_error",
+    "format_table",
+    "iterations_for_error",
+    "noise_limited_iterations",
+    "noisy_success_probability",
+    "repeated_error",
+    "results_dir",
+    "write_result",
+]

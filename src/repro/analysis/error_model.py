@@ -1,0 +1,97 @@
+"""Error-probability analysis for the gate algorithms.
+
+The paper argues (Section V-A) that qTKP's measurement error converges
+roughly as ``pi^2 / (4I)^2`` in the iteration count ``I``, and that
+``c`` independent repetitions drive it to ``(pi^2 / (4I)^2)^c``.  This
+module provides those bounds alongside the exact trigonometric values,
+so experiments can report both.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..grover import error_probability, paper_error_bound
+
+__all__ = [
+    "exact_error",
+    "bound_error",
+    "repeated_error",
+    "iterations_for_error",
+    "noisy_success_probability",
+    "noise_limited_iterations",
+]
+
+
+def exact_error(num_states: int, num_marked: int, iterations: int) -> float:
+    """Exact failure probability ``1 - sin^2((2I+1) theta)``."""
+    return error_probability(num_states, num_marked, iterations)
+
+
+def bound_error(iterations: int) -> float:
+    """The paper's bound ``pi^2 / (4I)^2``."""
+    return paper_error_bound(iterations)
+
+
+def repeated_error(iterations: int, repetitions: int) -> float:
+    """Error after ``repetitions`` independent runs, per the paper."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    return bound_error(iterations) ** repetitions
+
+
+def iterations_for_error(target: float) -> int:
+    """Smallest ``I`` with ``pi^2 / (4I)^2 <= target``."""
+    if not (0.0 < target < 1.0):
+        raise ValueError(f"target must be in (0, 1), got {target}")
+    return max(1, math.ceil(math.pi / (4.0 * math.sqrt(target))))
+
+
+def noisy_success_probability(
+    num_states: int, num_marked: int, iterations: int, depolarizing_rate: float
+) -> float:
+    """Grover success under per-iteration global depolarizing noise.
+
+    With rate ``lambda``, each round replaces the state by the maximally
+    mixed state with probability ``lambda``.  Because unitary
+    conjugation leaves ``I / N`` invariant, depolarized probability mass
+    stays uniform for the rest of the run, giving the closed form
+
+        p(i) = (1 - lambda)^i * sin^2((2i+1) theta)
+               + (1 - (1 - lambda)^i) * M / N.
+
+    This is the NISQ ceiling the paper's limitation section alludes to:
+    past the coherence budget, extra iterations stop helping and the
+    success probability saturates at ``M / N``-weighted noise.
+    """
+    if not (0.0 <= depolarizing_rate <= 1.0):
+        raise ValueError(
+            f"depolarizing_rate must be in [0, 1], got {depolarizing_rate}"
+        )
+    from ..grover import success_probability
+
+    coherent = (1.0 - depolarizing_rate) ** iterations
+    pure = success_probability(num_states, num_marked, iterations)
+    uniform = num_marked / num_states
+    return coherent * pure + (1.0 - coherent) * uniform
+
+
+def noise_limited_iterations(
+    num_states: int, num_marked: int, depolarizing_rate: float
+) -> int:
+    """The iteration count maximising the noisy success probability.
+
+    Scans up to the noiseless optimum; with strong noise the argmax
+    lands well before it (running longer only decoheres).
+    """
+    from ..grover import optimal_iterations
+
+    horizon = optimal_iterations(num_states, num_marked) + 1
+    best_i, best_p = 0, noisy_success_probability(
+        num_states, num_marked, 0, depolarizing_rate
+    )
+    for i in range(1, horizon + 1):
+        p = noisy_success_probability(num_states, num_marked, i, depolarizing_rate)
+        if p > best_p:
+            best_i, best_p = i, p
+    return best_i

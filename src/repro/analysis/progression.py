@@ -1,0 +1,121 @@
+"""Anytime-behaviour analysis for progressive algorithms.
+
+Both of the paper's algorithms are *progressive*: qMKP surfaces a
+feasible k-plex after every successful probe, and qaMKP's best-found
+cost improves with runtime.  Comparing such algorithms fairly needs
+more than final values; this module provides the standard anytime
+metrics:
+
+* :class:`AnytimeCurve` — a step function "best quality so far vs
+  budget spent", built from event lists;
+* quality-at-budget and budget-to-quality queries;
+* the normalised area under the curve (higher = better anytime
+  behaviour), the primal-integral flavour used in MILP benchmarking.
+
+Quality is "bigger is better" (plex size, or negated cost).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["AnytimeCurve", "curve_from_qmkp", "curve_from_cost_runs"]
+
+
+@dataclass(frozen=True)
+class AnytimeCurve:
+    """A non-decreasing step function of quality against budget.
+
+    ``budgets[i]`` is the cumulative cost at which ``qualities[i]`` was
+    first achieved; both sequences are sorted ascending (qualities
+    non-decreasing).
+    """
+
+    budgets: tuple[float, ...]
+    qualities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.budgets) != len(self.qualities):
+            raise ValueError("budgets and qualities must have equal length")
+        if list(self.budgets) != sorted(self.budgets):
+            raise ValueError("budgets must be ascending")
+        if list(self.qualities) != sorted(self.qualities):
+            raise ValueError("qualities must be non-decreasing")
+
+    @classmethod
+    def from_events(
+        cls, events: Sequence[tuple[float, float]]
+    ) -> "AnytimeCurve":
+        """Build from (budget, quality) events; dominated events dropped."""
+        budgets: list[float] = []
+        qualities: list[float] = []
+        best = float("-inf")
+        for budget, quality in sorted(events):
+            if quality > best:
+                budgets.append(float(budget))
+                qualities.append(float(quality))
+                best = quality
+        return cls(tuple(budgets), tuple(qualities))
+
+    def quality_at(self, budget: float) -> float | None:
+        """Best quality achieved within ``budget`` (None before the first)."""
+        idx = bisect_right(self.budgets, budget) - 1
+        if idx < 0:
+            return None
+        return self.qualities[idx]
+
+    def budget_for(self, quality: float) -> float | None:
+        """Smallest budget reaching at least ``quality`` (None if never)."""
+        for budget, achieved in zip(self.budgets, self.qualities):
+            if achieved >= quality:
+                return budget
+        return None
+
+    def final_quality(self) -> float | None:
+        return self.qualities[-1] if self.qualities else None
+
+    def normalized_auc(self, horizon: float, best_possible: float) -> float:
+        """Area under quality/best_possible over [0, horizon], in [0, 1].
+
+        1.0 means the optimum was available instantly; 0.0 means
+        nothing was found within the horizon.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if best_possible <= 0:
+            raise ValueError(
+                f"best_possible must be positive, got {best_possible}"
+            )
+        area = 0.0
+        for i, (budget, quality) in enumerate(zip(self.budgets, self.qualities)):
+            if budget >= horizon:
+                break
+            end = min(
+                self.budgets[i + 1] if i + 1 < len(self.budgets) else horizon,
+                horizon,
+            )
+            area += (end - budget) * quality
+        return max(0.0, min(1.0, area / (horizon * best_possible)))
+
+
+def curve_from_qmkp(result) -> AnytimeCurve:
+    """Anytime curve of a :class:`repro.core.qmkp.QMKPResult`.
+
+    Budget is cumulative gate units; quality is the plex size.
+    """
+    return AnytimeCurve.from_events(
+        [(e.cumulative_gate_units, float(e.size)) for e in result.progression]
+    )
+
+
+def curve_from_cost_runs(results) -> AnytimeCurve:
+    """Anytime curve from :func:`repro.core.qamkp.cost_versus_runtime` output.
+
+    Budget is the runtime in microseconds; quality is the negated
+    objective cost (so lower cost = higher quality).
+    """
+    return AnytimeCurve.from_events(
+        [(r.runtime_us, -r.cost) for r in results]
+    )

@@ -1,0 +1,75 @@
+"""Runtime cost model for quantum-vs-classical comparisons.
+
+The paper's Tables II-III report microseconds measured on the authors'
+MacBook (classical BS) and derived from the Qiskit MPS simulator
+(qMKP).  Neither absolute number is reproducible on different hardware,
+so — as DESIGN.md documents — we regenerate those tables with a
+transparent *work model*:
+
+* classical branch-and-search work = search-tree nodes x an O(n^2)
+  per-node charge;
+* quantum work = executed gates (oracle + diffusion, all iterations).
+
+The two unit costs are calibrated on a single anchor point — the paper's
+``G_{10,23}`` row, where qMKP takes 130.3 us against BS's 353.7 us —
+after which every other table cell is a model *prediction*; matching the
+paper then means matching relative behaviour (speedup factors, trends in
+n and k), which is exactly the shape-level criterion of the
+reproduction.  Raw node/gate counts are always reported alongside so no
+information hides behind the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RuntimeModel", "PAPER_ANCHOR"]
+
+#: The calibration anchor: the paper's G_{10,23} row of Table II.
+PAPER_ANCHOR = {
+    "instance": "G_10_23",
+    "bs_us": 353.7,
+    "qmkp_us": 130.3,
+}
+
+
+@dataclass(frozen=True)
+class RuntimeModel:
+    """Converts work counts into model microseconds.
+
+    Attributes
+    ----------
+    classical_node_us:
+        Model time per branch-and-search node per n^2 (i.e. a node on
+        an n-vertex instance costs ``classical_node_us * n^2``).
+    quantum_gate_us:
+        Model time per executed quantum gate.
+    """
+
+    classical_node_us: float
+    quantum_gate_us: float
+
+    def classical_time_us(self, nodes: int, num_vertices: int) -> float:
+        """Model time of a branch-and-search run."""
+        return self.classical_node_us * nodes * num_vertices ** 2
+
+    def quantum_time_us(self, gate_units: int) -> float:
+        """Model time of a gate-model run."""
+        return self.quantum_gate_us * gate_units
+
+    @classmethod
+    def calibrated(
+        cls,
+        anchor_nodes: int,
+        anchor_gate_units: int,
+        anchor_n: int,
+        bs_us: float = PAPER_ANCHOR["bs_us"],
+        qmkp_us: float = PAPER_ANCHOR["qmkp_us"],
+    ) -> "RuntimeModel":
+        """Fit the two unit costs to the anchor instance's measurements."""
+        if anchor_nodes <= 0 or anchor_gate_units <= 0:
+            raise ValueError("anchor work counts must be positive")
+        return cls(
+            classical_node_us=bs_us / (anchor_nodes * anchor_n ** 2),
+            quantum_gate_us=qmkp_us / anchor_gate_units,
+        )

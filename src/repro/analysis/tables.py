@@ -1,0 +1,66 @@
+"""Plain-text table rendering and result-file output for the harness.
+
+Every benchmark regenerates one of the paper's tables or figures; these
+helpers print the rows in a stable ASCII format and persist them under
+``results/`` so `pytest benchmarks/` leaves inspectable artifacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["format_table", "results_dir", "write_result"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def results_dir() -> Path:
+    """The ``results/`` directory next to the repository root."""
+    root = Path(__file__).resolve().parents[3].parent
+    # src/repro/analysis -> src -> repo root
+    candidate = Path(__file__).resolve()
+    for parent in candidate.parents:
+        if (parent / "pyproject.toml").exists():
+            root = parent
+            break
+    out = root / "results"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+def write_result(name: str, text: str) -> Path:
+    """Write a rendered table/figure to ``results/<name>.txt``."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

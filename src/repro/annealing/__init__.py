@@ -1,0 +1,49 @@
+"""Annealing substrate: QUBO models, samplers, topologies, embedding."""
+
+from .bqm import BinaryQuadraticModel
+from .embedding import (
+    Embedding,
+    EmbeddingError,
+    clique_embedding,
+    clique_embedding_auto,
+    find_embedding,
+    suggest_chain_strength,
+)
+from .hybrid import MIN_RUNTIME_US, HybridSampler, steepest_descent
+from .qpu import QPURuntimeExceeded, SimulatedQPUSampler
+from .sa import SimulatedAnnealingSampler
+from .sampleset import Sample, SampleSet
+from .schedule import (
+    geometric_schedule,
+    linear_schedule,
+    paused_schedule,
+    quench_schedule,
+)
+from .tabu import tabu_search
+from .topology import HardwareGraph, chimera_graph, pegasus_like_graph
+
+__all__ = [
+    "MIN_RUNTIME_US",
+    "BinaryQuadraticModel",
+    "Embedding",
+    "EmbeddingError",
+    "HardwareGraph",
+    "HybridSampler",
+    "QPURuntimeExceeded",
+    "Sample",
+    "SampleSet",
+    "SimulatedAnnealingSampler",
+    "SimulatedQPUSampler",
+    "chimera_graph",
+    "clique_embedding",
+    "clique_embedding_auto",
+    "find_embedding",
+    "geometric_schedule",
+    "linear_schedule",
+    "paused_schedule",
+    "pegasus_like_graph",
+    "quench_schedule",
+    "steepest_descent",
+    "suggest_chain_strength",
+    "tabu_search",
+]

@@ -1,0 +1,300 @@
+"""Cai-Macready-Roy minor embedding with overlap refinement.
+
+The greedy chain-growth heuristic in :mod:`repro.annealing.embedding`
+keeps chains strictly disjoint and therefore fails on dense logical
+graphs: early chains get walled in.  This module implements the full
+heuristic of Cai, Macready & Roy ("A practical heuristic for finding
+graph minors", 2014), the algorithm behind D-Wave's ``minorminer``:
+
+1. chains are grown through *weighted* shortest paths where a qubit
+   already claimed by other chains costs a large penalty instead of
+   being forbidden — overlaps are allowed but expensive;
+2. after the initial placement, refinement passes rip out one chain at
+   a time and re-route it against the current congestion, with the
+   penalty escalating each pass;
+3. the embedding is accepted once no qubit is claimed twice.
+
+Shortest paths run through :func:`scipy.sparse.csgraph.dijkstra`
+(multi-source, C speed); the vertex-weight model is folded into edge
+weights (an edge u -> v costs ``weight(v)``), so re-weighting a pass is
+a single numpy gather.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from .embedding import Embedding, EmbeddingError
+from .topology import HardwareGraph
+
+__all__ = ["find_embedding_cm"]
+
+Variable = Hashable
+
+#: Base congestion penalty; escalates by this factor every pass.
+_PENALTY = 1.0e4
+_UNREACHABLE = np.inf
+
+
+class _Router:
+    """Shared state for one embedding attempt."""
+
+    def __init__(self, hardware: HardwareGraph, rng: random.Random | None = None) -> None:
+        self.hardware = hardware
+        self._np_rng = np.random.default_rng(
+            None if rng is None else rng.randrange(2**63)
+        )
+        n = hardware.num_qubits
+        rows, cols = [], []
+        for q in range(n):
+            for w in hardware.adjacency[q]:
+                rows.append(q)
+                cols.append(w)
+        self._rows = np.asarray(rows, dtype=np.int32)
+        self._cols = np.asarray(cols, dtype=np.int32)
+        self._shape = (n, n)
+        self.usage = np.zeros(n, dtype=np.int64)
+
+    def graph(self, penalty: float) -> csr_matrix:
+        """CSR matrix with edge u->v costing the vertex weight of v."""
+        weights = 1.0 + penalty * self.usage
+        data = weights[self._cols]
+        return csr_matrix((data, (self._rows, self._cols)), shape=self._shape)
+
+    def route_chain(
+        self,
+        neighbour_chains: list[set[int]],
+        penalty: float,
+        rng: random.Random,
+    ) -> set[int]:
+        """Grow a chain reaching every neighbour chain (CM step).
+
+        Steiner-style sequential routing: seed next to the first
+        neighbour chain, then bridge from the *growing* chain to each
+        remaining neighbour along congestion-weighted shortest paths.
+        Qubits claimed by other chains are allowed but priced at the
+        penalty — the CM overlap mechanism, resolved in refinement.
+        """
+        if not neighbour_chains:
+            free = np.flatnonzero(self.usage == 0)
+            pool = free if free.size else np.arange(self.hardware.num_qubits)
+            return {int(pool[rng.randrange(pool.size)])}
+        graph = self.graph(penalty)
+        # Bridge in ascending-size order: small chains are hardest to
+        # reach (fewest couplers), so connect them first.
+        ordered = sorted(neighbour_chains, key=lambda c: (len(c), sorted(c)))
+
+        # Seed: cheapest qubit next to the first neighbour chain.  Any
+        # qubit is allowed — even one claimed by another chain; the
+        # congestion price plus refinement sorts overlaps out.
+        dist, pred, _src = dijkstra(
+            graph, directed=True, indices=sorted(ordered[0]),
+            return_predecessors=True, min_only=True,
+        )
+        dist = dist.copy()
+        dist[sorted(ordered[0])] = _UNREACHABLE  # seed outside the target
+        # Sub-unit jitter breaks ties among equal-cost qubits at random
+        # (edge weights are >= 1, so ordering between distinct costs is
+        # preserved); without it, rip-up-and-reroute would reproduce the
+        # same chain forever and refinement could reach a fixed point.
+        root = int(np.argmin(dist + self._np_rng.random(dist.shape) * 0.5))
+        if not np.isfinite(dist[root]):
+            raise EmbeddingError("first neighbour chain is unreachable")
+        chain = {root}
+        self._annex_walk(chain, root, pred, ordered[0])
+
+        for target in ordered[1:]:
+            if self._touches(chain, target):
+                continue
+            dist, pred, _src = dijkstra(
+                graph, directed=True, indices=sorted(chain),
+                return_predecessors=True, min_only=True,
+            )
+            # Land on any qubit adjacent to the target chain.
+            frontier = sorted(
+                {
+                    q
+                    for t in target
+                    for q in self.hardware.adjacency[t]
+                    if q not in target
+                }
+            )
+            if not frontier:
+                raise EmbeddingError("target chain is walled in")
+            frontier_dist = dist[frontier]
+            best = int(np.argmin(
+                frontier_dist + self._np_rng.random(len(frontier)) * 0.5
+            ))
+            if not np.isfinite(frontier_dist[best]):
+                raise EmbeddingError("no route to a neighbour chain")
+            landing = frontier[best]
+            chain.add(landing)
+            self._annex_walk(chain, landing, pred, chain)
+        return self._prune(chain, ordered)
+
+    def _prune(self, chain: set[int], neighbour_chains: list[set[int]]) -> set[int]:
+        """Iteratively drop chain leaves not needed for any coupling.
+
+        A qubit can go if it has at most one chain-internal neighbour
+        (a leaf of the chain's induced subgraph) and its removal does
+        not disconnect the chain from any neighbour chain it alone
+        couples to.  This keeps rerouted chains from accumulating
+        bloat across refinement passes.
+        """
+        if len(chain) <= 1:
+            return chain
+        adjacency = self.hardware.adjacency
+        changed = True
+        while changed and len(chain) > 1:
+            changed = False
+            for q in sorted(chain):
+                internal = sum(1 for w in adjacency[q] if w in chain)
+                if internal != 1:
+                    continue  # not a leaf (or isolated — keep)
+                needed = False
+                for target in neighbour_chains:
+                    if any(w in target for w in adjacency[q]):
+                        others = chain - {q}
+                        still = any(
+                            any(w in target for w in adjacency[p])
+                            for p in others
+                        )
+                        if not still:
+                            needed = True
+                            break
+                if not needed:
+                    chain.discard(q)
+                    changed = True
+        return chain
+
+    def _annex_walk(
+        self, chain: set[int], start: int, pred: np.ndarray, stop_in: set[int]
+    ) -> None:
+        """Walk predecessors from ``start`` into ``chain`` until hitting
+        ``stop_in`` (exclusive)."""
+        q = start
+        while pred[q] >= 0:
+            q = int(pred[q])
+            if q in stop_in:
+                break
+            chain.add(q)
+
+    def _touches(self, a: set[int], b: set[int]) -> bool:
+        small, large = (a, b) if len(a) <= len(b) else (b, a)
+        return any(w in large for q in small for w in self.hardware.adjacency[q])
+
+    def claim(self, chain: set[int]) -> None:
+        self.usage[list(chain)] += 1
+
+    def release(self, chain: set[int]) -> None:
+        self.usage[list(chain)] -= 1
+
+
+def find_embedding_cm(
+    variables: Sequence[Variable],
+    logical_edges: Sequence[tuple[Variable, Variable]],
+    hardware: HardwareGraph,
+    seed: int | None = None,
+    max_passes: int = 6,
+    max_tries: int = 5,
+) -> Embedding:
+    """Cai-Macready embedding with refinement and random restarts.
+
+    Raises :class:`EmbeddingError` if every restart still has
+    overlapping chains after ``max_passes`` refinement passes.
+    """
+    base = random.Random(seed)
+    last: EmbeddingError | None = None
+    for _try in range(max_tries):
+        try:
+            return _attempt(
+                variables, logical_edges, hardware,
+                random.Random(base.random()), max_passes,
+            )
+        except EmbeddingError as exc:
+            last = exc
+    raise EmbeddingError(f"CM router failed {max_tries} restarts: {last}")
+
+
+def _attempt(
+    variables: Sequence[Variable],
+    logical_edges: Sequence[tuple[Variable, Variable]],
+    hardware: HardwareGraph,
+    rng: random.Random,
+    max_passes: int,
+) -> Embedding:
+    neighbours: dict[Variable, set[Variable]] = {v: set() for v in variables}
+    for u, v in logical_edges:
+        neighbours[u].add(v)
+        neighbours[v].add(u)
+    order = sorted(variables, key=lambda v: (-len(neighbours[v]), str(v)))
+
+    router = _Router(hardware, rng)
+    chains: dict[Variable, set[int]] = {}
+
+    # Initial pass: overlaps tolerated at base penalty.
+    for var in order:
+        placed = [chains[w] for w in sorted(neighbours[var], key=str) if w in chains]
+        chain = router.route_chain(placed, _PENALTY, rng)
+        chains[var] = chain
+        router.claim(chain)
+
+    # Refinement passes with escalating penalties; bail early when the
+    # overlap count stops improving (the fallback path is cheaper than
+    # grinding a stuck refinement).
+    penalty = _PENALTY
+    overlap_history: list[int] = []
+    for _pass in range(max_passes):
+        overused_now = int((router.usage > 1).sum())
+        if overused_now == 0:
+            break
+        overlap_history.append(overused_now)
+        if len(overlap_history) >= 3 and overlap_history[-1] >= overlap_history[-3]:
+            break
+        penalty *= 8.0
+        for var in order:
+            router.release(chains[var])
+            placed = [
+                chains[w]
+                for w in sorted(neighbours[var], key=str)
+                if w is not var and w in chains
+            ]
+            chain = router.route_chain(placed, penalty, rng)
+            chains[var] = chain
+            router.claim(chain)
+
+    # Targeted cleanup: rip up *every* owner of an overused qubit at
+    # once and reroute them against each other in random order —
+    # rerouting one owner at a time just recreates the same conflict.
+    for _round in range(4 * len(variables)):
+        overused = np.flatnonzero(router.usage > 1)
+        if overused.size == 0:
+            break
+        qubit = int(overused[rng.randrange(overused.size)])
+        owners = [v for v, c in chains.items() if qubit in c]
+        rng.shuffle(owners)
+        for victim in owners:
+            router.release(chains[victim])
+            chains.pop(victim)
+        for victim in owners:
+            placed = [
+                chains[w]
+                for w in sorted(neighbours[victim], key=str)
+                if w in chains
+            ]
+            chain = router.route_chain(placed, penalty * 100.0, rng)
+            chains[victim] = chain
+            router.claim(chain)
+
+    if int(router.usage.max(initial=0)) > 1:
+        raise EmbeddingError(
+            f"overlaps remain after {max_passes} refinement passes"
+        )
+    emb = Embedding({v: tuple(sorted(c)) for v, c in chains.items()}, hardware)
+    emb.validate(list(logical_edges))
+    return emb

@@ -1,0 +1,86 @@
+"""Sample sets: the result type every sampler returns.
+
+Mirrors the slice of ``dimod.SampleSet`` the paper's experiments need:
+samples with energies and occurrence counts, best-sample access, and
+solver-reported timing info (annealing time per shot, shot count, total
+runtime in microseconds — the quantities Tables V-VII sweep).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Sample", "SampleSet"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One assignment with its energy and multiplicity."""
+
+    assignment: Mapping[object, int]
+    energy: float
+    num_occurrences: int = 1
+
+    def value(self, variable: object) -> int:
+        return self.assignment[variable]
+
+
+@dataclass
+class SampleSet:
+    """Samples sorted by energy plus solver metadata.
+
+    Attributes
+    ----------
+    samples:
+        All samples, ascending energy.
+    info:
+        Free-form solver metadata.  The built-in samplers populate
+        ``annealing_time_us``, ``num_reads``, ``total_runtime_us``,
+        ``sweeps_per_read``, and (QPU) ``chain_break_fraction``.
+    """
+
+    samples: list[Sample] = field(default_factory=list)
+    info: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.samples.sort(key=lambda s: s.energy)
+
+    @property
+    def first(self) -> Sample:
+        """The lowest-energy sample."""
+        if not self.samples:
+            raise ValueError("empty sample set")
+        return self.samples[0]
+
+    @property
+    def lowest_energy(self) -> float:
+        return self.first.energy
+
+    def __len__(self) -> int:
+        return sum(s.num_occurrences for s in self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    @classmethod
+    def from_states(
+        cls,
+        states: Sequence[Mapping[object, int]],
+        energies: Sequence[float],
+        info: dict[str, object] | None = None,
+    ) -> "SampleSet":
+        """Aggregate raw states (duplicates merged) into a sample set."""
+        seen: dict[tuple, Sample] = {}
+        for assignment, energy in zip(states, energies):
+            key = tuple(sorted(assignment.items(), key=lambda kv: str(kv[0])))
+            if key in seen:
+                old = seen[key]
+                seen[key] = Sample(old.assignment, old.energy, old.num_occurrences + 1)
+            else:
+                seen[key] = Sample(dict(assignment), float(energy))
+        return cls(list(seen.values()), info or {})
+
+    def truncate(self, count: int) -> "SampleSet":
+        """The ``count`` lowest-energy samples as a new set."""
+        return SampleSet(list(self.samples[:count]), dict(self.info))

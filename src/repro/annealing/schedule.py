@@ -1,0 +1,106 @@
+"""Anneal schedules for the Metropolis samplers.
+
+Real annealers expose schedule controls — ramp shape, mid-anneal
+pauses, fast quenches — and practitioners tune them per problem.  This
+module provides the common shapes as inverse-temperature (beta)
+sequences consumable by
+:class:`repro.annealing.sa.SimulatedAnnealingSampler`:
+
+* :func:`geometric_schedule` — the default exponential ramp;
+* :func:`linear_schedule` — a straight beta ramp;
+* :func:`paused_schedule` — ramp, hold at an intermediate beta (the
+  "anneal pause" known to help tunnelling-dominated problems), then
+  finish;
+* :func:`quench_schedule` — slow start, abrupt freeze.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "geometric_schedule",
+    "linear_schedule",
+    "paused_schedule",
+    "quench_schedule",
+]
+
+
+def _check(hot: float, cold: float, sweeps: int) -> None:
+    if hot <= 0 or cold <= 0:
+        raise ValueError(f"betas must be positive, got hot={hot}, cold={cold}")
+    if cold < hot:
+        raise ValueError(f"cold beta {cold} must be >= hot beta {hot}")
+    if sweeps < 1:
+        raise ValueError(f"sweeps must be >= 1, got {sweeps}")
+
+
+def geometric_schedule(hot: float, cold: float, sweeps: int) -> np.ndarray:
+    """Exponential ramp from ``hot`` to ``cold`` (the SA default)."""
+    _check(hot, cold, sweeps)
+    if sweeps == 1:
+        return np.array([cold])
+    return np.geomspace(hot, cold, sweeps)
+
+
+def linear_schedule(hot: float, cold: float, sweeps: int) -> np.ndarray:
+    """Straight-line ramp from ``hot`` to ``cold``."""
+    _check(hot, cold, sweeps)
+    if sweeps == 1:
+        return np.array([cold])
+    return np.linspace(hot, cold, sweeps)
+
+
+def paused_schedule(
+    hot: float,
+    cold: float,
+    sweeps: int,
+    pause_at: float = 0.5,
+    pause_fraction: float = 0.3,
+) -> np.ndarray:
+    """Ramp with a hold at an intermediate beta.
+
+    ``pause_at`` locates the hold point as a fraction of the beta range
+    (log scale); ``pause_fraction`` is the share of sweeps spent
+    holding.  D-Wave exposes the same knob because pausing near the
+    minimum gap improves success probabilities on many instances.
+    """
+    _check(hot, cold, sweeps)
+    if not (0.0 < pause_at < 1.0):
+        raise ValueError(f"pause_at must be in (0, 1), got {pause_at}")
+    if not (0.0 <= pause_fraction < 1.0):
+        raise ValueError(
+            f"pause_fraction must be in [0, 1), got {pause_fraction}"
+        )
+    hold = int(round(sweeps * pause_fraction))
+    ramp = sweeps - hold
+    if ramp < 2:
+        return geometric_schedule(hot, cold, sweeps)
+    beta_pause = hot * (cold / hot) ** pause_at
+    first = max(1, int(round(ramp * pause_at)))
+    second = ramp - first
+    parts = [np.geomspace(hot, beta_pause, first + 1)[:-1]]
+    parts.append(np.full(hold, beta_pause))
+    parts.append(np.geomspace(beta_pause, cold, max(second, 1)))
+    return np.concatenate(parts)[:sweeps]
+
+
+def quench_schedule(
+    hot: float, cold: float, sweeps: int, quench_at: float = 0.8
+) -> np.ndarray:
+    """Slow exploration, then an abrupt freeze at ``quench_at``.
+
+    The pre-quench portion ramps only a quarter of the way to cold (log
+    scale), keeping the walk hot; the remainder jumps straight to the
+    cold beta — the "fast quench" end-of-anneal shape.
+    """
+    _check(hot, cold, sweeps)
+    if not (0.0 < quench_at < 1.0):
+        raise ValueError(f"quench_at must be in (0, 1), got {quench_at}")
+    explore = max(1, int(round(sweeps * quench_at)))
+    freeze = sweeps - explore
+    warm_end = hot * (cold / hot) ** 0.25
+    parts = [np.geomspace(hot, warm_end, explore)]
+    if freeze:
+        parts.append(np.full(freeze, cold))
+    return np.concatenate(parts)[:sweeps]

@@ -1,0 +1,85 @@
+"""Tabu search over binary quadratic models.
+
+Single-flip tabu search with incremental delta-energy maintenance and
+the standard aspiration criterion (a tabu flip is allowed if it beats
+the incumbent).  This is the workhorse of D-Wave's hybrid solvers;
+combined with SA seeding it reliably digs the MKP QUBOs' optima out of
+their penalty barriers, which plain SA cannot at comparable budgets.
+
+Complexity: a flip costs O(degree) to refresh the delta table, so
+``iterations`` flips cost about ``iterations * average_degree``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bqm import BinaryQuadraticModel
+
+__all__ = ["tabu_search"]
+
+
+def tabu_search(
+    bqm: BinaryQuadraticModel,
+    initial: dict[object, int] | None = None,
+    iterations: int = 5000,
+    tenure: int | None = None,
+    seed: int | None = None,
+) -> tuple[dict[object, int], float]:
+    """Minimise ``bqm``; returns ``(best_assignment, best_energy)``.
+
+    Parameters
+    ----------
+    initial:
+        Starting assignment (random when omitted).
+    iterations:
+        Number of flips to perform.
+    tenure:
+        Tabu tenure; defaults to ``min(20, num_vars // 4 + 1)``.
+    """
+    rng = np.random.default_rng(seed)
+    h, j, offset, order = bqm.to_numpy()
+    n = len(order)
+    if n == 0:
+        return {}, float(offset)
+    if tenure is None:
+        tenure = min(20, n // 4 + 1)
+    jsym = j + j.T
+
+    if initial is not None:
+        x = np.array([initial[v] for v in order], dtype=float)
+    else:
+        x = rng.integers(0, 2, size=n).astype(float)
+
+    # delta[i] = energy change if variable i flips.
+    field = h + jsym @ x
+    delta = (1.0 - 2.0 * x) * field
+    energy = float(bqm.energies(x[None, :], order)[0])
+    best_energy = energy
+    best_x = x.copy()
+    tabu_until = np.zeros(n, dtype=np.int64)
+
+    for step in range(1, iterations + 1):
+        candidate_energy = energy + delta
+        allowed = (tabu_until < step) | (candidate_energy < best_energy - 1e-12)
+        if not np.any(allowed):
+            allowed[:] = True
+        scores = np.where(allowed, delta, np.inf)
+        i = int(np.argmin(scores))
+        # flip i
+        sign = 1.0 - 2.0 * x[i]           # +1 if flipping 0 -> 1
+        x[i] += sign
+        energy += delta[i]
+        # refresh the delta table: own entry negates; neighbours shift.
+        delta[i] = -delta[i]
+        coupled = jsym[i]
+        shift = (1.0 - 2.0 * x) * coupled * sign
+        shift[i] = 0.0
+        delta += shift
+        tabu_until[i] = step + tenure
+        if energy < best_energy - 1e-12:
+            best_energy = energy
+            best_x = x.copy()
+
+    assignment = {v: int(best_x[c]) for c, v in enumerate(order)}
+    return assignment, float(best_energy)

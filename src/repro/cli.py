@@ -1,0 +1,221 @@
+"""Command-line interface: ``qmkp`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``solve``   — find a maximum k-plex with any of the implemented
+  solvers (gate-based qmkp, annealing qamkp variants, classical exact
+  branch-and-search, brute force);
+* ``check``   — verify whether a vertex set is a k-plex of a graph;
+* ``qubo``    — print statistics of the MKP QUBO formulation;
+* ``oracle``  — print the qTKP oracle's qubit/gate budget per component;
+* ``enumerate`` — list the maximal k-plexes (community detection);
+* ``relax``   — maximum n-clan / n-club via the quantum subset search;
+* ``draw``    — render the qTKP checking circuit as ASCII art.
+
+Graphs are read as edge-list files (``u v`` per line, ``#`` comments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_table
+from .core import build_mkp_qubo, qamkp, qmkp
+from .core.oracle import KCplexOracle
+from .graphs import read_edge_list
+from .kplex import is_kplex, maximum_kplex, maximum_kplex_bruteforce
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qmkp",
+        description="Quantum algorithms for the Maximum k-Plex Problem",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="find a maximum k-plex")
+    solve.add_argument("graph", help="edge-list file")
+    solve.add_argument("-k", type=int, default=2, help="plex parameter (default 2)")
+    solve.add_argument(
+        "--solver",
+        choices=["qmkp", "qamkp-qpu", "qamkp-sa", "qamkp-hybrid", "bs", "bruteforce"],
+        default="bs",
+        help="algorithm (default: classical branch-and-search)",
+    )
+    solve.add_argument(
+        "--runtime-us", type=float, default=1000.0,
+        help="runtime budget for annealing solvers (default 1000)",
+    )
+    solve.add_argument("--seed", type=int, default=None, help="random seed")
+
+    check = sub.add_parser("check", help="verify a k-plex")
+    check.add_argument("graph", help="edge-list file")
+    check.add_argument("-k", type=int, default=2)
+    check.add_argument("vertices", nargs="+", type=int, help="vertex ids (file labels)")
+
+    qubo = sub.add_parser("qubo", help="QUBO formulation statistics")
+    qubo.add_argument("graph", help="edge-list file")
+    qubo.add_argument("-k", type=int, default=3)
+    qubo.add_argument("-R", "--penalty", type=float, default=2.0)
+
+    oracle = sub.add_parser("oracle", help="qTKP oracle resource budget")
+    oracle.add_argument("graph", help="edge-list file")
+    oracle.add_argument("-k", type=int, default=2)
+    oracle.add_argument("-T", "--threshold", type=int, default=1)
+
+    enum = sub.add_parser("enumerate", help="list maximal k-plexes")
+    enum.add_argument("graph", help="edge-list file")
+    enum.add_argument("-k", type=int, default=2)
+    enum.add_argument("--min-size", type=int, default=2)
+    enum.add_argument("--limit", type=int, default=50, help="max results")
+
+    relax = sub.add_parser("relax", help="maximum n-clan / n-club")
+    relax.add_argument("graph", help="edge-list file")
+    relax.add_argument("--model", choices=["clan", "club"], default="club")
+    relax.add_argument("-n", type=int, default=2, help="distance bound")
+    relax.add_argument("--seed", type=int, default=None)
+
+    draw = sub.add_parser("draw", help="draw the qTKP checking circuit")
+    draw.add_argument("graph", help="edge-list file")
+    draw.add_argument("-k", type=int, default=2)
+    draw.add_argument("-T", "--threshold", type=int, default=1)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    graph, labels = read_edge_list(args.graph)
+    if args.command == "solve":
+        return _cmd_solve(args, graph, labels)
+    if args.command == "check":
+        return _cmd_check(args, graph, labels)
+    if args.command == "qubo":
+        return _cmd_qubo(args, graph)
+    if args.command == "oracle":
+        return _cmd_oracle(args, graph)
+    if args.command == "enumerate":
+        return _cmd_enumerate(args, graph, labels)
+    if args.command == "relax":
+        return _cmd_relax(args, graph, labels)
+    return _cmd_draw(args, graph)
+
+
+def _translate(subset, labels) -> list[object]:
+    return sorted(labels[v] for v in subset)
+
+
+def _cmd_solve(args, graph, labels) -> int:
+    import numpy as np
+
+    if args.solver == "bruteforce":
+        subset = maximum_kplex_bruteforce(graph, args.k)
+    elif args.solver == "bs":
+        subset = maximum_kplex(graph, args.k).subset
+    elif args.solver == "qmkp":
+        rng = np.random.default_rng(args.seed)
+        subset = qmkp(graph, args.k, rng=rng).subset
+    else:
+        backend = args.solver.split("-", 1)[1]
+        result = qamkp(
+            graph, args.k, runtime_us=args.runtime_us,
+            solver=backend, seed=args.seed,
+        )
+        subset = result.repaired
+        print(f"objective cost: {result.cost}")
+    print(f"maximum {args.k}-plex size: {len(subset)}")
+    print(f"vertices: {_translate(subset, labels)}")
+    return 0
+
+
+def _cmd_check(args, graph, labels) -> int:
+    inverse = {label: v for v, label in labels.items()}
+    try:
+        subset = {inverse[v] for v in args.vertices}
+    except KeyError as exc:
+        print(f"unknown vertex {exc}", file=sys.stderr)
+        return 2
+    verdict = is_kplex(graph, subset, args.k)
+    print(f"{sorted(args.vertices)} is{'' if verdict else ' NOT'} a {args.k}-plex")
+    return 0 if verdict else 1
+
+
+def _cmd_qubo(args, graph) -> int:
+    model = build_mkp_qubo(graph, args.k, args.penalty)
+    rows = [
+        ("vertices", graph.num_vertices),
+        ("edges", graph.num_edges),
+        ("vertex variables", graph.num_vertices),
+        ("slack variables", model.num_slack_variables),
+        ("total variables", model.num_variables),
+        ("quadratic terms", model.bqm.num_interactions),
+        ("penalty R", args.penalty),
+    ]
+    print(format_table(["quantity", "value"], rows, title="MKP QUBO statistics"))
+    return 0
+
+
+def _cmd_oracle(args, graph) -> int:
+    oracle = KCplexOracle(graph.complement(), args.k, args.threshold)
+    costs = oracle.component_costs()
+    rows = [
+        ("qubits (U_check)", oracle.num_qubits),
+        ("encode gates", costs.encode),
+        ("degree count gates", costs.degree_count),
+        ("degree compare gates", costs.degree_compare),
+        ("size check gates", costs.size_check),
+        ("total per oracle call", costs.total),
+    ]
+    print(format_table(["quantity", "value"], rows, title="qTKP oracle budget"))
+    return 0
+
+
+def _cmd_enumerate(args, graph, labels) -> int:
+    from .kplex import enumerate_maximal_kplexes
+
+    count = 0
+    for plex in enumerate_maximal_kplexes(
+        graph, args.k, min_size=args.min_size, max_results=args.limit
+    ):
+        count += 1
+        print(f"size {len(plex)}: {_translate(plex, labels)}")
+    print(f"{count} maximal {args.k}-plex(es) of size >= {args.min_size}")
+    return 0
+
+
+def _cmd_relax(args, graph, labels) -> int:
+    import numpy as np
+
+    from .core import maximum_nclan_quantum, maximum_nclub_quantum
+
+    rng = np.random.default_rng(args.seed)
+    search = maximum_nclan_quantum if args.model == "clan" else maximum_nclub_quantum
+    result = search(graph, args.n, rng=rng)
+    print(f"maximum {args.n}-{args.model} size: {result.size}")
+    print(f"vertices: {_translate(result.subset, labels)}")
+    print(f"oracle calls: {result.oracle_calls}")
+    return 0
+
+
+def _cmd_draw(args, graph) -> int:
+    from .quantum import draw_circuit
+
+    oracle = KCplexOracle(graph.complement(), args.k, args.threshold)
+    try:
+        print(draw_circuit(oracle.u_check))
+    except ValueError as exc:
+        print(f"circuit too large to draw: {exc}", file=sys.stderr)
+        return 2
+    costs = oracle.component_costs()
+    print(
+        f"\n{oracle.num_qubits} qubits; per-oracle-call gates: "
+        f"encode={costs.encode} count={costs.degree_count} "
+        f"compare={costs.degree_compare} size={costs.size_check}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

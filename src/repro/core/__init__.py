@@ -1,0 +1,51 @@
+"""The paper's algorithms: the qTKP oracle, qTKP, qMKP, and qaMKP."""
+
+from .oracle import KCplexOracle, OracleCosts
+from .qamkp import QAMKPResult, cost_versus_runtime, qamkp
+from .qmkp import ProgressEvent, QMKPResult, qmkp
+from .qtkp import QTKPResult, qtkp
+from .qubo_formulation import MkpQubo, build_mkp_qubo, slack_width
+from .qubo_library import (
+    GraphQubo,
+    build_clique_qubo,
+    build_independent_set_qubo,
+    build_vertex_cover_qubo,
+)
+from .subset_search import (
+    SubsetDecisionResult,
+    SubsetSearchResult,
+    grover_maximum_subset,
+    grover_subset_decision,
+    maximum_clique_quantum,
+    maximum_independent_set_quantum,
+    maximum_nclan_quantum,
+    maximum_nclub_quantum,
+)
+
+__all__ = [
+    "KCplexOracle",
+    "MkpQubo",
+    "OracleCosts",
+    "ProgressEvent",
+    "QAMKPResult",
+    "QMKPResult",
+    "QTKPResult",
+    "SubsetDecisionResult",
+    "SubsetSearchResult",
+    "GraphQubo",
+    "build_clique_qubo",
+    "build_independent_set_qubo",
+    "build_mkp_qubo",
+    "build_vertex_cover_qubo",
+    "grover_maximum_subset",
+    "grover_subset_decision",
+    "maximum_clique_quantum",
+    "maximum_independent_set_quantum",
+    "maximum_nclan_quantum",
+    "maximum_nclub_quantum",
+    "cost_versus_runtime",
+    "qamkp",
+    "qmkp",
+    "qtkp",
+    "slack_width",
+]

@@ -1,0 +1,193 @@
+"""qTKP — Quantum k-Plex with Size T Search (Algorithm 2).
+
+Pipeline, exactly as in the paper:
+
+1. complement the input graph (k-plex -> k-cplex);
+2. build the four-part oracle (:class:`repro.core.oracle.KCplexOracle`);
+3. prepare the uniform superposition over all ``2^n`` subsets;
+4. Grover-iterate ``floor(pi/4 * sqrt(2^n / M))`` times, where ``M`` is
+   the number of solutions, estimated by quantum counting (Brassard et
+   al.) or taken exactly;
+5. measure the vertex register and verify the candidate classically
+   (an O(n^2) check); retry on a bad collapse.
+
+Cost accounting: every Grover round costs one phase-oracle call (gate
+count from the constructed circuit) plus one diffusion operator; the
+per-component split feeds Table IV and the classical-vs-quantum tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs import Graph
+from ..grover import (
+    PhaseOracleGrover,
+    bbht_search,
+    best_iterations,
+    diffusion_gate_count,
+    optimal_iterations,
+)
+from ..kplex import is_kplex
+from ..quantum import quantum_count
+from .oracle import KCplexOracle, OracleCosts
+
+__all__ = ["QTKPResult", "qtkp"]
+
+
+@dataclass(frozen=True)
+class QTKPResult:
+    """Outcome of one qTKP run.
+
+    Attributes
+    ----------
+    subset:
+        A verified k-plex of size >= T, or the empty frozenset.
+    found:
+        Whether a solution was found and verified.
+    iterations:
+        Grover rounds per attempt.
+    oracle_calls:
+        Total oracle invocations across all attempts.
+    num_marked:
+        Solution count ``M`` used for the schedule.
+    success_probability:
+        Exact probability that one measurement succeeds.
+    attempts:
+        Measurement attempts consumed (1 = first try).
+    gate_units:
+        Total gates executed (oracle + diffusion, all iterations).
+    oracle_costs:
+        Per-component gate counts of a single oracle call.
+    """
+
+    subset: frozenset[int]
+    found: bool
+    iterations: int
+    oracle_calls: int
+    num_marked: int
+    success_probability: float
+    attempts: int
+    gate_units: int
+    oracle_costs: OracleCosts = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def qtkp(
+    graph: Graph,
+    k: int,
+    threshold: int,
+    counting: str = "exact",
+    max_attempts: int = 8,
+    rng: np.random.Generator | None = None,
+) -> QTKPResult:
+    """Find a k-plex of size at least ``threshold``, or report failure.
+
+    Parameters
+    ----------
+    graph, k, threshold:
+        The decision instance (``1 <= threshold <= n``).
+    counting:
+        ``"exact"`` evaluates ``M`` from the oracle predicate (the
+        idealised quantum counting limit); ``"quantum"`` runs the
+        simulated quantum counting estimator, whose sampling error is
+        the one real hardware would exhibit; ``"bbht"`` skips counting
+        entirely and uses the Boyer-Brassard-Hoyer-Tapp exponential
+        schedule (expected ``O(sqrt(N/M))`` oracle calls, ``M`` never
+        learned — ``iterations`` is reported as 0 in this mode and
+        ``success_probability`` is 1/0 for found/not found).
+    max_attempts:
+        Measure/verify retries before declaring failure.
+    rng:
+        Source of measurement randomness.
+    """
+    if not (1 <= threshold <= max(graph.num_vertices, 1)):
+        raise ValueError(
+            f"threshold must be in [1, n={graph.num_vertices}], got {threshold}"
+        )
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    if counting not in ("exact", "quantum", "bbht"):
+        raise ValueError(
+            f"counting must be 'exact', 'quantum', or 'bbht', got {counting!r}"
+        )
+    rng = rng or np.random.default_rng()
+    n = graph.num_vertices
+    complement = graph.complement()
+    oracle = KCplexOracle(complement, k, threshold)
+    engine = PhaseOracleGrover(n, oracle.predicate)
+    exact_m = engine.num_marked
+
+    if counting == "quantum" and exact_m:
+        estimate = quantum_count(n, exact_m, rng=rng).rounded
+        num_marked = max(1, min(estimate, 1 << n))
+    else:
+        num_marked = exact_m
+
+    per_call = oracle.component_costs()
+    per_round = per_call.total + diffusion_gate_count(n)
+
+    if counting == "bbht":
+        result = bbht_search(engine, rng=rng)
+        subset = (
+            graph.bitmask_to_subset(result.mask) if result.found else frozenset()
+        )
+        return QTKPResult(
+            subset=subset,
+            found=result.found,
+            iterations=0,
+            oracle_calls=result.oracle_calls,
+            num_marked=exact_m,
+            success_probability=1.0 if result.found else 0.0,
+            attempts=result.rounds,
+            gate_units=result.oracle_calls * per_round,
+            oracle_costs=per_call,
+        )
+
+    if exact_m == 0:
+        # The hardware would iterate on the M estimate, measure, and fail
+        # verification; charge one full attempt at the smallest schedule.
+        iterations = optimal_iterations(1 << n, 1)
+        return QTKPResult(
+            subset=frozenset(),
+            found=False,
+            iterations=iterations,
+            oracle_calls=iterations,
+            num_marked=0,
+            success_probability=0.0,
+            attempts=1,
+            gate_units=iterations * per_round,
+            oracle_costs=per_call,
+        )
+
+    iterations = best_iterations(1 << n, num_marked)
+    run = engine.run(iterations)
+    oracle_calls = 0
+    for attempt in range(1, max_attempts + 1):
+        oracle_calls += iterations
+        mask = run.measure_once(rng)
+        subset = graph.bitmask_to_subset(mask)
+        if len(subset) >= threshold and is_kplex(graph, subset, k):
+            return QTKPResult(
+                subset=subset,
+                found=True,
+                iterations=iterations,
+                oracle_calls=oracle_calls,
+                num_marked=num_marked,
+                success_probability=run.success_probability,
+                attempts=attempt,
+                gate_units=oracle_calls * per_round,
+                oracle_costs=per_call,
+            )
+    return QTKPResult(
+        subset=frozenset(),
+        found=False,
+        iterations=iterations,
+        oracle_calls=oracle_calls,
+        num_marked=num_marked,
+        success_probability=run.success_probability,
+        attempts=max_attempts,
+        gate_units=oracle_calls * per_round,
+        oracle_costs=per_call,
+    )

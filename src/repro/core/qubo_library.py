@@ -1,0 +1,114 @@
+"""QUBO formulations for problems adjacent to MKP.
+
+The paper situates qaMKP among QUBO-based quantum annealing algorithms
+for graph problems (maximum clique: Chapuis et al.; related database
+reformulations: Trummer & Koch).  This module collects the standard
+formulations so the annealing stack doubles as a small graph-QUBO
+toolbox, with the same decode/repair conventions as
+:class:`repro.core.qubo_formulation.MkpQubo`:
+
+* **maximum clique** — ``F = -sum x_i + R * sum_{(u,v) not in E} x_u x_v``
+  (every selected non-edge is penalised; a 1-plex needs no slack);
+* **maximum independent set** — the clique objective on the complement:
+  ``F = -sum x_i + R * sum_{(u,v) in E} x_u x_v``;
+* **minimum vertex cover** — ``F = sum x_i + R * sum_{(u,v) in E}
+  (1 - x_u)(1 - x_v)``: uncovered edges are penalised.
+
+For ``R > 1`` each objective's global minimum encodes the exact
+optimum (same penalty argument as the paper's Section IV: fixing one
+violation frees at most one unit of objective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..annealing import BinaryQuadraticModel
+from ..graphs import Graph
+
+__all__ = [
+    "GraphQubo",
+    "build_clique_qubo",
+    "build_independent_set_qubo",
+    "build_vertex_cover_qubo",
+]
+
+
+@dataclass(frozen=True)
+class GraphQubo:
+    """A graph-problem QUBO plus decoding metadata."""
+
+    bqm: BinaryQuadraticModel
+    graph: Graph
+    problem: str
+    penalty: float
+
+    def decode(self, assignment: dict[object, int]) -> frozenset[int]:
+        """Selected vertex set of a sampler assignment."""
+        return frozenset(
+            v for v in self.graph.vertices if assignment.get(f"x{v}", 0)
+        )
+
+    def is_feasible(self, subset: frozenset[int]) -> bool:
+        """Whether ``subset`` satisfies the problem's constraint."""
+        members = sorted(subset)
+        if self.problem == "clique":
+            return all(
+                self.graph.has_edge(u, v)
+                for i, u in enumerate(members)
+                for v in members[i + 1:]
+            )
+        if self.problem == "independent_set":
+            return not any(
+                self.graph.has_edge(u, v)
+                for i, u in enumerate(members)
+                for v in members[i + 1:]
+            )
+        # vertex cover: every edge touched
+        return all(u in subset or v in subset for u, v in self.graph.edges)
+
+
+def _check_penalty(penalty: float) -> None:
+    if penalty <= 1.0:
+        raise ValueError(f"penalty must be > 1 for correctness, got {penalty}")
+
+
+def build_clique_qubo(graph: Graph, penalty: float = 2.0) -> GraphQubo:
+    """Maximum clique: penalise selected non-adjacent pairs."""
+    _check_penalty(penalty)
+    bqm = BinaryQuadraticModel()
+    for v in graph.vertices:
+        bqm.add_linear(f"x{v}", -1.0)
+    comp = graph.complement()
+    for u, v in sorted(comp.edges):
+        bqm.add_quadratic(f"x{u}", f"x{v}", penalty)
+    return GraphQubo(bqm, graph, "clique", penalty)
+
+
+def build_independent_set_qubo(graph: Graph, penalty: float = 2.0) -> GraphQubo:
+    """Maximum independent set: penalise selected adjacent pairs."""
+    _check_penalty(penalty)
+    bqm = BinaryQuadraticModel()
+    for v in graph.vertices:
+        bqm.add_linear(f"x{v}", -1.0)
+    for u, v in sorted(graph.edges):
+        bqm.add_quadratic(f"x{u}", f"x{v}", penalty)
+    return GraphQubo(bqm, graph, "independent_set", penalty)
+
+
+def build_vertex_cover_qubo(graph: Graph, penalty: float = 2.0) -> GraphQubo:
+    """Minimum vertex cover: penalise uncovered edges.
+
+    ``(1 - x_u)(1 - x_v) = 1 - x_u - x_v + x_u x_v`` expands into the
+    offset/linear/quadratic terms below.
+    """
+    _check_penalty(penalty)
+    bqm = BinaryQuadraticModel()
+    for v in graph.vertices:
+        bqm.add_linear(f"x{v}", 1.0)
+    for u, v in sorted(graph.edges):
+        bqm.add_offset(penalty)
+        bqm.add_linear(f"x{u}", -penalty)
+        bqm.add_linear(f"x{v}", -penalty)
+        bqm.add_quadratic(f"x{u}", f"x{v}", penalty)
+    return GraphQubo(bqm, graph, "vertex_cover", penalty)

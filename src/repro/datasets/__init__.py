@@ -1,0 +1,23 @@
+"""Evaluation datasets: the paper's pinned instances and generators."""
+
+from .paper_instances import (
+    ANNEALING_INSTANCES,
+    GATE_INSTANCES,
+    PaperInstance,
+    annealing_instances,
+    chain_experiment_graph,
+    figure1_graph,
+    gate_instances,
+    load_instance,
+)
+
+__all__ = [
+    "ANNEALING_INSTANCES",
+    "GATE_INSTANCES",
+    "PaperInstance",
+    "annealing_instances",
+    "chain_experiment_graph",
+    "figure1_graph",
+    "gate_instances",
+    "load_instance",
+]

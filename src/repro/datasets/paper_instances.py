@@ -1,0 +1,120 @@
+"""The paper's evaluation instances, pinned by seed.
+
+The paper evaluates on synthetic datasets identified only by vertex and
+edge counts: ``G_{n,m}`` for the gate experiments (Tables II-IV) and the
+denser ``D_{n,m}`` for the annealing experiments (Tables V-VII,
+Figs. 13-15).  We regenerate them as seeded uniform G(n, m) graphs, with
+seeds chosen so the optimum k-plex sizes the paper states are matched
+where that is possible:
+
+* ``G_{7,8}``, ``G_{8,10}``, ``G_{9,15}``, ``G_{10,23}`` match Table II
+  exactly (max 2-plex sizes 4, 4, 5, 6);
+* ``G_{10,37}``: Table III's profile (6, 6, 6, 7 for k = 2..5) is
+  *unattainable* for any graph with n = 10, m = 37 — the complement has
+  only 8 edges, and removing the two largest complement-degree vertices
+  always leaves an 8-vertex 5-plex, so the maximum 5-plex is >= 8 > 7.
+  We pin a seed with a k-dependent profile (7, 8, 10, 10) and note the
+  deviation in EXPERIMENTS.md; every claim the table supports (runtime
+  nearly flat in k, sustained speedup, error probability independent of
+  k) is still exercised;
+* ``D_{n,m}`` seeds are chosen so the k = 3 QUBO is non-trivial (the
+  optimum is below n and at least one vertex needs slack variables).
+
+``figure1_graph`` is the paper's running example, reverse-engineered
+from the complement edges listed in its Fig. 6 encoding circuit; its
+maximum 2-plex is {v1, v2, v4, v5} (size 4) as shown in Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs import Graph, gnm_random_graph
+
+__all__ = [
+    "PaperInstance",
+    "figure1_graph",
+    "gate_instances",
+    "annealing_instances",
+    "load_instance",
+    "chain_experiment_graph",
+    "GATE_INSTANCES",
+    "ANNEALING_INSTANCES",
+]
+
+
+@dataclass(frozen=True)
+class PaperInstance:
+    """A named evaluation instance with its generation recipe."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    seed: int
+    known_optima: dict[int, int]  # k -> maximum k-plex size (verified)
+
+    def build(self) -> Graph:
+        return gnm_random_graph(self.num_vertices, self.num_edges, seed=self.seed)
+
+
+#: Gate-model instances (Tables II-IV).  ``known_optima`` values were
+#: certified with the exact branch-and-search solver.
+GATE_INSTANCES: dict[str, PaperInstance] = {
+    "G_7_8": PaperInstance("G_7_8", 7, 8, seed=0, known_optima={2: 4}),
+    "G_8_10": PaperInstance("G_8_10", 8, 10, seed=0, known_optima={2: 4}),
+    "G_9_15": PaperInstance("G_9_15", 9, 15, seed=12, known_optima={2: 5}),
+    "G_10_23": PaperInstance("G_10_23", 10, 23, seed=0, known_optima={2: 6}),
+    "G_10_37": PaperInstance(
+        "G_10_37", 10, 37, seed=23, known_optima={2: 7, 3: 8, 4: 10, 5: 10}
+    ),
+}
+
+#: Annealing instances (Tables V-VII, Figs. 13-14).
+ANNEALING_INSTANCES: dict[str, PaperInstance] = {
+    "D_10_40": PaperInstance("D_10_40", 10, 40, seed=3, known_optima={3: 9}),
+    "D_15_70": PaperInstance("D_15_70", 15, 70, seed=0, known_optima={3: 9}),
+    "D_20_100": PaperInstance("D_20_100", 20, 100, seed=0, known_optima={3: 9}),
+    "D_30_300": PaperInstance("D_30_300", 30, 300, seed=0, known_optima={3: 14}),
+}
+
+
+def figure1_graph() -> Graph:
+    """The 6-vertex running example (Fig. 1), 0-indexed.
+
+    Vertex ``i`` here is the paper's ``v_{i+1}``.  The complement's
+    edge set {(v1,v6), (v2,v6), (v3,v6), (v4,v6), (v2,v5), (v2,v3),
+    (v3,v5), (v3,v4)} is exactly the one encoded in Fig. 6 box A.
+    """
+    return Graph(6, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 3), (3, 4), (4, 5)])
+
+
+def gate_instances() -> dict[str, Graph]:
+    """Build all gate-model instances, keyed by name."""
+    return {name: inst.build() for name, inst in GATE_INSTANCES.items()}
+
+
+def annealing_instances() -> dict[str, Graph]:
+    """Build all annealing instances, keyed by name."""
+    return {name: inst.build() for name, inst in ANNEALING_INSTANCES.items()}
+
+
+def load_instance(name: str) -> Graph:
+    """Build one instance by name (e.g. ``"G_10_23"`` or ``"D_20_100"``)."""
+    registry = {**GATE_INSTANCES, **ANNEALING_INSTANCES}
+    if name not in registry:
+        raise KeyError(
+            f"unknown instance {name!r}; available: {sorted(registry)}"
+        )
+    return registry[name].build()
+
+
+def chain_experiment_graph(n: int, density: float = 0.7, seed: int = 0) -> Graph:
+    """Instances for the embedding-growth sweep (Fig. 15).
+
+    The paper scales ``n`` from 10 to 43 at roughly the density of its
+    ``D`` instances; edge count is ``round(density * C(n, 2))``.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    m = round(density * n * (n - 1) / 2)
+    return gnm_random_graph(n, m, seed=seed)

@@ -1,0 +1,64 @@
+"""Graph substrate: data structure, generators, IO, and reductions."""
+
+from .connectivity import (
+    bfs_distances,
+    connected_components,
+    diameter,
+    is_connected,
+    pairwise_distances,
+    subset_diameter,
+)
+from .generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    path_graph,
+    planted_kplex_graph,
+    star_graph,
+    stochastic_block_model,
+)
+from .graph import Graph
+from .io import (
+    from_adjacency_matrix,
+    from_networkx,
+    parse_edge_list,
+    read_edge_list,
+    to_adjacency_matrix,
+    to_networkx,
+    write_edge_list,
+)
+from .reduction import ReductionResult, co_prune, core_reduction, truss_reduction
+
+__all__ = [
+    "Graph",
+    "ReductionResult",
+    "barabasi_albert_graph",
+    "bfs_distances",
+    "co_prune",
+    "complete_graph",
+    "connected_components",
+    "core_reduction",
+    "cycle_graph",
+    "diameter",
+    "empty_graph",
+    "from_adjacency_matrix",
+    "from_networkx",
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "is_connected",
+    "parse_edge_list",
+    "path_graph",
+    "pairwise_distances",
+    "planted_kplex_graph",
+    "read_edge_list",
+    "star_graph",
+    "stochastic_block_model",
+    "subset_diameter",
+    "to_adjacency_matrix",
+    "to_networkx",
+    "truss_reduction",
+    "write_edge_list",
+]

@@ -1,0 +1,102 @@
+"""Connectivity and distance helpers.
+
+The adaptability section of the paper points at diameter-based clique
+relaxations (n-clan, n-club); those need shortest-path distances and
+connected components, provided here without external dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from .graph import Graph
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "bfs_distances",
+    "pairwise_distances",
+    "diameter",
+    "subset_diameter",
+]
+
+
+def connected_components(graph: Graph) -> list[frozenset[int]]:
+    """Connected components, each a frozenset, largest first."""
+    seen: set[int] = set()
+    components: list[frozenset[int]] = []
+    for start in graph.vertices:
+        if start in seen:
+            continue
+        queue = deque([start])
+        comp = {start}
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                if w not in comp:
+                    comp.add(w)
+                    seen.add(w)
+                    queue.append(w)
+        components.append(frozenset(comp))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True for the empty graph, single components, else False."""
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def bfs_distances(graph: Graph, source: int) -> dict[int, int]:
+    """Hop distances from ``source`` to every reachable vertex."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if w not in dist:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+    return dist
+
+
+def pairwise_distances(graph: Graph) -> dict[tuple[int, int], int]:
+    """All-pairs hop distances for reachable pairs (u <= v keys)."""
+    out: dict[tuple[int, int], int] = {}
+    for u in graph.vertices:
+        for v, d in bfs_distances(graph, u).items():
+            if u <= v:
+                out[(u, v)] = d
+    return out
+
+
+def diameter(graph: Graph) -> int:
+    """Longest shortest path; raises on disconnected or empty graphs."""
+    if graph.num_vertices == 0:
+        raise ValueError("diameter of the empty graph is undefined")
+    best = 0
+    for u in graph.vertices:
+        dist = bfs_distances(graph, u)
+        if len(dist) != graph.num_vertices:
+            raise ValueError("graph is disconnected; diameter is infinite")
+        best = max(best, max(dist.values()))
+    return best
+
+
+def subset_diameter(graph: Graph, subset: Iterable[int]) -> int | None:
+    """Diameter of the subgraph induced on ``subset``.
+
+    Returns ``None`` if the induced subgraph is disconnected.  Distances
+    are computed *within* the induced subgraph (the n-club convention),
+    not through outside vertices.
+    """
+    sub = graph.induced_subgraph(subset)
+    if sub.num_vertices == 0:
+        return None
+    if not is_connected(sub):
+        return None
+    return diameter(sub)

@@ -1,0 +1,199 @@
+"""Random and structured graph generators.
+
+These produce the synthetic workloads of the paper's evaluation: the
+``G_{n,m}`` instances used for the gate-based experiments and the denser
+``D_{n,m}`` instances used for the annealing experiments, plus generic
+G(n, m) / G(n, p) models and planted k-plex instances for testing.
+
+All generators are deterministic given a ``seed`` so that benchmark rows
+are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from .graph import Graph
+
+__all__ = [
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "complete_graph",
+    "empty_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "planted_kplex_graph",
+    "barabasi_albert_graph",
+    "stochastic_block_model",
+]
+
+
+def _check_nm(n: int, m: int) -> None:
+    max_m = n * (n - 1) // 2
+    if m < 0 or m > max_m:
+        raise ValueError(f"m={m} impossible for n={n} (max {max_m})")
+
+
+def gnm_random_graph(n: int, m: int, seed: int | None = None) -> Graph:
+    """Uniform random graph with exactly ``n`` vertices and ``m`` edges.
+
+    This is the Erdos-Renyi G(n, m) model; the paper's ``G_{i,j}`` and
+    ``D_{i,j}`` datasets are instances of it (with seeds chosen so
+    stated optimum sizes match, see :mod:`repro.datasets`).
+    """
+    _check_nm(n, m)
+    rng = random.Random(seed)
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = rng.sample(all_pairs, m)
+    return Graph(n, edges)
+
+
+def gnp_random_graph(n: int, p: float, seed: int | None = None) -> Graph:
+    """Erdos-Renyi G(n, p): each pair is an edge independently with prob ``p``."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return Graph(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n: every pair adjacent (the unique maximum 1-plex of size n)."""
+    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def empty_graph(n: int) -> Graph:
+    """n isolated vertices (max k-plex size is min(n, k))."""
+    return Graph(n)
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n: vertices in a ring."""
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def path_graph(n: int) -> Graph:
+    """P_n: a simple path."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def star_graph(n: int) -> Graph:
+    """Star with centre 0 and ``n - 1`` leaves."""
+    if n < 1:
+        raise ValueError("star needs at least one vertex")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def planted_kplex_graph(
+    n: int,
+    plex_size: int,
+    k: int,
+    background_p: float = 0.15,
+    seed: int | None = None,
+) -> Graph:
+    """Random graph with a planted k-plex of the requested size.
+
+    The first ``plex_size`` vertices form a k-plex that is "as loose as
+    allowed": we start from a clique on them and delete, for each
+    vertex, up to ``k - 1`` incident internal edges while keeping every
+    internal degree >= ``plex_size - k``.  The remaining vertex pairs
+    appear with probability ``background_p``.
+
+    Useful for tests: the planted set is always a valid k-plex, so the
+    maximum k-plex has size >= ``plex_size``.
+    """
+    if plex_size > n:
+        raise ValueError(f"plex_size {plex_size} exceeds n={n}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rng = random.Random(seed)
+    plex = list(range(plex_size))
+    internal = {(u, v) for u in plex for v in plex if u < v}
+    # Delete edges without violating the k-plex condition on the planted set.
+    deficiency = {v: 0 for v in plex}  # number of missing internal neighbours
+    candidates = list(internal)
+    rng.shuffle(candidates)
+    for (u, v) in candidates:
+        if deficiency[u] < k - 1 and deficiency[v] < k - 1 and rng.random() < 0.5:
+            internal.discard((u, v))
+            deficiency[u] += 1
+            deficiency[v] += 1
+    edges = set(internal)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if u in deficiency and v in deficiency:
+                continue
+            if rng.random() < background_p:
+                edges.add((u, v))
+    return Graph(n, sorted(edges))
+
+
+def barabasi_albert_graph(n: int, m: int, seed: int | None = None) -> Graph:
+    """Preferential-attachment graph (scale-free, social-network shaped).
+
+    Each new vertex attaches to ``m`` existing vertices chosen with
+    probability proportional to their degree.  Used by the examples to
+    mimic social networks, where k-plex search is motivated.
+    """
+    if m < 1 or m >= n:
+        raise ValueError(f"need 1 <= m < n, got m={m}, n={n}")
+    rng = random.Random(seed)
+    edges: list[tuple[int, int]] = []
+    # Repeated-vertex list implements preferential attachment.
+    repeated: list[int] = list(range(m))
+    for new in range(m, n):
+        targets = _sample_distinct(repeated, m, rng) if edges else list(range(m))
+        for t in targets:
+            edges.append((t, new))
+            repeated.extend((t, new))
+    return Graph(n, edges)
+
+
+def stochastic_block_model(
+    block_sizes: Sequence[int],
+    p_within: float,
+    p_between: float,
+    seed: int | None = None,
+) -> Graph:
+    """Stochastic block model: dense blocks, sparse between-block ties.
+
+    The canonical community-structure generator: vertices are grouped
+    into blocks of the given sizes; within-block pairs are edges with
+    probability ``p_within``, cross-block pairs with ``p_between``.
+    Community-detection examples use it to produce graphs whose maximal
+    k-plexes align with the planted blocks.
+    """
+    if not block_sizes or any(s < 1 for s in block_sizes):
+        raise ValueError(f"block sizes must be positive, got {block_sizes}")
+    for name, p in (("p_within", p_within), ("p_between", p_between)):
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    block_of: list[int] = []
+    for b, size in enumerate(block_sizes):
+        block_of.extend([b] * size)
+    n = len(block_of)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < (p_within if block_of[u] == block_of[v] else p_between)
+    ]
+    return Graph(n, edges)
+
+
+def _sample_distinct(pool: Sequence[int], count: int, rng: random.Random) -> list[int]:
+    """Sample ``count`` distinct values from ``pool`` (with repetition bias)."""
+    chosen: set[int] = set()
+    while len(chosen) < count:
+        chosen.add(rng.choice(pool))
+    return list(chosen)

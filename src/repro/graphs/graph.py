@@ -1,0 +1,215 @@
+"""Core graph data structure used across the library.
+
+The paper works with simple, undirected, unweighted graphs whose vertices
+are identified by integers ``0 .. n-1``.  :class:`Graph` is a small,
+dependency-free adjacency-set representation with the handful of
+operations the k-plex algorithms need: degree queries, induced subgraphs,
+complements, and neighbourhood access.  Instances are immutable once
+built, which lets higher layers (oracles, QUBO builders, reductions)
+share them freely without defensive copies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["Graph"]
+
+
+def _normalise_edge(u: int, v: int) -> tuple[int, int]:
+    """Return the canonical (min, max) form of an undirected edge."""
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """A simple undirected graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertices are the integers ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected and
+        duplicate edges (in either orientation) are collapsed.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    >>> g.degree(1)
+    2
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    """
+
+    __slots__ = ("_n", "_adj", "_edges", "_hash")
+
+    def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._n = int(num_vertices)
+        adj: list[set[int]] = [set() for _ in range(self._n)]
+        edge_set: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise ValueError(f"self-loop on vertex {u} is not allowed")
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for {self._n} vertices"
+                )
+            edge_set.add(_normalise_edge(u, v))
+            adj[u].add(v)
+            adj[v].add(u)
+        self._adj: tuple[frozenset[int], ...] = tuple(frozenset(s) for s in adj)
+        self._edges: frozenset[tuple[int, int]] = frozenset(edge_set)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m``."""
+        return len(self._edges)
+
+    @property
+    def vertices(self) -> range:
+        """The vertex set as a ``range`` object."""
+        return range(self._n)
+
+    @property
+    def edges(self) -> frozenset[tuple[int, int]]:
+        """The edge set as canonical ``(min, max)`` pairs."""
+        return self._edges
+
+    def neighbors(self, v: int) -> frozenset[int]:
+        """Neighbour set of vertex ``v``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v`` in the whole graph."""
+        return len(self._adj[v])
+
+    def degrees(self) -> list[int]:
+        """Degrees of all vertices, indexed by vertex id."""
+        return [len(s) for s in self._adj]
+
+    def max_degree(self) -> int:
+        """Largest vertex degree (0 for the empty graph)."""
+        return max(self.degrees(), default=0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the undirected edge ``{u, v}`` exists."""
+        if u == v:
+            return False
+        return _normalise_edge(u, v) in self._edges
+
+    def density(self) -> float:
+        """Edge density ``m / C(n, 2)`` (0.0 for n < 2)."""
+        if self._n < 2:
+            return 0.0
+        return 2.0 * self.num_edges / (self._n * (self._n - 1))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def complement(self) -> "Graph":
+        """The complement graph on the same vertex set.
+
+        A k-plex in ``self`` is exactly a k-cplex (every vertex of the
+        subset has internal degree <= k-1) in the complement; the gate
+        oracle and the QUBO both operate on this form.
+        """
+        missing = [
+            (u, v)
+            for u in range(self._n)
+            for v in range(u + 1, self._n)
+            if (u, v) not in self._edges
+        ]
+        return Graph(self._n, missing)
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """Subgraph induced on ``vertices``, relabelled to ``0..len-1``.
+
+        The relabelling preserves the sorted order of the chosen
+        vertices.  Use :meth:`degree_in` when you only need degrees
+        inside a subset without relabelling.
+        """
+        keep = sorted(set(vertices))
+        index = {v: i for i, v in enumerate(keep)}
+        for v in keep:
+            if not (0 <= v < self._n):
+                raise ValueError(f"vertex {v} out of range")
+        edges = [
+            (index[u], index[v])
+            for (u, v) in self._edges
+            if u in index and v in index
+        ]
+        return Graph(len(keep), edges)
+
+    def degree_in(self, v: int, subset: frozenset[int] | set[int]) -> int:
+        """Degree of ``v`` counted only against vertices in ``subset``."""
+        return len(self._adj[v] & subset)
+
+    def remove_vertices(self, drop: Iterable[int]) -> tuple["Graph", list[int]]:
+        """Remove ``drop`` and return ``(subgraph, kept_vertex_ids)``.
+
+        ``kept_vertex_ids[i]`` is the original id of the new vertex
+        ``i``; callers use it to translate solutions back.
+        """
+        dropped = set(drop)
+        kept = [v for v in range(self._n) if v not in dropped]
+        return self.induced_subgraph(kept), kept
+
+    # ------------------------------------------------------------------
+    # Subset encodings (shared with the quantum layer)
+    # ------------------------------------------------------------------
+    def subset_to_bitmask(self, subset: Iterable[int]) -> int:
+        """Encode a vertex subset as an integer bitmask.
+
+        Vertex ``i`` corresponds to bit ``i`` (LSB = vertex 0).  This is
+        the encoding the Grover engine uses for its ``2^n`` basis states.
+        """
+        mask = 0
+        for v in subset:
+            if not (0 <= v < self._n):
+                raise ValueError(f"vertex {v} out of range")
+            mask |= 1 << v
+        return mask
+
+    def bitmask_to_subset(self, mask: int) -> frozenset[int]:
+        """Decode an integer bitmask back into a vertex subset."""
+        if mask < 0 or mask >= (1 << self._n):
+            raise ValueError(f"bitmask {mask} out of range for n={self._n}")
+        return frozenset(v for v in range(self._n) if mask >> v & 1)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._n, self._edges))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self.num_edges})"

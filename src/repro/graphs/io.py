@@ -1,0 +1,120 @@
+"""Graph serialisation: edge-list text format and adjacency matrices.
+
+The edge-list format is the one used by common graph-repository dumps
+(SNAP, DIMACS-like):
+
+* blank lines and lines starting with ``#`` or ``%`` are ignored;
+* the optional header ``n m`` may give vertex/edge counts;
+* every other line is ``u v``.
+
+Vertices may be arbitrary non-negative integers in the file; they are
+compacted to ``0..n-1`` preserving numeric order, and the mapping is
+returned so callers can translate solutions back to original ids.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "parse_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "to_adjacency_matrix",
+    "from_adjacency_matrix",
+    "to_networkx",
+    "from_networkx",
+]
+
+
+def parse_edge_list(text: str) -> tuple[Graph, dict[int, int]]:
+    """Parse edge-list text into ``(graph, original_id_by_vertex)``.
+
+    Returns the graph plus a mapping from compacted vertex id to the
+    vertex label that appeared in the text.
+    """
+    raw_edges: list[tuple[int, int]] = []
+    labels: set[int] = set()
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        stripped = line.strip()
+        if not stripped or stripped[0] in "#%":
+            continue
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise ValueError(f"line {lineno}: expected 'u v', got {stripped!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: non-integer vertex in {stripped!r}") from exc
+        if u == v:
+            continue  # drop self-loops silently, as graph repositories do
+        raw_edges.append((u, v))
+        labels.update((u, v))
+    ordered = sorted(labels)
+    compact = {label: i for i, label in enumerate(ordered)}
+    graph = Graph(len(ordered), [(compact[u], compact[v]) for u, v in raw_edges])
+    return graph, {i: label for label, i in compact.items()}
+
+
+def read_edge_list(path: str | Path) -> tuple[Graph, dict[int, int]]:
+    """Read an edge-list file; see :func:`parse_edge_list`."""
+    return parse_edge_list(Path(path).read_text())
+
+
+def write_edge_list(graph: Graph, path: str | Path, header: bool = True) -> None:
+    """Write ``graph`` as an edge-list file (one ``u v`` pair per line)."""
+    lines = []
+    if header:
+        lines.append(f"# n={graph.num_vertices} m={graph.num_edges}")
+    lines.extend(f"{u} {v}" for u, v in sorted(graph.edges))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def to_adjacency_matrix(graph: Graph) -> np.ndarray:
+    """Dense symmetric 0/1 adjacency matrix (dtype uint8)."""
+    n = graph.num_vertices
+    mat = np.zeros((n, n), dtype=np.uint8)
+    for u, v in graph.edges:
+        mat[u, v] = 1
+        mat[v, u] = 1
+    return mat
+
+
+def from_adjacency_matrix(matrix: np.ndarray) -> Graph:
+    """Build a graph from a square symmetric 0/1 matrix.
+
+    The diagonal must be zero (no self-loops) and the matrix symmetric.
+    """
+    mat = np.asarray(matrix)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"adjacency matrix must be square, got shape {mat.shape}")
+    if np.any(np.diag(mat)):
+        raise ValueError("adjacency matrix has a non-zero diagonal (self-loop)")
+    if not np.array_equal(mat, mat.T):
+        raise ValueError("adjacency matrix must be symmetric")
+    n = mat.shape[0]
+    rows, cols = np.nonzero(np.triu(mat, k=1))
+    return Graph(n, list(zip(rows.tolist(), cols.tolist())))
+
+
+def to_networkx(graph: Graph):
+    """Convert to a :class:`networkx.Graph` (for plotting/analysis)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices)
+    g.add_edges_from(graph.edges)
+    return g
+
+
+def from_networkx(nx_graph) -> tuple[Graph, dict[int, object]]:
+    """Convert from networkx; returns ``(graph, original_label_by_vertex)``."""
+    nodes = sorted(nx_graph.nodes(), key=str)
+    compact = {node: i for i, node in enumerate(nodes)}
+    edges = [(compact[u], compact[v]) for u, v in nx_graph.edges() if u != v]
+    return Graph(len(nodes), edges), {i: node for node, i in compact.items()}

@@ -1,0 +1,28 @@
+"""Grover search engine: schedules, diffusion, and exact simulation."""
+
+from .diffusion import diffusion_circuit, diffusion_gate_count, diffusion_matrix
+from .iterations import (
+    best_iterations,
+    error_probability,
+    optimal_iterations,
+    paper_error_bound,
+    success_probability,
+)
+from .simulator import GroverRun, PhaseOracleGrover, grover_circuit
+from .unknown_m import BBHTResult, bbht_search
+
+__all__ = [
+    "BBHTResult",
+    "GroverRun",
+    "bbht_search",
+    "best_iterations",
+    "PhaseOracleGrover",
+    "diffusion_circuit",
+    "diffusion_gate_count",
+    "diffusion_matrix",
+    "error_probability",
+    "grover_circuit",
+    "optimal_iterations",
+    "paper_error_bound",
+    "success_probability",
+]

@@ -1,0 +1,53 @@
+"""The Grover diffusion operator as an explicit circuit.
+
+``U_diff = H^n (2|0><0| - I) H^n`` — inversion about the mean.  The
+standard realisation flips the phase of |0...0> via X / multi-controlled
+Z / X sandwiched in Hadamards.  The gate algorithms charge this circuit
+to their per-iteration gate budget, and small-n tests check it against
+the matrix ``2|s><s| - I``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantum import QuantumCircuit
+
+__all__ = ["diffusion_circuit", "diffusion_matrix", "diffusion_gate_count"]
+
+
+def diffusion_circuit(num_qubits: int) -> QuantumCircuit:
+    """Build the diffusion operator on ``num_qubits`` search qubits.
+
+    Note the global phase: this circuit implements
+    ``-(2|s><s| - I)``, the usual hardware form; the sign is
+    unobservable and cancels in Grover's iteration.
+    """
+    if num_qubits < 1:
+        raise ValueError(f"num_qubits must be >= 1, got {num_qubits}")
+    qc = QuantumCircuit(num_qubits)
+    for q in range(num_qubits):
+        qc.h(q)
+    for q in range(num_qubits):
+        qc.x(q)
+    if num_qubits == 1:
+        qc.z(0)
+    else:
+        qc.mcz(list(range(num_qubits - 1)), num_qubits - 1)
+    for q in range(num_qubits):
+        qc.x(q)
+    for q in range(num_qubits):
+        qc.h(q)
+    return qc
+
+
+def diffusion_matrix(num_qubits: int) -> np.ndarray:
+    """The ideal operator ``2|s><s| - I`` as a dense matrix."""
+    dim = 1 << num_qubits
+    s = np.full((dim, 1), 1.0 / np.sqrt(dim))
+    return 2.0 * (s @ s.T) - np.eye(dim)
+
+
+def diffusion_gate_count(num_qubits: int) -> int:
+    """Gates per diffusion application (4n + 1)."""
+    return 4 * num_qubits + 1

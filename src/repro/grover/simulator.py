@@ -1,0 +1,192 @@
+"""Grover search simulation on the vertex register.
+
+Two execution backends share one interface:
+
+* :class:`PhaseOracleGrover` — the workhorse.  Because the oracle's
+  ``U_check / sign-flip / U_check^dag`` sandwich returns every ancilla
+  to |0>, its net effect on the ``n`` vertex qubits is exactly a phase
+  flip on marked basis states.  This backend therefore keeps only the
+  ``2^n`` vertex-register amplitudes, applies the sign flips from a
+  marked-state set, and performs the diffusion reflection analytically.
+  The amplitudes are bit-for-bit those of a full-width simulation (the
+  ancilla register factors out as |0...0>), which the test suite
+  verifies against dense simulation on small instances.
+
+* :func:`grover_circuit` — the literal Fig. 11 circuit (state
+  preparation, oracle placeholder, diffusion), dense-simulable for
+  small ``n``, used for validation and for gate accounting.
+
+The simulator records the amplitude trace after every iteration — the
+data behind the paper's Fig. 12 bar charts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..quantum import QuantumCircuit
+from .diffusion import diffusion_circuit
+from .iterations import optimal_iterations, success_probability
+
+__all__ = ["GroverRun", "PhaseOracleGrover", "grover_circuit"]
+
+
+@dataclass
+class GroverRun:
+    """Everything produced by one Grover execution.
+
+    Attributes
+    ----------
+    num_qubits, marked:
+        The search-space size and marked set.
+    iterations:
+        Number of oracle+diffusion rounds applied.
+    amplitudes:
+        Final real amplitude vector over the ``2^n`` basis states.
+    history:
+        ``history[i]`` is the success probability after ``i``
+        iterations (entry 0 is the uniform superposition).
+    amplitude_snapshots:
+        Amplitude vectors recorded after requested iterations
+        (``{iteration: vector}``), for Fig. 12-style plots.
+    """
+
+    num_qubits: int
+    marked: frozenset[int]
+    iterations: int
+    amplitudes: np.ndarray
+    history: list[float] = field(default_factory=list)
+    amplitude_snapshots: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def success_probability(self) -> float:
+        """Probability that measurement yields a marked state."""
+        if not self.marked:
+            return 0.0
+        idx = np.fromiter(self.marked, dtype=np.int64)
+        return float(np.sum(self.amplitudes[idx] ** 2))
+
+    @property
+    def error_probability(self) -> float:
+        return 1.0 - self.success_probability
+
+    def measure(self, shots: int, rng: np.random.Generator | None = None) -> dict[int, int]:
+        """Sample ``shots`` measurements; returns basis index -> count."""
+        rng = rng or np.random.default_rng()
+        probs = self.amplitudes ** 2
+        probs = probs / probs.sum()
+        draws = rng.choice(len(probs), size=shots, p=probs)
+        values, counts = np.unique(draws, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def measure_once(self, rng: np.random.Generator | None = None) -> int:
+        """A single measurement outcome."""
+        rng = rng or np.random.default_rng()
+        probs = self.amplitudes ** 2
+        return int(rng.choice(len(probs), p=probs / probs.sum()))
+
+
+class PhaseOracleGrover:
+    """Exact Grover simulation given a marked-state oracle.
+
+    Parameters
+    ----------
+    num_qubits:
+        Search register width ``n`` (``2^n`` basis states).
+    oracle:
+        Either an iterable of marked basis indices or a predicate
+        ``mask -> bool`` evaluated over all ``2^n`` masks up front.
+    """
+
+    #: refuse absurd widths (2^26 floats ~ 0.5 GB)
+    MAX_QUBITS = 26
+
+    def __init__(
+        self,
+        num_qubits: int,
+        oracle: Iterable[int] | Callable[[int], bool],
+    ) -> None:
+        if not (1 <= num_qubits <= self.MAX_QUBITS):
+            raise ValueError(
+                f"num_qubits must be in [1, {self.MAX_QUBITS}], got {num_qubits}"
+            )
+        self.num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if callable(oracle):
+            marked = [i for i in range(dim) if oracle(i)]
+        else:
+            marked = sorted(set(int(i) for i in oracle))
+            if marked and (marked[0] < 0 or marked[-1] >= dim):
+                raise ValueError("marked index out of range")
+        self.marked = frozenset(marked)
+        self._marked_array = np.fromiter(self.marked, dtype=np.int64) if marked else None
+
+    @property
+    def num_marked(self) -> int:
+        return len(self.marked)
+
+    def optimal_iterations(self) -> int:
+        """Canonical iteration count for this instance (0 if M = 0)."""
+        if not self.marked:
+            return 0
+        return optimal_iterations(1 << self.num_qubits, len(self.marked))
+
+    def run(
+        self,
+        iterations: int | None = None,
+        snapshot_at: Iterable[int] = (),
+    ) -> GroverRun:
+        """Execute Grover for ``iterations`` rounds (optimal if None)."""
+        if iterations is None:
+            iterations = self.optimal_iterations()
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        dim = 1 << self.num_qubits
+        amp = np.full(dim, 1.0 / np.sqrt(dim))
+        snapshots = {int(i) for i in snapshot_at}
+        run = GroverRun(self.num_qubits, self.marked, iterations, amp)
+        if 0 in snapshots:
+            run.amplitude_snapshots[0] = amp.copy()
+        run.history.append(self._success(amp))
+        for i in range(1, iterations + 1):
+            if self._marked_array is not None:
+                amp[self._marked_array] *= -1.0       # oracle sign flip
+            amp = 2.0 * amp.mean() - amp              # inversion about mean
+            run.history.append(self._success(amp))
+            if i in snapshots:
+                run.amplitude_snapshots[i] = amp.copy()
+        run.amplitudes = amp
+        return run
+
+    def theoretical_success(self, iterations: int) -> float:
+        """Closed-form ``sin^2((2i+1) theta)`` for cross-checking."""
+        return success_probability(1 << self.num_qubits, len(self.marked), iterations)
+
+    def _success(self, amp: np.ndarray) -> float:
+        if self._marked_array is None:
+            return 0.0
+        return float(np.sum(amp[self._marked_array] ** 2))
+
+
+def grover_circuit(num_qubits: int, oracle_circuit: QuantumCircuit, iterations: int) -> QuantumCircuit:
+    """The literal Fig. 11 layout: H^n then ``iterations`` (oracle, diffusion).
+
+    ``oracle_circuit`` must act as a phase oracle on the first
+    ``num_qubits`` qubits (any ancillas must be returned to |0>); it is
+    inlined verbatim each round.  Intended for small-n validation and
+    gate counting, not production search.
+    """
+    qc = QuantumCircuit(oracle_circuit.num_qubits)
+    for name, reg in oracle_circuit.registers.items():
+        # Mirror register metadata so downstream code can locate them.
+        qc._registers[name] = reg  # noqa: SLF001 - deliberate internal copy
+    for q in range(num_qubits):
+        qc.h(q)
+    diff = diffusion_circuit(num_qubits)
+    for _ in range(iterations):
+        qc.extend(oracle_circuit)
+        qc.extend(diff)
+    return qc

@@ -1,0 +1,90 @@
+"""Grover search with an unknown number of solutions (BBHT).
+
+qTKP needs the solution count ``M`` to fix its iteration schedule; the
+paper obtains it from quantum counting.  The classic alternative is the
+exponential schedule of Boyer, Brassard, Hoyer & Tapp (1998), which
+needs no count at all: repeatedly pick a random iteration count below a
+growing ceiling, run, measure, verify.  The expected oracle cost stays
+``O(sqrt(N / M))`` even though ``M`` is never learned.
+
+The driver below runs against :class:`repro.grover.PhaseOracleGrover`
+(so the measurement statistics are exact) while only using ``M`` the
+way hardware would: through measurement outcomes and classical
+verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .simulator import PhaseOracleGrover
+
+__all__ = ["BBHTResult", "bbht_search"]
+
+#: The ceiling growth factor; BBHT prove any 1 < c < 4/3 works.
+_GROWTH = 1.25
+
+
+@dataclass(frozen=True)
+class BBHTResult:
+    """Outcome of one BBHT run.
+
+    Attributes
+    ----------
+    mask:
+        The measured solution basis state, or ``None`` on failure.
+    found:
+        Whether a verified solution was measured.
+    oracle_calls:
+        Total Grover iterations executed across all rounds.
+    rounds:
+        Number of run/measure/verify rounds.
+    """
+
+    mask: int | None
+    found: bool
+    oracle_calls: int
+    rounds: int
+
+
+def bbht_search(
+    engine: PhaseOracleGrover,
+    rng: np.random.Generator | None = None,
+    max_oracle_calls: int | None = None,
+) -> BBHTResult:
+    """Search without knowing ``M`` via the BBHT exponential schedule.
+
+    Parameters
+    ----------
+    engine:
+        A prepared phase-oracle Grover engine (its marked set plays the
+        role of the hardware oracle; this driver never reads
+        ``engine.num_marked``).
+    max_oracle_calls:
+        Abort threshold; defaults to ``4 * ceil(sqrt(N))`` plus slack,
+        after which the instance is declared unsolvable (the correct
+        verdict when ``M = 0``, reached with certainty).
+    """
+    rng = rng or np.random.default_rng()
+    n_states = 1 << engine.num_qubits
+    if max_oracle_calls is None:
+        max_oracle_calls = int(6 * np.ceil(np.sqrt(n_states))) + 12
+    ceiling = 1.0
+    sqrt_n = float(np.sqrt(n_states))
+    oracle_calls = 0
+    rounds = 0
+    # Rounds are bounded too: zero-iteration draws cost no oracle calls
+    # but each round still measures, and an M = 0 instance must halt.
+    max_rounds = 4 * max(max_oracle_calls, 1)
+    while oracle_calls < max_oracle_calls and rounds < max_rounds:
+        rounds += 1
+        iterations = int(rng.integers(0, int(np.ceil(ceiling))))
+        run = engine.run(iterations)
+        oracle_calls += iterations
+        mask = run.measure_once(rng)
+        if mask in engine.marked:
+            return BBHTResult(mask, True, oracle_calls, rounds)
+        ceiling = min(_GROWTH * ceiling, sqrt_n)
+    return BBHTResult(None, False, oracle_calls, rounds)

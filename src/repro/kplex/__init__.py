@@ -1,0 +1,74 @@
+"""Classical k-plex domain layer: predicates, exact solvers, heuristics."""
+
+from .bounds import (
+    best_upper_bound,
+    coloring_bound,
+    degeneracy,
+    degeneracy_bound,
+    trivial_bound,
+)
+from .enumeration import enumerate_maximal_kplexes, maximum_connected_kplex
+from .branch_search import (
+    BranchSearchResult,
+    BranchStats,
+    find_kplex_of_size,
+    maximum_kplex,
+)
+from .heuristics import (
+    grasp_kplex,
+    greedy_kplex,
+    local_search_improve,
+    repair_to_kplex,
+)
+from .naive import (
+    count_kplexes_of_size,
+    enumerate_kplexes,
+    kplexes_of_min_size,
+    maximum_kplex_bruteforce,
+)
+from .relaxations import (
+    is_nclan,
+    is_nclique,
+    is_nclub,
+    maximum_nclan_bruteforce,
+    maximum_nclub_bruteforce,
+)
+from .verify import (
+    is_kcplex,
+    is_kplex,
+    kplex_deficiencies,
+    max_k_for_subset,
+    violating_vertices,
+)
+
+__all__ = [
+    "BranchSearchResult",
+    "BranchStats",
+    "best_upper_bound",
+    "coloring_bound",
+    "count_kplexes_of_size",
+    "degeneracy",
+    "degeneracy_bound",
+    "enumerate_kplexes",
+    "enumerate_maximal_kplexes",
+    "find_kplex_of_size",
+    "grasp_kplex",
+    "greedy_kplex",
+    "is_kcplex",
+    "is_kplex",
+    "is_nclan",
+    "is_nclique",
+    "is_nclub",
+    "kplex_deficiencies",
+    "kplexes_of_min_size",
+    "local_search_improve",
+    "max_k_for_subset",
+    "maximum_connected_kplex",
+    "maximum_kplex",
+    "maximum_kplex_bruteforce",
+    "maximum_nclan_bruteforce",
+    "maximum_nclub_bruteforce",
+    "repair_to_kplex",
+    "trivial_bound",
+    "violating_vertices",
+]

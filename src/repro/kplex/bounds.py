@@ -1,0 +1,92 @@
+"""Upper bounds on the maximum k-plex size.
+
+The paper notes that upper-bounding techniques (colouring-based, Zhou et
+al. 2021; partition-based, Jiang et al. 2021) can be integrated into the
+binary search of qMKP to shrink the search interval.  These are
+polynomial-time bounds:
+
+* ``degeneracy_bound`` — a k-plex of size ``s`` forces a vertex of
+  degree >= ``s - k`` in every subgraph it touches, so
+  ``s <= degeneracy + k``.
+* ``coloring_bound`` — a greedy proper colouring with ``c`` colours
+  bounds the clique number by ``c``; a k-plex can take at most ``k``
+  vertices of each colour class beyond what a clique could, yielding
+  ``s <= k * c`` (each colour class is an independent set, and an
+  independent set inside a k-plex has size <= k).
+* ``trivial_bound`` — ``s <= n``.
+"""
+
+from __future__ import annotations
+
+from ..graphs import Graph
+
+__all__ = ["trivial_bound", "degeneracy", "degeneracy_bound", "coloring_bound", "best_upper_bound"]
+
+
+def trivial_bound(graph: Graph, k: int) -> int:
+    """The vertex count, valid for any k."""
+    return graph.num_vertices
+
+
+def degeneracy(graph: Graph) -> int:
+    """Graph degeneracy via the standard peeling order."""
+    alive = set(graph.vertices)
+    degree = {v: graph.degree(v) for v in alive}
+    best = 0
+    while alive:
+        v = min(alive, key=lambda u: degree[u])
+        best = max(best, degree[v])
+        alive.discard(v)
+        for w in graph.neighbors(v):
+            if w in alive:
+                degree[w] -= 1
+    return best
+
+
+def degeneracy_bound(graph: Graph, k: int) -> int:
+    """``degeneracy + k`` bounds the maximum k-plex size.
+
+    Inside a k-plex ``P``, every vertex has internal degree
+    ``>= |P| - k``, so the subgraph induced by ``P`` has min degree
+    ``>= |P| - k``; the degeneracy of the whole graph is at least that.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if graph.num_vertices == 0:
+        return 0
+    return min(graph.num_vertices, degeneracy(graph) + k)
+
+
+def coloring_bound(graph: Graph, k: int) -> int:
+    """``k * chi_greedy`` bounds the maximum k-plex size.
+
+    A set of mutually non-adjacent vertices inside a k-plex has size at
+    most ``k`` (each misses all the others, and may miss at most
+    ``k - 1``).  A proper colouring partitions any k-plex into
+    independent sets, one per colour, so the plex has at most ``k``
+    vertices per colour used.  Greedy colouring in descending-degree
+    order supplies the colour count.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if graph.num_vertices == 0:
+        return 0
+    order = sorted(graph.vertices, key=graph.degree, reverse=True)
+    color: dict[int, int] = {}
+    for v in order:
+        used = {color[w] for w in graph.neighbors(v) if w in color}
+        c = 0
+        while c in used:
+            c += 1
+        color[v] = c
+    num_colors = max(color.values()) + 1
+    return min(graph.num_vertices, k * num_colors)
+
+
+def best_upper_bound(graph: Graph, k: int) -> int:
+    """The tightest of all implemented bounds."""
+    return min(
+        trivial_bound(graph, k),
+        degeneracy_bound(graph, k),
+        coloring_bound(graph, k),
+    )

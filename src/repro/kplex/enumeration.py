@@ -1,0 +1,144 @@
+"""Maximal k-plex enumeration and connected variants.
+
+Community detection — one of the paper's motivating applications —
+usually wants *all* the cohesive groups, not just the single largest,
+and often requires them to be connected.  This module supplies both:
+
+* :func:`enumerate_maximal_kplexes` — every inclusion-maximal k-plex,
+  via the Bron-Kerbosch scheme generalised to hereditary properties
+  (candidate / excluded sets with feasibility filtering);
+* :func:`maximum_connected_kplex` — the largest k-plex whose induced
+  subgraph is connected (for ``k >= 2`` a k-plex may be disconnected,
+  e.g. two isolated vertices form a 2-plex).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..graphs import Graph, is_connected
+from .branch_search import BranchSearchResult, BranchStats
+from .verify import is_kplex
+
+__all__ = ["enumerate_maximal_kplexes", "maximum_connected_kplex"]
+
+_ENUMERATION_VERTEX_LIMIT = 40
+
+
+def _can_add(graph: Graph, members: set[int], v: int, k: int) -> bool:
+    new_size = len(members) + 1
+    need = new_size - k
+    if need <= 0:
+        return True
+    nv = graph.neighbors(v)
+    if len(nv & members) < need:
+        return False
+    return all(
+        graph.degree_in(u, members) + (1 if u in nv else 0) >= need
+        for u in members
+    )
+
+
+def enumerate_maximal_kplexes(
+    graph: Graph,
+    k: int,
+    min_size: int = 1,
+    max_results: int | None = None,
+) -> Iterator[frozenset[int]]:
+    """Yield every inclusion-maximal k-plex of size >= ``min_size``.
+
+    A k-plex is maximal when no vertex can be added without violating
+    the property.  Enumeration follows Bron-Kerbosch: recurse over a
+    candidate set ``C`` (vertices that can still extend the current
+    plex) and an excluded set ``X`` (vertices deliberately branched
+    away); a plex is reported when both filtered sets are empty.
+
+    ``max_results`` caps the output (the count can be exponential).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if graph.num_vertices > _ENUMERATION_VERTEX_LIMIT:
+        raise ValueError(
+            f"enumeration refuses n={graph.num_vertices} > "
+            f"{_ENUMERATION_VERTEX_LIMIT}"
+        )
+    emitted = 0
+
+    def recurse(
+        members: set[int], candidates: list[int], excluded: list[int]
+    ) -> Iterator[frozenset[int]]:
+        nonlocal emitted
+        if max_results is not None and emitted >= max_results:
+            return
+        feasible_c = [v for v in candidates if _can_add(graph, members, v, k)]
+        feasible_x = [v for v in excluded if _can_add(graph, members, v, k)]
+        if not feasible_c:
+            if not feasible_x and len(members) >= min_size:
+                emitted += 1
+                yield frozenset(members)
+            return
+        for i, v in enumerate(feasible_c):
+            members.add(v)
+            yield from recurse(
+                members,
+                feasible_c[i + 1:],
+                feasible_x + feasible_c[:i],
+            )
+            members.discard(v)
+            if max_results is not None and emitted >= max_results:
+                return
+
+    order = sorted(graph.vertices, key=graph.degree, reverse=True)
+    yield from recurse(set(), order, [])
+
+
+def maximum_connected_kplex(graph: Graph, k: int) -> BranchSearchResult:
+    """The largest k-plex inducing a connected subgraph.
+
+    Branch and bound over (members, candidates) with the same pruning
+    as the unconstrained search; incumbents must pass a connectivity
+    check.  The unconstrained upper bound stays valid because every
+    connected k-plex is a k-plex.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    stats = BranchStats()
+    best: frozenset[int] = frozenset()
+
+    def upper_bound(members: set[int], candidates: list[int]) -> int:
+        size = len(members)
+        bound = size + len(candidates)
+        cand = set(candidates)
+        for u in members:
+            deficiency = size - 1 - graph.degree_in(u, members)
+            slack = k - 1 - deficiency
+            adjacent = len(graph.neighbors(u) & cand)
+            bound = min(bound, size + adjacent + slack)
+        return bound
+
+    def extend(members: set[int], candidates: list[int]) -> None:
+        nonlocal best
+        stats.nodes += 1
+        if len(members) > len(best) and (
+            len(members) <= 1 or is_connected(graph.induced_subgraph(members))
+        ):
+            best = frozenset(members)
+            stats.best_updates += 1
+        if not candidates:
+            return
+        if upper_bound(members, candidates) <= len(best):
+            stats.prunes_bound += 1
+            return
+        v = candidates[0]
+        rest = candidates[1:]
+        if _can_add(graph, members, v, k):
+            members.add(v)
+            feasible = [w for w in rest if _can_add(graph, members, w, k)]
+            extend(members, feasible)
+            members.discard(v)
+        extend(members, rest)
+
+    order = sorted(graph.vertices, key=graph.degree, reverse=True)
+    extend(set(), order)
+    assert is_kplex(graph, best, k)
+    return BranchSearchResult(best, stats)

@@ -1,0 +1,174 @@
+"""Heuristic k-plex construction: greedy, GRASP, and local search.
+
+The related-work section of the paper surveys GRASP/tabu/local-search
+approximations for MKP.  The library uses these three ways:
+
+* the exact branch-and-search warm-starts from :func:`greedy_kplex`;
+* the annealing hybrid solver polishes samples with
+  :func:`local_search_improve`;
+* the examples demonstrate heuristic-vs-exact-vs-quantum trade-offs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from ..graphs import Graph
+from .verify import is_kplex
+
+__all__ = [
+    "greedy_kplex",
+    "grasp_kplex",
+    "local_search_improve",
+    "repair_to_kplex",
+]
+
+
+def _addable(graph: Graph, members: set[int], v: int, k: int) -> bool:
+    """Would ``members | {v}`` remain a k-plex?"""
+    new_size = len(members) + 1
+    need = new_size - k
+    if need <= 0:
+        return True
+    nv = graph.neighbors(v)
+    if len(nv & members) < need:
+        return False
+    return all(
+        graph.degree_in(u, members) + (1 if u in nv else 0) >= need
+        for u in members
+    )
+
+
+def greedy_kplex(graph: Graph, k: int, start: int | None = None) -> frozenset[int]:
+    """Degree-greedy construction of a maximal k-plex.
+
+    Starts from ``start`` (or the max-degree vertex) and repeatedly adds
+    the feasible candidate with the most neighbours inside the current
+    set, breaking ties towards higher global degree then lower id.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if graph.num_vertices == 0:
+        return frozenset()
+    if start is None:
+        start = max(graph.vertices, key=lambda v: (graph.degree(v), -v))
+    members = {start}
+    while True:
+        candidates = [
+            v for v in graph.vertices
+            if v not in members and _addable(graph, members, v, k)
+        ]
+        if not candidates:
+            return frozenset(members)
+        best = max(
+            candidates,
+            key=lambda v: (graph.degree_in(v, members), graph.degree(v), -v),
+        )
+        members.add(best)
+
+
+def grasp_kplex(
+    graph: Graph,
+    k: int,
+    iterations: int = 20,
+    alpha: float = 0.3,
+    seed: int | None = None,
+) -> frozenset[int]:
+    """GRASP: randomised greedy restarts followed by local search.
+
+    Each iteration builds a solution with a restricted candidate list
+    (top ``alpha`` fraction by internal degree), improves it with
+    :func:`local_search_improve`, and keeps the best overall.
+    """
+    if not (0.0 <= alpha <= 1.0):
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    rng = random.Random(seed)
+    best: frozenset[int] = frozenset()
+    for _ in range(iterations):
+        candidate = _randomized_greedy(graph, k, alpha, rng)
+        candidate = local_search_improve(graph, candidate, k)
+        if len(candidate) > len(best):
+            best = candidate
+    return best
+
+
+def _randomized_greedy(
+    graph: Graph, k: int, alpha: float, rng: random.Random
+) -> frozenset[int]:
+    if graph.num_vertices == 0:
+        return frozenset()
+    members = {rng.randrange(graph.num_vertices)}
+    while True:
+        candidates = [
+            v for v in graph.vertices
+            if v not in members and _addable(graph, members, v, k)
+        ]
+        if not candidates:
+            return frozenset(members)
+        candidates.sort(key=lambda v: graph.degree_in(v, members), reverse=True)
+        rcl_len = max(1, int(len(candidates) * alpha))
+        members.add(rng.choice(candidates[:rcl_len]))
+
+
+def local_search_improve(
+    graph: Graph, subset: Iterable[int], k: int
+) -> frozenset[int]:
+    """(1, 1)-swap + add local search starting from a k-plex.
+
+    Repeatedly: add any feasible vertex; otherwise try swapping one
+    member out for two candidates in.  Returns a maximal k-plex at
+    least as large as the input.  The input must itself be a k-plex.
+    """
+    members = set(subset)
+    if not is_kplex(graph, members, k):
+        raise ValueError("local search requires a feasible starting k-plex")
+    improved = True
+    while improved:
+        improved = False
+        # Additions first.
+        for v in graph.vertices:
+            if v not in members and _addable(graph, members, v, k):
+                members.add(v)
+                improved = True
+        if improved:
+            continue
+        # One-out, two-in swaps.
+        for out in sorted(members):
+            trial = set(members)
+            trial.discard(out)
+            added = []
+            for v in graph.vertices:
+                if v not in trial and v != out and _addable(graph, trial, v, k):
+                    trial.add(v)
+                    added.append(v)
+                    if len(added) == 2:
+                        break
+            if len(added) >= 2:
+                members = trial
+                improved = True
+                break
+    return frozenset(members)
+
+
+def repair_to_kplex(graph: Graph, subset: Iterable[int], k: int) -> frozenset[int]:
+    """Shrink an arbitrary vertex set into a k-plex.
+
+    Greedily removes the member with the largest deficiency until the
+    k-plex condition holds.  Used to decode infeasible annealer samples
+    into feasible solutions (the paper's qaMKP reports sizes of the
+    decoded plexes).
+    """
+    members = set(subset)
+    while members and not is_kplex(graph, members, k):
+        need = len(members) - k
+        worst = min(
+            members,
+            key=lambda v: (graph.degree_in(v, members), -v),
+        )
+        if graph.degree_in(worst, members) >= need:
+            break  # already feasible
+        members.discard(worst)
+    return frozenset(members)

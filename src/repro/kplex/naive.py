@@ -1,0 +1,74 @@
+"""Naive exact MKP solvers: the O*(2^n) baselines.
+
+The introduction of the paper uses exhaustive subset enumeration as the
+trivial baseline that everything else improves on.  These solvers are
+only practical to ~n = 22 but they are simple enough to trust, so the
+test suite uses them as ground truth for every other solver.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..graphs import Graph
+from .verify import is_kplex
+
+__all__ = [
+    "enumerate_kplexes",
+    "maximum_kplex_bruteforce",
+    "count_kplexes_of_size",
+    "kplexes_of_min_size",
+]
+
+_BRUTE_FORCE_LIMIT = 26
+
+
+def _check_size(graph: Graph) -> None:
+    if graph.num_vertices > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"brute force refuses n={graph.num_vertices} > {_BRUTE_FORCE_LIMIT}; "
+            "use branch_search.maximum_kplex instead"
+        )
+
+
+def enumerate_kplexes(graph: Graph, k: int) -> Iterator[frozenset[int]]:
+    """Yield every k-plex of ``graph`` (including the empty set).
+
+    Subsets are produced in bitmask order, i.e. the same order the
+    Grover engine indexes its basis states, which makes cross-checking
+    oracles against this enumeration straightforward.
+    """
+    _check_size(graph)
+    n = graph.num_vertices
+    for mask in range(1 << n):
+        subset = graph.bitmask_to_subset(mask)
+        if is_kplex(graph, subset, k):
+            yield subset
+
+
+def maximum_kplex_bruteforce(graph: Graph, k: int) -> frozenset[int]:
+    """The maximum k-plex by exhaustive enumeration.
+
+    Ties are broken towards the smallest bitmask, making the result
+    deterministic.
+    """
+    _check_size(graph)
+    best: frozenset[int] = frozenset()
+    for subset in enumerate_kplexes(graph, k):
+        if len(subset) > len(best):
+            best = subset
+    return best
+
+
+def count_kplexes_of_size(graph: Graph, k: int, size: int) -> int:
+    """Number of k-plexes with exactly ``size`` vertices.
+
+    This is the quantity ``M`` that fixes Grover's iteration count in
+    qTKP (with the >= T variant, see :func:`kplexes_of_min_size`).
+    """
+    return sum(1 for p in enumerate_kplexes(graph, k) if len(p) == size)
+
+
+def kplexes_of_min_size(graph: Graph, k: int, min_size: int) -> list[frozenset[int]]:
+    """All k-plexes with at least ``min_size`` vertices."""
+    return [p for p in enumerate_kplexes(graph, k) if len(p) >= min_size]

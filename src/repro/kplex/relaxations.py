@@ -1,0 +1,90 @@
+"""Other clique relaxations: n-clan and n-club.
+
+The adaptability discussion of the paper argues the qTKP oracle design
+(count + compare circuits) carries over to distance-based relaxations.
+This module supplies the classical predicates and brute-force optima for
+those models so the quantum adapters (and their tests) have a ground
+truth:
+
+* an **n-clique** is a set whose members are pairwise within distance
+  ``n`` *in the whole graph*;
+* an **n-clan** is an n-clique whose induced subgraph also has diameter
+  ``<= n``;
+* an **n-club** is a set whose induced subgraph has diameter ``<= n``
+  (no whole-graph condition).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graphs import Graph, bfs_distances, subset_diameter
+
+__all__ = [
+    "is_nclique",
+    "is_nclan",
+    "is_nclub",
+    "maximum_nclan_bruteforce",
+    "maximum_nclub_bruteforce",
+]
+
+_BRUTE_FORCE_LIMIT = 18
+
+
+def is_nclique(graph: Graph, subset: Iterable[int], n: int) -> bool:
+    """True iff all member pairs are within distance ``n`` in ``graph``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    members = sorted(set(subset))
+    for i, u in enumerate(members):
+        dist = bfs_distances(graph, u)
+        for v in members[i + 1:]:
+            if dist.get(v, n + 1) > n:
+                return False
+    return True
+
+
+def is_nclan(graph: Graph, subset: Iterable[int], n: int) -> bool:
+    """True iff ``subset`` is an n-clique whose induced diameter is <= n."""
+    members = frozenset(subset)
+    if not is_nclique(graph, members, n):
+        return False
+    return is_nclub(graph, members, n)
+
+
+def is_nclub(graph: Graph, subset: Iterable[int], n: int) -> bool:
+    """True iff the induced subgraph has diameter <= ``n``.
+
+    Sets of size <= 1 qualify trivially; disconnected induced subgraphs
+    do not.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    members = frozenset(subset)
+    if len(members) <= 1:
+        return True
+    diam = subset_diameter(graph, members)
+    return diam is not None and diam <= n
+
+
+def _bruteforce_max(graph: Graph, predicate) -> frozenset[int]:
+    if graph.num_vertices > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"brute force refuses n={graph.num_vertices} > {_BRUTE_FORCE_LIMIT}"
+        )
+    best: frozenset[int] = frozenset()
+    for mask in range(1 << graph.num_vertices):
+        subset = graph.bitmask_to_subset(mask)
+        if len(subset) > len(best) and predicate(subset):
+            best = subset
+    return best
+
+
+def maximum_nclan_bruteforce(graph: Graph, n: int) -> frozenset[int]:
+    """Maximum n-clan by exhaustive enumeration (small graphs only)."""
+    return _bruteforce_max(graph, lambda s: is_nclan(graph, s, n))
+
+
+def maximum_nclub_bruteforce(graph: Graph, n: int) -> frozenset[int]:
+    """Maximum n-club by exhaustive enumeration (small graphs only)."""
+    return _bruteforce_max(graph, lambda s: is_nclub(graph, s, n))

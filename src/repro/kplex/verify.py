@@ -1,0 +1,79 @@
+"""k-plex / k-cplex predicates (Definitions 1 and 4 of the paper).
+
+These predicates are the ground truth every solver, oracle, and QUBO
+decoder in the library is tested against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graphs import Graph
+
+__all__ = [
+    "is_kplex",
+    "is_kcplex",
+    "kplex_deficiencies",
+    "violating_vertices",
+    "max_k_for_subset",
+]
+
+
+def is_kplex(graph: Graph, subset: Iterable[int], k: int) -> bool:
+    """True iff ``subset`` is a k-plex of ``graph``.
+
+    Every vertex of the subset must have at least ``|subset| - k``
+    neighbours inside the subset.  The empty set is a k-plex by
+    convention (it imposes no constraint), matching the behaviour
+    needed by binary-search drivers.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    members = frozenset(subset)
+    need = len(members) - k
+    if need <= 0:
+        return True
+    return all(graph.degree_in(v, members) >= need for v in members)
+
+
+def is_kcplex(graph: Graph, subset: Iterable[int], k: int) -> bool:
+    """True iff ``subset`` is a k-cplex of ``graph``.
+
+    Every vertex of the subset has at most ``k - 1`` neighbours inside
+    the subset.  A set is a k-plex of ``G`` exactly when it is a
+    k-cplex of the complement of ``G`` — the equivalence the gate
+    oracle and the QUBO are built on.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    members = frozenset(subset)
+    return all(graph.degree_in(v, members) <= k - 1 for v in members)
+
+
+def kplex_deficiencies(graph: Graph, subset: Iterable[int]) -> dict[int, int]:
+    """Missing-neighbour count per member: ``|subset| - 1 - internal degree``.
+
+    A subset is a k-plex iff every deficiency is ``<= k - 1``.
+    """
+    members = frozenset(subset)
+    size = len(members)
+    return {v: size - 1 - graph.degree_in(v, members) for v in members}
+
+
+def violating_vertices(graph: Graph, subset: Iterable[int], k: int) -> list[int]:
+    """Members whose internal degree is below ``|subset| - k``, sorted."""
+    members = frozenset(subset)
+    need = len(members) - k
+    return sorted(v for v in members if graph.degree_in(v, members) < need)
+
+
+def max_k_for_subset(graph: Graph, subset: Iterable[int]) -> int:
+    """Smallest ``k`` for which ``subset`` is a k-plex.
+
+    Equals ``1 + max deficiency`` (and 1 for sets of size <= 1, which
+    are cliques).
+    """
+    members = frozenset(subset)
+    if len(members) <= 1:
+        return 1
+    return 1 + max(kplex_deficiencies(graph, members).values())

@@ -1,0 +1,16 @@
+"""MILP substrate: QUBO linearisation and exact solvers."""
+
+from .branch_bound import BnBResult, solve_branch_bound
+from .highs import MilpResult, solve_with_highs
+from .linearize import LinearizedProblem, linearize_qubo
+from .solve import solve_qubo_milp
+
+__all__ = [
+    "BnBResult",
+    "LinearizedProblem",
+    "MilpResult",
+    "linearize_qubo",
+    "solve_branch_bound",
+    "solve_qubo_milp",
+    "solve_with_highs",
+]

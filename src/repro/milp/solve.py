@@ -1,0 +1,39 @@
+"""Facade: pick a MILP backend for QUBO minimisation."""
+
+from __future__ import annotations
+
+from ..annealing import BinaryQuadraticModel
+from .branch_bound import solve_branch_bound
+from .highs import MilpResult, solve_with_highs
+from .linearize import linearize_qubo
+
+__all__ = ["solve_qubo_milp"]
+
+
+def solve_qubo_milp(
+    bqm: BinaryQuadraticModel,
+    time_limit_us: float | None = None,
+    backend: str = "auto",
+) -> MilpResult:
+    """Minimise a QUBO through its MILP linearisation.
+
+    Parameters
+    ----------
+    backend:
+        ``"highs"`` (scipy's HiGHS engine, the Gurobi stand-in),
+        ``"branch_bound"`` (pure-Python exact, small models only), or
+        ``"auto"`` (HiGHS, falling back to branch and bound if scipy's
+        engine is unavailable).
+    """
+    if backend not in ("auto", "highs", "branch_bound"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend in ("auto", "highs"):
+        try:
+            return solve_with_highs(bqm, time_limit_us, linearize_qubo(bqm))
+        except Exception:
+            if backend == "highs":
+                raise
+    limit_s = None if time_limit_us is None else time_limit_us / 1e6
+    res = solve_branch_bound(bqm, time_limit_s=limit_s)
+    status = "optimal" if res.proven_optimal else "time_limit"
+    return MilpResult(res.assignment, res.energy, status, "branch_bound", time_limit_us)

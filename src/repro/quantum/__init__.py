@@ -1,0 +1,63 @@
+"""Gate-model substrate: circuit IR, simulators, arithmetic, counting."""
+
+from .arithmetic import (
+    QubitAllocator,
+    add_bit_into_counter,
+    compare_geq_const,
+    compare_leq,
+    compare_leq_const,
+    counter_width,
+    full_adder,
+    popcount,
+    ripple_add,
+)
+from .circuit import QuantumCircuit, circuit_from_gates
+from .classical import assert_classical, classical_output_bit, classical_simulate
+from .counting import CountingResult, phase_distribution, quantum_count
+from .drawer import draw_circuit
+from .gates import Control, Gate, is_classical_gate
+from .qft import (
+    estimate_phase_distribution,
+    inverse_qft_circuit,
+    phase_estimation_circuit,
+    qft_circuit,
+    qft_matrix,
+)
+from .mps import MatrixProductState, simulate_mps
+from .registers import QuantumRegister
+from .statevector import Statevector, apply_gate, simulate
+
+__all__ = [
+    "Control",
+    "CountingResult",
+    "Gate",
+    "MatrixProductState",
+    "QuantumCircuit",
+    "QuantumRegister",
+    "QubitAllocator",
+    "Statevector",
+    "add_bit_into_counter",
+    "apply_gate",
+    "assert_classical",
+    "circuit_from_gates",
+    "classical_output_bit",
+    "classical_simulate",
+    "compare_geq_const",
+    "compare_leq",
+    "compare_leq_const",
+    "counter_width",
+    "draw_circuit",
+    "estimate_phase_distribution",
+    "inverse_qft_circuit",
+    "full_adder",
+    "is_classical_gate",
+    "phase_distribution",
+    "phase_estimation_circuit",
+    "qft_circuit",
+    "qft_matrix",
+    "popcount",
+    "quantum_count",
+    "ripple_add",
+    "simulate",
+    "simulate_mps",
+]

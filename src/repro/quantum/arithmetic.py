@@ -1,0 +1,286 @@
+"""Reversible arithmetic circuit builders (paper Figures 7-9).
+
+The qTKP oracle needs three arithmetic capabilities:
+
+* **one-qubit full addition** (Fig. 7) — five X-family gates and two
+  ancillas computing ``sum = x XOR y XOR c_in`` and
+  ``c_out = (x AND y) XOR (c_in AND (x XOR y))``;
+* **multi-bit accumulation** — summing edge indicator bits into a
+  counter register (degree counting, Fig. 6 box B) and vertex bits into
+  a size register (Fig. 10 box A).  We provide both the paper-faithful
+  full-adder chain and a compact carry-ripple incrementer
+  (:func:`add_bit_into_counter`, 2 gates and 1 fresh ancilla per counter
+  bit) that the assembled oracle uses;
+* **integer comparison** (Fig. 9) — ``x <= y`` for two registers, plus
+  specialised constant comparators (``x <= const``, ``x >= const``)
+  that fold the classical constant into control polarities, needing no
+  ancillas at all.  The oracle compares degrees against the constant
+  ``k - 1`` and the size against the constant ``T``, so the constant
+  versions are the ones on the hot path.
+
+Every builder appends X-family gates only, keeping the oracle body
+classically simulable (see :mod:`repro.quantum.classical`) and making
+``U^dag`` the same gates in reverse order.
+
+Bit order convention: register qubit lists are **LSB first** (qubit
+``[0]`` is the 1s place).
+"""
+
+from __future__ import annotations
+
+from .circuit import QuantumCircuit
+from .registers import QuantumRegister
+
+__all__ = [
+    "QubitAllocator",
+    "counter_width",
+    "full_adder",
+    "ripple_add",
+    "add_bit_into_counter",
+    "popcount",
+    "compare_leq",
+    "compare_leq_const",
+    "compare_geq_const",
+]
+
+
+class QubitAllocator:
+    """Hands out fresh ancilla qubits on a circuit, in named batches."""
+
+    def __init__(self, circuit: QuantumCircuit, prefix: str = "anc") -> None:
+        self._circuit = circuit
+        self._prefix = prefix
+        self._counter = 0
+
+    def take(self, count: int, tag: str = "") -> list[int]:
+        """Allocate ``count`` fresh |0> qubits; returns their indices."""
+        name = f"{self._prefix}{self._counter}" + (f"_{tag}" if tag else "")
+        self._counter += 1
+        reg = self._circuit.add_register(name, count)
+        return reg.qubits
+
+    def take_register(self, count: int, tag: str = "") -> QuantumRegister:
+        """Allocate and return the whole register object."""
+        name = f"{self._prefix}{self._counter}" + (f"_{tag}" if tag else "")
+        self._counter += 1
+        return self._circuit.add_register(name, count)
+
+
+def counter_width(max_value: int) -> int:
+    """Bits needed to hold any integer in ``[0, max_value]``."""
+    if max_value < 0:
+        raise ValueError(f"max_value must be >= 0, got {max_value}")
+    return max(1, max_value.bit_length())
+
+
+def full_adder(
+    circuit: QuantumCircuit,
+    x: int,
+    y: int,
+    c_in: int,
+    anc_and: int,
+    anc_carry: int,
+) -> tuple[int, int]:
+    """Paper Fig. 7: one-bit full adder.
+
+    After the five gates:
+
+    * the ``c_in`` wire holds ``sum = x XOR y XOR c_in``;
+    * ``anc_carry`` holds ``c_out``;
+    * the ``y`` wire is left dirty holding ``x XOR y`` and ``anc_and``
+      holds ``x AND y`` (both are undone by the oracle's global
+      uncompute).
+
+    Returns ``(sum_qubit, carry_qubit)``.
+    """
+    circuit.ccx(x, y, anc_and)        # A: anc_and = x AND y
+    circuit.cx(x, y)                  # B: y = x XOR y
+    circuit.ccx(y, c_in, anc_carry)   # C: anc_carry = c_in AND (x XOR y)
+    circuit.cx(y, c_in)               # D: c_in = sum
+    circuit.cx(anc_and, anc_carry)    # E: anc_carry = c_out
+    return c_in, anc_carry
+
+
+def ripple_add(
+    circuit: QuantumCircuit,
+    x_qubits: list[int],
+    y_qubits: list[int],
+    alloc: QubitAllocator,
+) -> list[int]:
+    """Paper Fig. 8: multi-bit addition via chained full adders.
+
+    Adds the values of registers ``x`` and ``y`` (equal width, LSB
+    first).  Returns the qubits holding the sum, LSB first, width
+    ``len(x) + 1`` (final carry included).  Operand wires are left
+    dirty, as in the paper; the oracle uncomputes globally.
+    """
+    if len(x_qubits) != len(y_qubits):
+        raise ValueError("ripple_add needs equal-width operands")
+    width = len(x_qubits)
+    carry = alloc.take(1, "cin")[0]  # starts at |0>
+    sum_bits: list[int] = []
+    for j in range(width):
+        anc_and, anc_carry = alloc.take(2, f"fa{j}")
+        s, carry = full_adder(circuit, x_qubits[j], y_qubits[j], carry, anc_and, anc_carry)
+        sum_bits.append(s)
+    sum_bits.append(carry)
+    return sum_bits
+
+
+def add_bit_into_counter(
+    circuit: QuantumCircuit,
+    bit: int,
+    counter: list[int],
+    alloc: QubitAllocator,
+    adder: str = "compact",
+) -> None:
+    """Add the value of qubit ``bit`` into ``counter`` (LSB first).
+
+    Two constructions:
+
+    * ``"compact"`` (default) — a carry-ripple incrementer: at each
+      position a fresh ancilla takes the outgoing carry (Toffoli)
+      before the position is updated (CNOT).  2 gates + 1 ancilla per
+      counter bit.
+    * ``"full_adder"`` — the paper-faithful chain of Fig. 7 one-qubit
+      full adders: each stage runs ``full_adder(carry, |0>, c_j)`` so
+      the sum lands on the counter wire in place.  5 gates + 3 ancillas
+      per counter bit, exactly the budget the paper's complexity
+      analysis charges.
+
+    The counter must be wide enough that the final carry out is always
+    zero (guaranteed when ``counter_width`` was sized for the maximum
+    accumulated value).
+    """
+    if adder not in ("compact", "full_adder"):
+        raise ValueError(f"adder must be 'compact' or 'full_adder', got {adder!r}")
+    carry = bit
+    if adder == "compact":
+        carries = alloc.take(len(counter), "carry")
+        for j, c_bit in enumerate(counter):
+            circuit.ccx(c_bit, carry, carries[j])  # next carry = c_j AND carry
+            circuit.cx(carry, c_bit)               # c_j = c_j XOR carry
+            carry = carries[j]
+    else:
+        for j, c_bit in enumerate(counter):
+            zero, anc_and, anc_carry = alloc.take(3, f"fa{j}")
+            # sum = carry XOR 0 XOR c_j lands on the c_j wire;
+            # carry out = c_j AND carry lands on anc_carry.
+            _sum_q, carry = full_adder(circuit, carry, zero, c_bit, anc_and, anc_carry)
+
+
+def popcount(
+    circuit: QuantumCircuit,
+    bits: list[int],
+    alloc: QubitAllocator,
+    adder: str = "compact",
+) -> list[int]:
+    """Count the 1s among ``bits`` into a fresh counter register.
+
+    Returns the counter qubits (LSB first), width
+    ``counter_width(len(bits))``.  This is the degree-count primitive
+    (Fig. 6 box B: sum a vertex's activated edge qubits) and the size
+    primitive (Fig. 10 box A: sum the vertex qubits).  ``adder``
+    selects the accumulation circuit, see :func:`add_bit_into_counter`.
+    """
+    width = counter_width(len(bits))
+    counter = alloc.take(width, "count")
+    for bit in bits:
+        add_bit_into_counter(circuit, bit, counter, alloc, adder=adder)
+    return counter
+
+
+def compare_leq(
+    circuit: QuantumCircuit,
+    x_qubits: list[int],
+    y_qubits: list[int],
+    alloc: QubitAllocator,
+) -> int:
+    """Paper Fig. 9: register-register comparison ``x <= y``.
+
+    Walks from the most significant bit: the first differing position
+    decides.  Ancillas ``lt_i`` (x_i < y_i) and ``eq_i`` (x_i == y_i)
+    feed mutually exclusive product terms, which are XOR-accumulated
+    into the fresh output qubit (exclusive terms make OR = XOR).
+    Returns the output qubit index.
+    """
+    if len(x_qubits) != len(y_qubits):
+        raise ValueError("compare_leq needs equal-width operands")
+    width = len(x_qubits)
+    # MSB first, as in Eq. (8) of the paper.
+    xs = list(reversed(x_qubits))
+    ys = list(reversed(y_qubits))
+    lt = alloc.take(width, "lt")
+    eq = alloc.take(width, "eq")
+    out = alloc.take(1, "leq")[0]
+    for i in range(width):
+        # lt_i = (NOT x_i) AND y_i   (box A)
+        circuit.mcx([xs[i], ys[i]], lt[i], control_values=[0, 1])
+        # eq_i = NOT (x_i XOR y_i)   (box B)
+        circuit.cx(xs[i], eq[i])
+        circuit.cx(ys[i], eq[i])
+        circuit.x(eq[i])
+    for i in range(width):
+        # term_i = eq_0 .. eq_{i-1} AND lt_i  (box C/D)
+        circuit.mcx(eq[:i] + [lt[i]], out)
+    # Final all-equal term makes the comparison non-strict.
+    circuit.mcx(eq, out)
+    return out
+
+
+def _const_bits_msb_first(const: int, width: int) -> list[int]:
+    if const < 0:
+        raise ValueError(f"constant must be >= 0, got {const}")
+    if const >= (1 << width):
+        raise ValueError(f"constant {const} does not fit in {width} bits")
+    return [(const >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def compare_leq_const(
+    circuit: QuantumCircuit,
+    x_qubits: list[int],
+    const: int,
+    alloc: QubitAllocator,
+) -> int:
+    """Output qubit = ``[x <= const]`` with the constant folded in.
+
+    ``x > const`` holds iff at some position ``j`` (scanning from the
+    MSB) ``x_j = 1`` while ``const_j = 0`` and all higher positions
+    agree with the constant.  Those product terms are disjoint, so they
+    XOR onto the output; a final X turns ``[x > const]`` into
+    ``[x <= const]``.  No ancillas beyond the output.
+
+    This is the oracle's "control-c" gate specialised to the constants
+    ``k - 1`` (degree check) and ``T`` (size check swaps operands via
+    :func:`compare_geq_const`).
+    """
+    xs = list(reversed(x_qubits))  # MSB first
+    bits = _const_bits_msb_first(const, len(xs))
+    out = alloc.take(1, "leqc")[0]
+    for j, cj in enumerate(bits):
+        if cj == 0:
+            controls = xs[: j + 1]
+            values = bits[:j] + [1]
+            circuit.mcx(controls, out, control_values=values)
+    circuit.x(out)  # out = NOT (x > const)
+    return out
+
+
+def compare_geq_const(
+    circuit: QuantumCircuit,
+    x_qubits: list[int],
+    const: int,
+    alloc: QubitAllocator,
+) -> int:
+    """Output qubit = ``[x >= const]`` (size-threshold check, Fig. 10 box B)."""
+    xs = list(reversed(x_qubits))  # MSB first
+    bits = _const_bits_msb_first(const, len(xs))
+    out = alloc.take(1, "geqc")[0]
+    for j, cj in enumerate(bits):
+        if cj == 1:
+            # x < const at position j: x_j = 0 where const_j = 1, equal above.
+            controls = xs[: j + 1]
+            values = bits[:j] + [0]
+            circuit.mcx(controls, out, control_values=values)
+    circuit.x(out)  # out = NOT (x < const)
+    return out

@@ -1,0 +1,235 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an append-only gate list over a growable
+qubit index space, with named registers, labelled sections (so gate
+counts can be attributed to oracle components, as Table IV of the paper
+requires), inversion (``U_check^dag`` reuses the same gates in reverse,
+CNOT-family gates being self-inverse), and composition.
+
+The IR stays symbolic: circuits with hundreds of qubits — the full
+qTKP oracle easily uses them — cost only their gate list.  Simulation
+lives in :mod:`repro.quantum.statevector` (dense, small circuits) and
+:mod:`repro.quantum.classical` (bit-level, any width, X-family gates).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+from .gates import Control, Gate
+from .registers import QuantumRegister
+
+__all__ = ["QuantumCircuit", "circuit_from_gates"]
+
+
+class QuantumCircuit:
+    """A gate list over qubits ``0 .. num_qubits - 1``.
+
+    Parameters
+    ----------
+    num_qubits:
+        Initial number of qubits; more can be added via
+        :meth:`add_register`.
+
+    Examples
+    --------
+    >>> qc = QuantumCircuit(2)
+    >>> qc.h(0)
+    >>> qc.cx(0, 1)
+    >>> qc.gate_counts()["h"], qc.gate_counts()["cx"]
+    (1, 1)
+    """
+
+    def __init__(self, num_qubits: int = 0) -> None:
+        if num_qubits < 0:
+            raise ValueError(f"num_qubits must be >= 0, got {num_qubits}")
+        self._num_qubits = num_qubits
+        self._gates: list[Gate] = []
+        self._registers: dict[str, QuantumRegister] = {}
+        self._labels: list[str | None] = []
+        self._current_label: str | None = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        return tuple(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def registers(self) -> dict[str, QuantumRegister]:
+        return dict(self._registers)
+
+    def add_register(self, name: str, size: int) -> QuantumRegister:
+        """Append a named register of ``size`` fresh qubits."""
+        if name in self._registers:
+            raise ValueError(f"register {name!r} already exists")
+        reg = QuantumRegister(name, size, self._num_qubits)
+        self._registers[name] = reg
+        self._num_qubits += size
+        return reg
+
+    def register(self, name: str) -> QuantumRegister:
+        """Look up a register by name."""
+        return self._registers[name]
+
+    # ------------------------------------------------------------------
+    # Labelled sections (for component-wise gate accounting)
+    # ------------------------------------------------------------------
+    def set_label(self, label: str | None) -> None:
+        """Gates appended from now on are attributed to ``label``."""
+        self._current_label = label
+
+    def labelled_gate_counts(self) -> dict[str, int]:
+        """Number of gates per section label (unlabelled under '')."""
+        counts: Counter[str] = Counter()
+        for label in self._labels:
+            counts[label or ""] += 1
+        return dict(counts)
+
+    # ------------------------------------------------------------------
+    # Gate appends
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> None:
+        """Append a raw :class:`Gate` (bounds-checked)."""
+        for q in gate.qubits:
+            if q >= self._num_qubits:
+                raise ValueError(
+                    f"gate {gate.name} touches qubit {q} but circuit has "
+                    f"{self._num_qubits} qubits"
+                )
+        self._gates.append(gate)
+        self._labels.append(self._current_label)
+
+    def x(self, target: int) -> None:
+        """Pauli X (NOT)."""
+        self.append(Gate("x", target))
+
+    def h(self, target: int) -> None:
+        """Hadamard."""
+        self.append(Gate("h", target))
+
+    def z(self, target: int) -> None:
+        """Pauli Z."""
+        self.append(Gate("z", target))
+
+    def p(self, angle: float, target: int) -> None:
+        """Phase gate diag(1, e^{i*angle})."""
+        self.append(Gate("p", target, param=angle))
+
+    def cx(self, control: int, target: int) -> None:
+        """CNOT."""
+        self.append(Gate("x", target, (Control(control),)))
+
+    def ccx(self, control1: int, control2: int, target: int) -> None:
+        """Toffoli (C^2 NOT)."""
+        self.append(Gate("x", target, (Control(control1), Control(control2))))
+
+    def mcx(
+        self,
+        controls: Sequence[int],
+        target: int,
+        control_values: Sequence[int] | None = None,
+    ) -> None:
+        """Multi-controlled X; ``control_values`` selects 0/1 controls."""
+        values = control_values if control_values is not None else [1] * len(controls)
+        if len(values) != len(controls):
+            raise ValueError("control_values length must match controls")
+        terms = tuple(Control(q, v) for q, v in zip(controls, values))
+        self.append(Gate("x", target, terms))
+
+    def cz(self, control: int, target: int) -> None:
+        """Controlled Z."""
+        self.append(Gate("z", target, (Control(control),)))
+
+    def mcz(self, controls: Sequence[int], target: int) -> None:
+        """Multi-controlled Z."""
+        self.append(Gate("z", target, tuple(Control(q) for q in controls)))
+
+    # ------------------------------------------------------------------
+    # Whole-circuit operations
+    # ------------------------------------------------------------------
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit (same registers, gates inverted, reversed)."""
+        inv = QuantumCircuit(self._num_qubits)
+        inv._registers = dict(self._registers)
+        for gate, label in zip(reversed(self._gates), reversed(self._labels)):
+            inv._current_label = label
+            inv.append(gate.inverse())
+        inv._current_label = None
+        return inv
+
+    def extend(self, other: "QuantumCircuit") -> None:
+        """Append all of ``other``'s gates (indices must already fit)."""
+        if other.num_qubits > self._num_qubits:
+            raise ValueError(
+                f"cannot extend: other uses {other.num_qubits} qubits, "
+                f"self has {self._num_qubits}"
+            )
+        for gate, label in zip(other._gates, other._labels):
+            saved = self._current_label
+            if label is not None:
+                self._current_label = label
+            self.append(gate)
+            self._current_label = saved
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def gate_counts(self) -> dict[str, int]:
+        """Histogram of gate kinds: x, cx, ccx, mcx, h, z, cz, mcz, p."""
+        counts: Counter[str] = Counter()
+        for gate in self._gates:
+            counts[_kind(gate)] += 1
+        return dict(counts)
+
+    def count_ops(self) -> int:
+        """Total gate count (the paper's time-complexity unit)."""
+        return len(self._gates)
+
+    def depth(self) -> int:
+        """Circuit depth under full qubit-disjoint parallelism."""
+        level: dict[int, int] = {}
+        depth = 0
+        for gate in self._gates:
+            start = max((level.get(q, 0) for q in gate.qubits), default=0)
+            for q in gate.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __repr__(self) -> str:
+        return f"QuantumCircuit(qubits={self._num_qubits}, gates={len(self._gates)})"
+
+
+def _kind(gate: Gate) -> str:
+    """Display kind: cx/ccx/mcx for controlled X, cz/mcz for controlled Z."""
+    n = gate.num_controls
+    if gate.name == "x" and n:
+        return {1: "cx", 2: "ccx"}.get(n, "mcx")
+    if gate.name == "z" and n:
+        return {1: "cz"}.get(n, "mcz")
+    return gate.name
+
+
+def circuit_from_gates(num_qubits: int, gates: Iterable[Gate]) -> QuantumCircuit:
+    """Convenience constructor used by tests."""
+    qc = QuantumCircuit(num_qubits)
+    for gate in gates:
+        qc.append(gate)
+    return qc

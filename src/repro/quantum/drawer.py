@@ -1,0 +1,101 @@
+"""ASCII rendering of circuits, in the style of the paper's figures.
+
+Produces text diagrams like::
+
+    q0 |0> --H--*--------*--
+                |        |
+    q1 |0> -----X--*-----o--
+                   |     |
+    q2 |0> --------X-----X--
+
+Conventions match the paper: ``*`` is a control on |1> (filled dot),
+``o`` a control on |0> (hollow dot), ``X`` the NOT target, boxed
+letters for other single-qubit gates, ``Z`` for phase-flip targets.
+Intended for small circuits in examples, docstrings, and debugging;
+wide oracles are better inspected through their gate counts.
+"""
+
+from __future__ import annotations
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["draw_circuit"]
+
+_MAX_DRAW_QUBITS = 30
+_MAX_DRAW_GATES = 400
+
+
+def _symbol(gate: Gate) -> str:
+    if gate.name == "x":
+        return "X"
+    if gate.name == "z":
+        return "Z"
+    if gate.name == "p":
+        return "P"
+    return gate.name.upper()[:1]
+
+
+def draw_circuit(
+    circuit: QuantumCircuit,
+    labels: dict[int, str] | None = None,
+) -> str:
+    """Render a circuit as ASCII art.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to draw (refused above 30 qubits / 400 gates —
+        diagrams that size are unreadable anyway).
+    labels:
+        Optional display names per qubit index (defaults to ``q<i>``;
+        register names are used when the circuit has registers).
+    """
+    n = circuit.num_qubits
+    if n > _MAX_DRAW_QUBITS:
+        raise ValueError(
+            f"refusing to draw {n} qubits (limit {_MAX_DRAW_QUBITS})"
+        )
+    if circuit.num_gates > _MAX_DRAW_GATES:
+        raise ValueError(
+            f"refusing to draw {circuit.num_gates} gates (limit {_MAX_DRAW_GATES})"
+        )
+    if labels is None:
+        labels = {}
+        for name, reg in circuit.registers.items():
+            for j, q in enumerate(reg.qubits):
+                labels[q] = f"{name}{j}" if reg.size > 1 else name
+    names = [labels.get(q, f"q{q}") for q in range(n)]
+    name_width = max((len(s) for s in names), default=2)
+
+    # One column of width 3 per gate; wire rows and gap rows interleave.
+    wire_rows = [[] for _ in range(n)]
+    gap_rows = [[] for _ in range(n - 1)] if n > 1 else []
+
+    for gate in circuit:
+        column = ["---"] * n
+        gaps = ["   "] * max(n - 1, 0)
+        involved = sorted(gate.qubits)
+        lo, hi = involved[0], involved[-1]
+        for control in gate.controls:
+            column[control.qubit] = "-*-" if control.value else "-o-"
+        column[gate.target] = f"-{_symbol(gate)}-"
+        for q in range(lo, hi):
+            if column[q] == "---":
+                column[q] = "-|-"
+            gaps[q] = " | "
+        for q in range(n):
+            wire_rows[q].append(column[q])
+        for q in range(len(gaps)):
+            gap_rows[q].append(gaps[q])
+
+    lines: list[str] = []
+    for q in range(n):
+        prefix = f"{names[q]:>{name_width}} |0> "
+        lines.append(prefix + "-" + "".join(wire_rows[q]) + "-")
+        if q < n - 1:
+            pad = " " * (name_width + 5)
+            gap_line = pad + " " + "".join(gap_rows[q])
+            if gap_line.strip():
+                lines.append(gap_line)
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Gate vocabulary for the circuit IR.
+
+The paper's oracle needs only a small gate set: X (NOT), H (Hadamard),
+Z, and multi-controlled X / Z with controls on either |0> or |1> (the
+hollow/filled dots of its circuit figures).  A :class:`Gate` records the
+operation symbolically — name, target qubits, and control terms — so
+circuits with hundreds of qubits stay cheap to build, invert, and count.
+Matrices are materialised only by the simulators that need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Control", "Gate", "SINGLE_QUBIT_MATRICES", "is_classical_gate"]
+
+_SQRT2 = float(np.sqrt(2.0))
+
+#: Unitary matrices for the supported single-qubit primitives.
+SINGLE_QUBIT_MATRICES: dict[str, np.ndarray] = {
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "h": np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+}
+
+#: Gates that permute (or only re-phase) computational basis states.
+_CLASSICAL_NAMES = frozenset({"x"})
+_PHASE_NAMES = frozenset({"z", "s", "sdg", "p"})
+
+
+@dataclass(frozen=True)
+class Control:
+    """A control term: ``qubit`` must be in state ``value`` (0 or 1).
+
+    ``value=1`` is the filled dot of circuit notation, ``value=0`` the
+    hollow dot (control-on-zero).
+    """
+
+    qubit: int
+    value: int = 1
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"control value must be 0 or 1, got {self.value}")
+        if self.qubit < 0:
+            raise ValueError(f"qubit index must be >= 0, got {self.qubit}")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One circuit operation.
+
+    Attributes
+    ----------
+    name:
+        One of ``x``, ``h``, ``z``, ``s``, ``sdg``, ``p`` (phase, uses
+        ``param`` as the angle).
+    target:
+        Target qubit index.
+    controls:
+        Control terms; the gate acts only when all are satisfied.
+    param:
+        Angle for parametrised gates (``p``).
+    """
+
+    name: str
+    target: int
+    controls: tuple[Control, ...] = field(default=())
+    param: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in SINGLE_QUBIT_MATRICES and self.name != "p":
+            raise ValueError(f"unsupported gate name {self.name!r}")
+        if self.name == "p" and self.param is None:
+            raise ValueError("phase gate 'p' requires a param angle")
+        if self.target < 0:
+            raise ValueError(f"target index must be >= 0, got {self.target}")
+        qubits = [c.qubit for c in self.controls] + [self.target]
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"duplicate qubit in gate {self.name}: {qubits}")
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        """All qubits the gate touches (controls then target)."""
+        return tuple(c.qubit for c in self.controls) + (self.target,)
+
+    @property
+    def num_controls(self) -> int:
+        return len(self.controls)
+
+    def matrix(self) -> np.ndarray:
+        """The 2x2 matrix applied to the target when controls fire."""
+        if self.name == "p":
+            return np.array([[1, 0], [0, np.exp(1j * float(self.param))]], dtype=complex)
+        return SINGLE_QUBIT_MATRICES[self.name]
+
+    def inverse(self) -> "Gate":
+        """The inverse gate (self-inverse for x/h/z)."""
+        if self.name in ("x", "h", "z"):
+            return self
+        if self.name == "s":
+            return Gate("sdg", self.target, self.controls)
+        if self.name == "sdg":
+            return Gate("s", self.target, self.controls)
+        return Gate("p", self.target, self.controls, param=-float(self.param))
+
+    def shifted(self, offset: int) -> "Gate":
+        """The same gate with every qubit index moved up by ``offset``."""
+        return Gate(
+            self.name,
+            self.target + offset,
+            tuple(Control(c.qubit + offset, c.value) for c in self.controls),
+            self.param,
+        )
+
+
+def is_classical_gate(gate: Gate) -> bool:
+    """True if the gate maps basis states to basis states (X family).
+
+    The oracle's compute/uncompute body consists solely of such gates,
+    which is what makes exact classical (bit-level) simulation of the
+    full circuit possible at any width.
+    """
+    return gate.name in _CLASSICAL_NAMES

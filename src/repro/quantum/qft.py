@@ -1,0 +1,131 @@
+"""Quantum Fourier transform and phase estimation circuits.
+
+Quantum counting (Brassard et al.) — the subroutine qTKP uses to learn
+the solution count ``M`` — is phase estimation applied to the Grover
+operator.  :mod:`repro.quantum.counting` evaluates its readout
+distribution analytically in the operator's 2-D invariant subspace;
+this module supplies the *circuit-level* machinery so the analytic
+model can be validated end to end on small registers:
+
+* :func:`qft_circuit` — the textbook QFT out of Hadamards and
+  controlled phase gates (plus the final swap reversal);
+* :func:`phase_estimation_circuit` — ``t`` readout qubits controlling
+  powers of an arbitrary single-qubit phase unitary, inverse QFT,
+  ready for measurement;
+* :func:`estimate_phase_distribution` — dense-simulate the circuit and
+  return the readout distribution.
+
+Controlled-U powers for general multi-qubit U are outside the IR's
+gate set, so the circuit-level validation targets phase gates (which
+is exactly what the Grover operator looks like on each eigenvector).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import Control, Gate
+from .statevector import simulate
+
+__all__ = [
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "qft_matrix",
+    "phase_estimation_circuit",
+    "estimate_phase_distribution",
+]
+
+
+def _swap(qc: QuantumCircuit, a: int, b: int) -> None:
+    """SWAP from three CNOTs."""
+    qc.cx(a, b)
+    qc.cx(b, a)
+    qc.cx(a, b)
+
+
+def qft_circuit(num_qubits: int, offset: int = 0) -> QuantumCircuit:
+    """The quantum Fourier transform on ``num_qubits`` qubits.
+
+    Maps |j> to ``(1/sqrt(2^n)) sum_k exp(2 pi i j k / 2^n) |k>`` in the
+    little-endian convention (qubit ``offset`` is the least significant
+    bit of ``j``).  ``offset`` places the transform on a sub-register of
+    a wider circuit.
+    """
+    if num_qubits < 1:
+        raise ValueError(f"num_qubits must be >= 1, got {num_qubits}")
+    qc = QuantumCircuit(offset + num_qubits)
+    # Standard construction on the most-significant-first ordering.
+    for i in reversed(range(num_qubits)):
+        qc.h(offset + i)
+        for jdx in range(i):
+            angle = math.pi / (1 << (i - jdx))
+            qc.append(
+                Gate("p", offset + i, (Control(offset + jdx),), param=angle)
+            )
+    for i in range(num_qubits // 2):
+        _swap(qc, offset + i, offset + num_qubits - 1 - i)
+    return qc
+
+
+def inverse_qft_circuit(num_qubits: int, offset: int = 0) -> QuantumCircuit:
+    """The adjoint of :func:`qft_circuit`."""
+    return qft_circuit(num_qubits, offset).inverse()
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """The ideal QFT as a dense matrix, for cross-checking."""
+    dim = 1 << num_qubits
+    omega = np.exp(2j * np.pi / dim)
+    j, k = np.meshgrid(np.arange(dim), np.arange(dim), indexing="ij")
+    return omega ** (j * k) / np.sqrt(dim)
+
+
+def phase_estimation_circuit(
+    precision_qubits: int, phase: float
+) -> QuantumCircuit:
+    """QPE measuring the eigenphase of ``diag(1, e^{i phase})`` on |1>.
+
+    Layout: qubits ``0 .. t-1`` form the readout register (little
+    endian), qubit ``t`` holds the eigenstate |1>.  The circuit applies
+    H on the readout, controlled ``U^(2^j)`` (phase gates with doubled
+    angles), and the inverse QFT; measuring the readout register then
+    samples the canonical QPE distribution for ``phase``.
+    """
+    if precision_qubits < 1:
+        raise ValueError(f"precision_qubits must be >= 1, got {precision_qubits}")
+    t = precision_qubits
+    qc = QuantumCircuit(t + 1)
+    qc.x(t)  # prepare the eigenstate |1>
+    for j in range(t):
+        qc.h(j)
+    for j in range(t):
+        qc.append(
+            Gate("p", t, (Control(j),), param=float(phase) * (1 << j))
+        )
+    qc.extend(_shift_into(inverse_qft_circuit(t), t + 1))
+    return qc
+
+
+def _shift_into(circuit: QuantumCircuit, width: int) -> QuantumCircuit:
+    """Re-host a circuit inside a wider qubit space (indices unchanged)."""
+    out = QuantumCircuit(width)
+    for gate in circuit:
+        out.append(gate)
+    return out
+
+
+def estimate_phase_distribution(
+    precision_qubits: int, phase: float
+) -> np.ndarray:
+    """Dense-simulate QPE and return P[m] over the readout register."""
+    qc = phase_estimation_circuit(precision_qubits, phase)
+    sv = simulate(qc)
+    t = precision_qubits
+    marginal = sv.marginal_probabilities(list(range(t)))
+    out = np.zeros(1 << t)
+    for value, prob in marginal.items():
+        out[value] = prob
+    return out

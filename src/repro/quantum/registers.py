@@ -1,0 +1,50 @@
+"""Named qubit registers.
+
+The oracle circuits juggle many qubit groups (vertex qubits, edge
+qubits, per-vertex counters, comparator ancillas, the oracle qubit).  A
+:class:`QuantumRegister` is a contiguous, named slice of the circuit's
+qubit index space so builder code reads like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+__all__ = ["QuantumRegister"]
+
+
+@dataclass(frozen=True)
+class QuantumRegister:
+    """A contiguous block of ``size`` qubits starting at ``offset``."""
+
+    name: str
+    size: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"register size must be >= 0, got {self.size}")
+        if self.offset < 0:
+            raise ValueError(f"register offset must be >= 0, got {self.offset}")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int | slice) -> int | list[int]:
+        """Absolute qubit index (or indices) for a register-local index."""
+        if isinstance(index, slice):
+            return list(range(self.offset, self.offset + self.size))[index]
+        if index < 0:
+            index += self.size
+        if not (0 <= index < self.size):
+            raise IndexError(f"register {self.name} has {self.size} qubits, asked {index}")
+        return self.offset + index
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.offset, self.offset + self.size))
+
+    @property
+    def qubits(self) -> list[int]:
+        """All absolute qubit indices in the register, LSB first."""
+        return list(self)

@@ -1,0 +1,131 @@
+"""Dense statevector simulation (the "Qiskit simulator" stand-in).
+
+Exact simulation of any circuit in the IR, practical to ~22 qubits.
+Qubit ``i`` maps to bit ``i`` of the basis index (little-endian), the
+same convention :meth:`repro.graphs.Graph.subset_to_bitmask` uses, so a
+measured bitmask *is* a vertex subset.
+
+The simulator applies each gate in O(2^n): it selects the amplitudes
+whose control bits match, pairs them across the target bit, and mixes
+them with the gate's 2x2 matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["Statevector", "simulate", "apply_gate"]
+
+_MAX_DENSE_QUBITS = 24
+
+
+class Statevector:
+    """A normalised complex amplitude vector over ``2^n`` basis states."""
+
+    def __init__(self, num_qubits: int, data: np.ndarray | None = None) -> None:
+        if num_qubits > _MAX_DENSE_QUBITS:
+            raise ValueError(
+                f"dense simulation refuses {num_qubits} qubits "
+                f"(limit {_MAX_DENSE_QUBITS}); use the classical or "
+                "phase-oracle simulators for wide circuits"
+            )
+        self.num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if data is None:
+            self.data = np.zeros(dim, dtype=complex)
+            self.data[0] = 1.0
+        else:
+            arr = np.asarray(data, dtype=complex)
+            if arr.shape != (dim,):
+                raise ValueError(f"expected shape ({dim},), got {arr.shape}")
+            self.data = arr.copy()
+
+    @classmethod
+    def from_basis_state(cls, num_qubits: int, index: int) -> "Statevector":
+        """|index> as a computational basis state."""
+        sv = cls(num_qubits)
+        sv.data[0] = 0.0
+        sv.data[index] = 1.0
+        return sv
+
+    def probabilities(self) -> np.ndarray:
+        """|amplitude|^2 for every basis state."""
+        return np.abs(self.data) ** 2
+
+    def probability_of(self, index: int) -> float:
+        """Probability of collapsing to basis state ``index``."""
+        return float(abs(self.data[index]) ** 2)
+
+    def marginal_probabilities(self, qubits: list[int]) -> dict[int, float]:
+        """Distribution over the named qubits (others traced out).
+
+        Keys are little-endian bitmasks over the *given qubit order*:
+        bit ``j`` of the key is the value of ``qubits[j]``.
+        """
+        probs = self.probabilities()
+        out: dict[int, float] = {}
+        for index, p in enumerate(probs):
+            if p == 0.0:
+                continue
+            key = 0
+            for j, q in enumerate(qubits):
+                if index >> q & 1:
+                    key |= 1 << j
+            out[key] = out.get(key, 0.0) + float(p)
+        return out
+
+    def sample(self, shots: int, rng: np.random.Generator | None = None) -> dict[int, int]:
+        """Measure all qubits ``shots`` times; returns index -> count."""
+        rng = rng or np.random.default_rng()
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        draws = rng.choice(len(probs), size=shots, p=probs)
+        values, counts = np.unique(draws, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def fidelity_with(self, other: "Statevector") -> float:
+        """|<self|other>|^2."""
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> None:
+    """Apply ``gate`` to ``state`` in place."""
+    dim = state.shape[0]
+    indices = np.arange(dim)
+    mask = np.ones(dim, dtype=bool)
+    for control in gate.controls:
+        bit = (indices >> control.qubit) & 1
+        mask &= bit == control.value
+    t = gate.target
+    target_zero = mask & (((indices >> t) & 1) == 0)
+    i0 = indices[target_zero]
+    i1 = i0 | (1 << t)
+    u = gate.matrix()
+    a0 = state[i0].copy()
+    a1 = state[i1].copy()
+    state[i0] = u[0, 0] * a0 + u[0, 1] * a1
+    state[i1] = u[1, 0] * a0 + u[1, 1] * a1
+
+
+def simulate(
+    circuit: QuantumCircuit,
+    initial: Statevector | int | None = None,
+) -> Statevector:
+    """Run ``circuit`` and return the final statevector.
+
+    ``initial`` may be a :class:`Statevector`, a basis-state index, or
+    ``None`` for |0...0>.
+    """
+    n = circuit.num_qubits
+    if isinstance(initial, Statevector):
+        sv = Statevector(n, initial.data)
+    elif isinstance(initial, int):
+        sv = Statevector.from_basis_state(n, initial)
+    else:
+        sv = Statevector(n)
+    for gate in circuit:
+        apply_gate(sv.data, gate, n)
+    return sv

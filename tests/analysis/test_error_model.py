@@ -1,0 +1,70 @@
+"""Unit tests for the error model."""
+
+import pytest
+
+from repro.analysis import bound_error, exact_error, iterations_for_error, repeated_error
+
+
+class TestErrorModel:
+    def test_exact_error_small_at_optimum(self):
+        assert exact_error(64, 1, 6) < 0.01
+
+    def test_bound_dominates(self):
+        assert bound_error(6) >= exact_error(64, 1, 6)
+
+    def test_repeats_reduce_error(self):
+        assert repeated_error(10, 3) == pytest.approx(bound_error(10) ** 3)
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            repeated_error(5, 0)
+
+    def test_iterations_for_error_inverts_bound(self):
+        for target in (0.1, 0.01, 0.001):
+            iters = iterations_for_error(target)
+            assert bound_error(iters) <= target
+            if iters > 1:
+                assert bound_error(iters - 1) > target
+
+    def test_iterations_for_error_validation(self):
+        with pytest.raises(ValueError):
+            iterations_for_error(0.0)
+        with pytest.raises(ValueError):
+            iterations_for_error(1.5)
+
+
+class TestNoisyGrover:
+    def test_zero_noise_recovers_exact(self):
+        from repro.analysis import noisy_success_probability
+        from repro.grover import success_probability
+
+        assert noisy_success_probability(64, 1, 6, 0.0) == pytest.approx(
+            success_probability(64, 1, 6)
+        )
+
+    def test_full_noise_gives_uniform(self):
+        from repro.analysis import noisy_success_probability
+
+        assert noisy_success_probability(64, 1, 3, 1.0) == pytest.approx(1 / 64)
+
+    def test_noise_never_helps(self):
+        from repro.analysis import noisy_success_probability
+
+        for rate in (0.0, 0.05, 0.2, 0.5):
+            clean = noisy_success_probability(64, 1, 6, 0.0)
+            noisy = noisy_success_probability(64, 1, 6, rate)
+            assert noisy <= clean + 1e-12
+
+    def test_strong_noise_shifts_optimum_earlier(self):
+        from repro.analysis import noise_limited_iterations
+        from repro.grover import optimal_iterations
+
+        clean_opt = optimal_iterations(1 << 10, 1)
+        noisy_opt = noise_limited_iterations(1 << 10, 1, 0.2)
+        assert noisy_opt < clean_opt
+
+    def test_invalid_rate(self):
+        from repro.analysis import noisy_success_probability
+
+        with pytest.raises(ValueError):
+            noisy_success_probability(8, 1, 2, 1.5)

@@ -1,0 +1,94 @@
+"""Unit tests for anytime-behaviour analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.progression import (
+    AnytimeCurve,
+    curve_from_cost_runs,
+    curve_from_qmkp,
+)
+
+
+class TestConstruction:
+    def test_from_events_drops_dominated(self):
+        curve = AnytimeCurve.from_events([(1, 2.0), (2, 1.0), (3, 4.0)])
+        assert curve.budgets == (1.0, 3.0)
+        assert curve.qualities == (2.0, 4.0)
+
+    def test_from_events_sorts(self):
+        curve = AnytimeCurve.from_events([(5, 3.0), (1, 1.0)])
+        assert curve.budgets == (1.0, 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length"):
+            AnytimeCurve((1.0,), (1.0, 2.0))
+        with pytest.raises(ValueError, match="ascending"):
+            AnytimeCurve((2.0, 1.0), (1.0, 2.0))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            AnytimeCurve((1.0, 2.0), (2.0, 1.0))
+
+
+class TestQueries:
+    @pytest.fixture
+    def curve(self):
+        return AnytimeCurve((10.0, 50.0, 100.0), (1.0, 3.0, 4.0))
+
+    def test_quality_at(self, curve):
+        assert curve.quality_at(5) is None
+        assert curve.quality_at(10) == 1.0
+        assert curve.quality_at(75) == 3.0
+        assert curve.quality_at(1000) == 4.0
+
+    def test_budget_for(self, curve):
+        assert curve.budget_for(1.0) == 10.0
+        assert curve.budget_for(2.0) == 50.0
+        assert curve.budget_for(5.0) is None
+
+    def test_final_quality(self, curve):
+        assert curve.final_quality() == 4.0
+        assert AnytimeCurve((), ()).final_quality() is None
+
+
+class TestAuc:
+    def test_instant_optimum_is_one(self):
+        curve = AnytimeCurve((0.0,), (4.0,))
+        assert curve.normalized_auc(horizon=100, best_possible=4.0) == pytest.approx(1.0)
+
+    def test_nothing_found_is_zero(self):
+        curve = AnytimeCurve((), ())
+        assert curve.normalized_auc(horizon=100, best_possible=4.0) == 0.0
+
+    def test_half_time_half_quality(self):
+        curve = AnytimeCurve((50.0,), (2.0,))
+        # quality 2/4 over the second half => area fraction 0.25
+        assert curve.normalized_auc(100, 4.0) == pytest.approx(0.25)
+
+    def test_validation(self):
+        curve = AnytimeCurve((0.0,), (1.0,))
+        with pytest.raises(ValueError):
+            curve.normalized_auc(0, 1.0)
+        with pytest.raises(ValueError):
+            curve.normalized_auc(10, 0.0)
+
+
+class TestAdapters:
+    def test_qmkp_adapter(self, fig1):
+        from repro.core import qmkp
+
+        result = qmkp(fig1, 2, rng=np.random.default_rng(0))
+        curve = curve_from_qmkp(result)
+        assert curve.final_quality() == result.size
+        assert curve.normalized_auc(result.gate_units, result.size) > 0
+
+    def test_cost_runs_adapter(self, fig1):
+        from repro.core import cost_versus_runtime
+
+        runs = cost_versus_runtime(
+            fig1, 2, [10.0, 100.0, 1000.0], solver="sa", seed=1
+        )
+        curve = curve_from_cost_runs(runs)
+        assert curve.final_quality() is not None
+        # anytime quality never decreases
+        qs = [curve.quality_at(b) for b in (10.0, 100.0, 1000.0)]
+        assert qs == sorted(qs)

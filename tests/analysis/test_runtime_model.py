@@ -1,0 +1,32 @@
+"""Unit tests for the calibrated runtime model."""
+
+import pytest
+
+from repro.analysis import PAPER_ANCHOR, RuntimeModel
+
+
+class TestRuntimeModel:
+    def test_calibration_reproduces_anchor(self):
+        model = RuntimeModel.calibrated(
+            anchor_nodes=50, anchor_gate_units=100_000, anchor_n=10
+        )
+        assert model.classical_time_us(50, 10) == pytest.approx(PAPER_ANCHOR["bs_us"])
+        assert model.quantum_time_us(100_000) == pytest.approx(PAPER_ANCHOR["qmkp_us"])
+
+    def test_linear_scaling(self):
+        model = RuntimeModel(classical_node_us=0.1, quantum_gate_us=0.001)
+        assert model.quantum_time_us(2000) == pytest.approx(2.0)
+        assert model.classical_time_us(10, 5) == pytest.approx(0.1 * 10 * 25)
+
+    def test_calibration_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeModel.calibrated(0, 100, 10)
+        with pytest.raises(ValueError):
+            RuntimeModel.calibrated(100, 0, 10)
+
+    def test_speedup_preserved_at_anchor(self):
+        model = RuntimeModel.calibrated(40, 80_000, 10)
+        speedup = model.classical_time_us(40, 10) / model.quantum_time_us(80_000)
+        assert speedup == pytest.approx(
+            PAPER_ANCHOR["bs_us"] / PAPER_ANCHOR["qmkp_us"]
+        )

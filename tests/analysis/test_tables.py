@@ -1,0 +1,35 @@
+"""Unit tests for table rendering and result persistence."""
+
+import pytest
+
+from repro.analysis import format_table, results_dir, write_result
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        text = format_table(["c"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestResults:
+    def test_results_dir_exists(self):
+        assert results_dir().is_dir()
+
+    def test_write_result(self):
+        path = write_result("unit_test_artifact", "hello")
+        assert path.read_text() == "hello\n"
+        path.unlink()

@@ -1,0 +1,101 @@
+"""Unit tests for the binary quadratic model."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import BinaryQuadraticModel
+
+
+@pytest.fixture
+def toy() -> BinaryQuadraticModel:
+    # E = 1 - x + 2y + 3xy
+    return BinaryQuadraticModel({"x": -1.0, "y": 2.0}, {("x", "y"): 3.0}, offset=1.0)
+
+
+class TestConstruction:
+    def test_counts(self, toy):
+        assert toy.num_variables == 2
+        assert toy.num_interactions == 1
+
+    def test_linear_accumulates(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_linear("a", 1.0)
+        bqm.add_linear("a", 2.0)
+        assert bqm.linear["a"] == 3.0
+
+    def test_quadratic_accumulates_order_free(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_quadratic("a", "b", 1.0)
+        bqm.add_quadratic("b", "a", 2.0)
+        assert bqm.num_interactions == 1
+        assert list(bqm.quadratic.values()) == [3.0]
+
+    def test_diagonal_rejected(self):
+        bqm = BinaryQuadraticModel()
+        with pytest.raises(ValueError, match="diagonal"):
+            bqm.add_quadratic("a", "a", 1.0)
+
+    def test_add_variable_idempotent(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_variable("v")
+        bqm.add_variable("v")
+        assert bqm.variables == ["v"]
+
+    def test_from_qubo_with_diagonal(self):
+        bqm = BinaryQuadraticModel.from_qubo({("a", "a"): 2.0, ("a", "b"): 1.0})
+        assert bqm.linear["a"] == 2.0
+        assert bqm.num_interactions == 1
+
+    def test_copy_independent(self, toy):
+        clone = toy.copy()
+        clone.add_linear("x", 5.0)
+        assert toy.linear["x"] == -1.0
+
+
+class TestEnergy:
+    @pytest.mark.parametrize(
+        ("x", "y", "expected"),
+        [(0, 0, 1.0), (1, 0, 0.0), (0, 1, 3.0), (1, 1, 5.0)],
+    )
+    def test_energy_truth_table(self, toy, x, y, expected):
+        assert toy.energy({"x": x, "y": y}) == pytest.approx(expected)
+
+    def test_vectorised_matches_scalar(self, toy):
+        states = np.array([[0, 0], [1, 0], [0, 1], [1, 1]])
+        energies = toy.energies(states, order=["x", "y"])
+        scalar = [toy.energy({"x": a, "y": b}) for a, b in states]
+        assert np.allclose(energies, scalar)
+
+    def test_energies_default_order(self, toy):
+        states = np.array([[1, 1]])
+        assert toy.energies(states)[0] == pytest.approx(5.0)
+
+
+class TestConversions:
+    def test_to_numpy_shapes(self, toy):
+        h, j, offset, order = toy.to_numpy()
+        assert h.shape == (2,)
+        assert j.shape == (2, 2)
+        assert offset == 1.0
+        assert order == ["x", "y"]
+        assert np.allclose(j, np.triu(j, k=1))
+
+    def test_ising_roundtrip_energy(self, toy):
+        h_s, j_s, offset_s = toy.to_ising()
+        for x in (0, 1):
+            for y in (0, 1):
+                sx, sy = 2 * x - 1, 2 * y - 1
+                ising = (
+                    offset_s
+                    + h_s["x"] * sx
+                    + h_s["y"] * sy
+                    + j_s[("x", "y")] * sx * sy
+                )
+                assert ising == pytest.approx(toy.energy({"x": x, "y": y}))
+
+    def test_interaction_graph_skips_zero(self):
+        bqm = BinaryQuadraticModel(quadratic={("a", "b"): 0.0, ("b", "c"): 1.0})
+        assert bqm.interaction_graph_edges() == [("b", "c")]
+
+    def test_repr(self, toy):
+        assert "vars=2" in repr(toy)

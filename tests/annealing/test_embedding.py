@@ -1,0 +1,129 @@
+"""Unit tests for minor embedding."""
+
+import pytest
+
+from repro.annealing import (
+    Embedding,
+    EmbeddingError,
+    chimera_graph,
+    clique_embedding,
+    find_embedding,
+    pegasus_like_graph,
+    suggest_chain_strength,
+)
+
+
+def _cycle_edges(n):
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+def _clique_edges(n):
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+class TestGreedyEmbedding:
+    def test_sparse_problem_short_chains(self):
+        hw = chimera_graph(4)
+        emb = find_embedding(list(range(6)), _cycle_edges(6), hw, seed=0)
+        emb.validate(_cycle_edges(6))
+        assert emb.average_chain_length < 4
+
+    def test_chains_disjoint(self):
+        hw = chimera_graph(4)
+        emb = find_embedding(list(range(8)), _cycle_edges(8), hw, seed=1)
+        seen = set()
+        for chain in emb.chains.values():
+            assert not seen.intersection(chain)
+            seen.update(chain)
+
+    def test_impossible_raises(self):
+        hw = chimera_graph(1)  # 8 qubits
+        with pytest.raises(EmbeddingError):
+            find_embedding(list(range(40)), _clique_edges(40), hw, seed=0)
+
+
+class TestCliqueEmbedding:
+    @pytest.mark.parametrize("n_vars", [4, 8, 12, 16])
+    def test_valid_for_cliques(self, n_vars):
+        hw = chimera_graph(6)
+        emb = clique_embedding(list(range(n_vars)), hw)
+        emb.validate(_clique_edges(n_vars))
+
+    def test_chain_length_formula(self):
+        hw = chimera_graph(8)
+        emb = clique_embedding(list(range(16)), hw)  # needs C4 subgrid
+        assert emb.max_chain_length == 5  # m' + 1
+
+    def test_chain_length_grows_with_variables(self):
+        hw = chimera_graph(10)
+        small = clique_embedding(list(range(8)), hw)
+        large = clique_embedding(list(range(32)), hw)
+        assert large.average_chain_length > small.average_chain_length
+
+    def test_too_many_variables(self):
+        hw = chimera_graph(2)
+        with pytest.raises(EmbeddingError, match="subgrid"):
+            clique_embedding(list(range(12)), hw)
+
+    def test_requires_grid_metadata(self):
+        from repro.annealing import HardwareGraph
+
+        hw = HardwareGraph(4, ((1,), (0,), (3,), (2,)), "adhoc")
+        with pytest.raises(EmbeddingError, match="grid"):
+            clique_embedding([0, 1], hw)
+
+    def test_works_on_pegasus_like(self):
+        hw = pegasus_like_graph(5)
+        emb = clique_embedding(list(range(12)), hw)
+        emb.validate(_clique_edges(12))
+
+
+class TestFallback:
+    def test_dense_problem_falls_back_to_clique(self):
+        hw = chimera_graph(6)
+        edges = _clique_edges(20)
+        emb = find_embedding(list(range(20)), edges, hw, seed=0, max_tries=2)
+        emb.validate(edges)
+
+
+class TestEmbeddingProperties:
+    def test_stats(self):
+        hw = chimera_graph(2)
+        emb = Embedding({0: (0,), 1: (4, 8)}, hw)
+        assert emb.num_physical_qubits == 3
+        assert emb.average_chain_length == 1.5
+        assert emb.max_chain_length == 2
+
+    def test_validate_overlap(self):
+        hw = chimera_graph(2)
+        emb = Embedding({0: (0,), 1: (0,)}, hw)
+        with pytest.raises(EmbeddingError, match="overlap"):
+            emb.validate([])
+
+    def test_validate_disconnected_chain(self):
+        hw = chimera_graph(2)
+        emb = Embedding({0: (0, 1)}, hw)  # same shore: not coupled
+        with pytest.raises(EmbeddingError, match="disconnected"):
+            emb.validate([])
+
+    def test_validate_missing_coupler(self):
+        hw = chimera_graph(2)
+        emb = Embedding({0: (0,), 1: (1,)}, hw)
+        with pytest.raises(EmbeddingError, match="coupler"):
+            emb.validate([(0, 1)])
+
+    def test_validate_empty_chain(self):
+        hw = chimera_graph(2)
+        emb = Embedding({0: ()}, hw)
+        with pytest.raises(EmbeddingError, match="empty"):
+            emb.validate([])
+
+
+class TestChainStrength:
+    def test_scales_with_couplings(self):
+        weak = suggest_chain_strength({}, {("a", "b"): 1.0})
+        strong = suggest_chain_strength({}, {("a", "b"): 10.0})
+        assert strong > weak
+
+    def test_floor_at_one(self):
+        assert suggest_chain_strength({}, {}) >= 1.0

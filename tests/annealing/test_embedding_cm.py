@@ -1,0 +1,92 @@
+"""Unit tests for the Cai-Macready congestion router."""
+
+import pytest
+
+from repro.annealing import chimera_graph, pegasus_like_graph
+from repro.annealing.embedding import EmbeddingError
+from repro.annealing.embedding_cm import find_embedding_cm
+
+
+def _cycle_edges(n):
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+def _clique_edges(n):
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+def _grid_edges(rows, cols):
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return edges
+
+
+class TestSparseProblems:
+    def test_cycle(self):
+        hw = chimera_graph(4)
+        edges = _cycle_edges(10)
+        emb = find_embedding_cm(list(range(10)), edges, hw, seed=0)
+        emb.validate(edges)
+
+    def test_grid(self):
+        hw = chimera_graph(6)
+        edges = _grid_edges(4, 5)
+        emb = find_embedding_cm(list(range(20)), edges, hw, seed=1)
+        emb.validate(edges)
+        assert emb.average_chain_length < 6
+
+    def test_no_edges(self):
+        hw = chimera_graph(2)
+        emb = find_embedding_cm([0, 1, 2], [], hw, seed=0)
+        emb.validate([])
+        assert emb.num_physical_qubits == 3
+
+
+class TestDenseProblems:
+    @pytest.mark.parametrize("n", [6, 10])
+    def test_small_cliques(self, n):
+        hw = chimera_graph(6)
+        edges = _clique_edges(n)
+        emb = find_embedding_cm(list(range(n)), edges, hw, seed=0)
+        emb.validate(edges)
+
+    def test_mkp_qubo_mid_size(self):
+        from repro.core import build_mkp_qubo
+        from repro.datasets import load_instance
+
+        g = load_instance("D_15_70")
+        model = build_mkp_qubo(g, 3)
+        hw = chimera_graph(16)
+        emb = find_embedding_cm(
+            model.bqm.variables, model.bqm.interaction_graph_edges(), hw, seed=3
+        )
+        emb.validate(model.bqm.interaction_graph_edges())
+
+
+class TestFailure:
+    def test_too_big_for_tiny_chip(self):
+        hw = chimera_graph(1)
+        edges = _clique_edges(12)
+        with pytest.raises(EmbeddingError):
+            find_embedding_cm(list(range(12)), edges, hw, seed=0, max_passes=2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_chains(self):
+        hw = chimera_graph(4)
+        edges = _cycle_edges(8)
+        a = find_embedding_cm(list(range(8)), edges, hw, seed=5)
+        b = find_embedding_cm(list(range(8)), edges, hw, seed=5)
+        assert a.chains == b.chains
+
+    def test_works_on_pegasus_like(self):
+        hw = pegasus_like_graph(4)
+        edges = _clique_edges(8)
+        emb = find_embedding_cm(list(range(8)), edges, hw, seed=2)
+        emb.validate(edges)

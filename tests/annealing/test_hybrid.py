@@ -1,0 +1,58 @@
+"""Unit tests for the hybrid solver and steepest descent."""
+
+import pytest
+
+from repro.annealing import (
+    MIN_RUNTIME_US,
+    BinaryQuadraticModel,
+    HybridSampler,
+    steepest_descent,
+)
+from repro.milp import solve_branch_bound
+
+
+def _bqm():
+    return BinaryQuadraticModel(
+        {"a": -1.0, "b": -1.0, "c": -1.0},
+        {("a", "b"): 3.0, ("b", "c"): 3.0},
+    )
+
+
+class TestSteepestDescent:
+    def test_reaches_local_minimum(self):
+        bqm = _bqm()
+        local = steepest_descent(bqm, {"a": 0, "b": 0, "c": 0})
+        energy = bqm.energy(local)
+        # no single flip improves
+        for var in local:
+            flipped = dict(local)
+            flipped[var] = 1 - flipped[var]
+            assert bqm.energy(flipped) >= energy
+
+    def test_descends_from_bad_start(self):
+        bqm = _bqm()
+        start = {"a": 1, "b": 1, "c": 1}
+        local = steepest_descent(bqm, start)
+        assert bqm.energy(local) < bqm.energy(start)
+
+
+class TestHybridSampler:
+    def test_finds_optimum(self):
+        bqm = _bqm()
+        ss = HybridSampler().sample(bqm, seed=0)
+        assert ss.lowest_energy == pytest.approx(solve_branch_bound(bqm).energy)
+
+    def test_runtime_floored_at_minimum(self):
+        ss = HybridSampler().sample(_bqm(), time_limit_us=10.0, seed=0)
+        assert ss.info["total_runtime_us"] == MIN_RUNTIME_US
+
+    def test_longer_budget_reported(self):
+        ss = HybridSampler().sample(_bqm(), time_limit_us=5e6, seed=0)
+        assert ss.info["total_runtime_us"] == 5e6
+
+    def test_all_samples_locally_optimal(self):
+        bqm = _bqm()
+        ss = HybridSampler(num_restarts=8).sample(bqm, seed=1)
+        for sample in ss:
+            descended = steepest_descent(bqm, dict(sample.assignment))
+            assert bqm.energy(descended) == pytest.approx(sample.energy)

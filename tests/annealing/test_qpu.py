@@ -1,0 +1,124 @@
+"""Unit tests for the simulated QPU sampler."""
+
+import pytest
+
+from repro.annealing import (
+    BinaryQuadraticModel,
+    QPURuntimeExceeded,
+    SimulatedQPUSampler,
+    chimera_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def qpu():
+    return SimulatedQPUSampler(hardware=chimera_graph(4), max_call_time_us=1000.0)
+
+
+def _toy_bqm():
+    # minimum at x = (1, 1, 0): E = -3
+    return BinaryQuadraticModel(
+        {"a": -2.0, "b": -2.0, "c": 1.0},
+        {("a", "b"): 1.0, ("b", "c"): 2.0},
+    )
+
+
+class TestValidation:
+    def test_bad_annealing_time(self, qpu):
+        with pytest.raises(ValueError):
+            qpu.sample(_toy_bqm(), annealing_time_us=0)
+
+    def test_bad_reads(self, qpu):
+        with pytest.raises(ValueError):
+            qpu.sample(_toy_bqm(), num_reads=0)
+
+    def test_runtime_cap_enforced(self, qpu):
+        with pytest.raises(QPURuntimeExceeded):
+            qpu.sample(_toy_bqm(), annealing_time_us=100, num_reads=100)
+
+    def test_cap_disabled(self):
+        sampler = SimulatedQPUSampler(
+            hardware=chimera_graph(2), max_call_time_us=None
+        )
+        ss = sampler.sample(_toy_bqm(), annealing_time_us=100, num_reads=20, seed=0)
+        assert ss.info["total_runtime_us"] == pytest.approx(2000)
+
+
+class TestSampling:
+    def test_solves_toy_model(self, qpu):
+        ss = qpu.sample(_toy_bqm(), annealing_time_us=5, num_reads=50, seed=0)
+        assert ss.lowest_energy == pytest.approx(-3.0)
+        assert ss.first.assignment == {"a": 1, "b": 1, "c": 0}
+
+    def test_info_fields(self, qpu):
+        ss = qpu.sample(_toy_bqm(), annealing_time_us=2, num_reads=10, seed=1)
+        info = ss.info
+        assert info["annealing_time_us"] == 2
+        assert info["num_reads"] == 10
+        assert info["total_runtime_us"] == pytest.approx(20)
+        assert info["average_chain_length"] >= 1.0
+        assert 0.0 <= info["chain_break_fraction"] <= 1.0
+
+    def test_sweeps_scale_with_annealing_time(self, qpu):
+        short = qpu.sample(_toy_bqm(), annealing_time_us=1, num_reads=5, seed=2)
+        long = qpu.sample(_toy_bqm(), annealing_time_us=50, num_reads=5, seed=2)
+        assert long.info["sweeps_per_read"] > short.info["sweeps_per_read"]
+
+    def test_embedding_cached(self, qpu):
+        bqm = _toy_bqm()
+        first = qpu.embed(bqm, seed=0)
+        second = qpu.embed(bqm, seed=99)  # cache hit ignores the new seed
+        assert first is second
+
+    def test_logical_energies_reported(self, qpu):
+        """Reported energies are of the LOGICAL model, not the embedded one."""
+        bqm = _toy_bqm()
+        ss = qpu.sample(bqm, annealing_time_us=5, num_reads=20, seed=3)
+        for sample in ss:
+            assert sample.energy == pytest.approx(bqm.energy(sample.assignment))
+
+
+class TestNoise:
+    def test_noise_free_sampler_more_reliable(self):
+        noisy = SimulatedQPUSampler(
+            hardware=chimera_graph(3), noise_scale=0.5, max_call_time_us=None
+        )
+        clean = SimulatedQPUSampler(
+            hardware=chimera_graph(3), noise_scale=0.0, max_call_time_us=None
+        )
+        bqm = _toy_bqm()
+        noisy_best = noisy.sample(bqm, annealing_time_us=2, num_reads=30, seed=4).lowest_energy
+        clean_best = clean.sample(bqm, annealing_time_us=2, num_reads=30, seed=4).lowest_energy
+        assert clean_best <= noisy_best + 1e-9
+
+
+class TestSpinReversalTransforms:
+    def test_gauge_preserves_energies(self):
+        from repro.annealing.qpu import _gauge_transform
+
+        bqm = _toy_bqm()
+        flips = {"a", "c"}
+        gauged = _gauge_transform(bqm, flips)
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    x = {"a": a, "b": b, "c": c}
+                    flipped = {v: (1 - val if v in flips else val) for v, val in x.items()}
+                    assert gauged.energy(flipped) == pytest.approx(bqm.energy(x))
+
+    def test_sampling_with_gauges_still_solves(self, qpu):
+        ss = qpu.sample(
+            _toy_bqm(), annealing_time_us=5, num_reads=40, seed=0,
+            num_spin_reversal_transforms=4,
+        )
+        assert ss.lowest_energy == pytest.approx(-3.0)
+        assert ss.info["num_spin_reversal_transforms"] == 4
+
+    def test_energies_reported_in_original_frame(self, qpu):
+        bqm = _toy_bqm()
+        ss = qpu.sample(
+            bqm, annealing_time_us=5, num_reads=20, seed=1,
+            num_spin_reversal_transforms=2,
+        )
+        for sample in ss:
+            assert sample.energy == pytest.approx(bqm.energy(sample.assignment))

@@ -1,0 +1,92 @@
+"""Unit tests for the simulated annealing sampler."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import BinaryQuadraticModel, SimulatedAnnealingSampler
+from repro.milp import solve_branch_bound
+
+
+def _random_bqm(n, seed):
+    rng = np.random.default_rng(seed)
+    bqm = BinaryQuadraticModel()
+    for i in range(n):
+        bqm.add_linear(i, float(rng.normal()))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.4:
+                bqm.add_quadratic(i, j, float(rng.normal()))
+    return bqm
+
+
+class TestValidation:
+    def test_bad_reads(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSampler().sample(_random_bqm(3, 0), num_reads=0)
+
+    def test_bad_sweeps(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSampler().sample(_random_bqm(3, 0), num_sweeps=0)
+
+    def test_bad_initial_shape(self):
+        with pytest.raises(ValueError, match="initial_states"):
+            SimulatedAnnealingSampler().sample(
+                _random_bqm(3, 0), num_reads=2, initial_states=np.zeros((1, 3))
+            )
+
+
+class TestSampling:
+    def test_empty_model(self):
+        bqm = BinaryQuadraticModel(offset=4.0)
+        ss = SimulatedAnnealingSampler().sample(bqm, num_reads=3)
+        assert ss.lowest_energy == 4.0
+
+    def test_energies_match_assignments(self):
+        bqm = _random_bqm(6, 1)
+        ss = SimulatedAnnealingSampler().sample(bqm, num_reads=8, seed=0)
+        for sample in ss:
+            assert sample.energy == pytest.approx(bqm.energy(sample.assignment))
+
+    def test_finds_optimum_small_model(self):
+        bqm = _random_bqm(8, 2)
+        opt = solve_branch_bound(bqm).energy
+        ss = SimulatedAnnealingSampler().sample(
+            bqm, num_reads=30, num_sweeps=200, seed=1
+        )
+        assert ss.lowest_energy == pytest.approx(opt, abs=1e-9)
+
+    def test_deterministic_given_seed(self):
+        bqm = _random_bqm(5, 3)
+        a = SimulatedAnnealingSampler().sample(bqm, num_reads=4, seed=7)
+        b = SimulatedAnnealingSampler().sample(bqm, num_reads=4, seed=7)
+        assert a.lowest_energy == b.lowest_energy
+
+    def test_more_sweeps_not_worse_on_average(self):
+        bqm = _random_bqm(12, 4)
+        quick = SimulatedAnnealingSampler().sample(bqm, num_reads=20, num_sweeps=1, seed=5)
+        slow = SimulatedAnnealingSampler().sample(bqm, num_reads=20, num_sweeps=200, seed=5)
+        assert slow.lowest_energy <= quick.lowest_energy + 1e-9
+
+    def test_initial_states_respected_at_zero_sweeps_equivalent(self):
+        # With an all-zero initial state and a model whose optimum is
+        # all-zero, SA must stay at the optimum.
+        bqm = BinaryQuadraticModel({0: 5.0, 1: 5.0})
+        init = np.zeros((3, 2))
+        ss = SimulatedAnnealingSampler(beta_range=(10.0, 20.0)).sample(
+            bqm, num_reads=3, num_sweeps=5, seed=0, initial_states=init
+        )
+        assert ss.lowest_energy == pytest.approx(0.0)
+
+    def test_info_metadata(self):
+        ss = SimulatedAnnealingSampler().sample(_random_bqm(4, 0), num_reads=2, num_sweeps=7)
+        assert ss.info["num_reads"] == 2
+        assert ss.info["sweeps_per_read"] == 7
+
+    def test_custom_beta_range(self):
+        bqm = _random_bqm(5, 6)
+        ss = SimulatedAnnealingSampler(beta_range=(0.1, 50.0)).sample(
+            bqm, num_reads=10, num_sweeps=100, seed=2
+        )
+        assert ss.lowest_energy <= 0.0 or ss.lowest_energy == pytest.approx(
+            solve_branch_bound(bqm).energy, abs=5.0
+        )

@@ -1,0 +1,47 @@
+"""Unit tests for SampleSet."""
+
+import pytest
+
+from repro.annealing import Sample, SampleSet
+
+
+class TestSample:
+    def test_value_accessor(self):
+        s = Sample({"a": 1, "b": 0}, -2.0)
+        assert s.value("a") == 1
+        assert s.num_occurrences == 1
+
+
+class TestSampleSet:
+    def test_sorted_by_energy(self):
+        ss = SampleSet([Sample({"a": 0}, 5.0), Sample({"a": 1}, -1.0)])
+        assert ss.first.energy == -1.0
+        assert ss.lowest_energy == -1.0
+
+    def test_empty_first_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            SampleSet().first
+
+    def test_len_counts_occurrences(self):
+        ss = SampleSet([Sample({"a": 0}, 0.0, num_occurrences=3)])
+        assert len(ss) == 3
+
+    def test_from_states_merges_duplicates(self):
+        states = [{"a": 1}, {"a": 1}, {"a": 0}]
+        ss = SampleSet.from_states(states, [2.0, 2.0, 1.0])
+        assert len(ss.samples) == 2
+        dup = next(s for s in ss if s.assignment == {"a": 1})
+        assert dup.num_occurrences == 2
+
+    def test_truncate(self):
+        ss = SampleSet([Sample({"a": i}, float(i)) for i in range(5)])
+        top = ss.truncate(2)
+        assert [s.energy for s in top.samples] == [0.0, 1.0]
+
+    def test_info_passthrough(self):
+        ss = SampleSet.from_states([{"a": 0}], [0.0], info={"k": 1})
+        assert ss.info["k"] == 1
+
+    def test_iteration(self):
+        ss = SampleSet([Sample({"a": 0}, 0.0)])
+        assert [s.energy for s in ss] == [0.0]

@@ -1,0 +1,101 @@
+"""Unit tests for anneal schedules."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import BinaryQuadraticModel, SimulatedAnnealingSampler
+from repro.annealing.schedule import (
+    geometric_schedule,
+    linear_schedule,
+    paused_schedule,
+    quench_schedule,
+)
+
+HOT, COLD, SWEEPS = 0.1, 10.0, 40
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "factory",
+        [geometric_schedule, linear_schedule, paused_schedule, quench_schedule],
+    )
+    def test_endpoints_and_length(self, factory):
+        betas = factory(HOT, COLD, SWEEPS)
+        assert len(betas) == SWEEPS
+        assert betas[0] == pytest.approx(HOT, rel=1e-6)
+        assert betas[-1] == pytest.approx(COLD, rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [geometric_schedule, linear_schedule, paused_schedule, quench_schedule],
+    )
+    def test_monotone_non_decreasing(self, factory):
+        betas = factory(HOT, COLD, SWEEPS)
+        assert np.all(np.diff(betas) >= -1e-12)
+
+    def test_single_sweep(self):
+        assert geometric_schedule(HOT, COLD, 1).tolist() == [COLD]
+        assert linear_schedule(HOT, COLD, 1).tolist() == [COLD]
+
+    def test_pause_holds_constant_run(self):
+        betas = paused_schedule(HOT, COLD, 50, pause_fraction=0.4)
+        diffs = np.diff(betas)
+        longest_flat = max(
+            len(run)
+            for run in "".join("0" if d < 1e-12 else "1" for d in diffs).split("1")
+        )
+        assert longest_flat >= 10
+
+    def test_quench_jumps_to_cold(self):
+        betas = quench_schedule(HOT, COLD, 20, quench_at=0.5)
+        assert np.sum(betas == COLD) >= 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_schedule(-1, COLD, 10)
+        with pytest.raises(ValueError):
+            geometric_schedule(COLD, HOT, 10)  # cold < hot
+        with pytest.raises(ValueError):
+            linear_schedule(HOT, COLD, 0)
+        with pytest.raises(ValueError):
+            paused_schedule(HOT, COLD, 10, pause_at=1.5)
+        with pytest.raises(ValueError):
+            quench_schedule(HOT, COLD, 10, quench_at=0.0)
+
+
+class TestSamplerIntegration:
+    def _bqm(self):
+        return BinaryQuadraticModel(
+            {"a": -2.0, "b": -2.0}, {("a", "b"): 3.0}
+        )
+
+    def test_custom_schedule_used(self):
+        bqm = self._bqm()
+        schedule = geometric_schedule(0.05, 20.0, 25)
+        ss = SimulatedAnnealingSampler().sample(
+            bqm, num_reads=10, beta_schedule=schedule, seed=0
+        )
+        assert ss.info["sweeps_per_read"] == 25
+        assert ss.lowest_energy == pytest.approx(-2.0)
+
+    def test_schedule_length_overrides_num_sweeps(self):
+        bqm = self._bqm()
+        ss = SimulatedAnnealingSampler().sample(
+            bqm, num_reads=2, num_sweeps=999,
+            beta_schedule=linear_schedule(0.1, 5.0, 7), seed=0,
+        )
+        assert ss.info["sweeps_per_read"] == 7
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ValueError, match="beta_schedule"):
+            SimulatedAnnealingSampler().sample(
+                self._bqm(), beta_schedule=np.zeros((2, 2))
+            )
+
+    def test_paused_schedule_samples_fine(self):
+        bqm = self._bqm()
+        ss = SimulatedAnnealingSampler().sample(
+            bqm, num_reads=10,
+            beta_schedule=paused_schedule(0.05, 20.0, 30), seed=1,
+        )
+        assert ss.lowest_energy == pytest.approx(-2.0)

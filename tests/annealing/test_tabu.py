@@ -1,0 +1,66 @@
+"""Unit tests for the tabu search sampler."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import BinaryQuadraticModel, tabu_search
+from repro.milp import solve_branch_bound
+
+
+def _random_bqm(n, seed, density=0.5):
+    rng = np.random.default_rng(seed)
+    bqm = BinaryQuadraticModel()
+    for i in range(n):
+        bqm.add_linear(i, float(rng.normal()))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                bqm.add_quadratic(i, j, float(rng.normal()))
+    return bqm
+
+
+class TestTabuSearch:
+    def test_empty_model(self):
+        bqm = BinaryQuadraticModel(offset=3.0)
+        assignment, energy = tabu_search(bqm)
+        assert assignment == {}
+        assert energy == 3.0
+
+    def test_energy_matches_assignment(self):
+        bqm = _random_bqm(8, 0)
+        assignment, energy = tabu_search(bqm, iterations=500, seed=0)
+        assert bqm.energy(assignment) == pytest.approx(energy)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_finds_optimum_on_small_models(self, seed):
+        bqm = _random_bqm(10, seed)
+        opt = solve_branch_bound(bqm).energy
+        _assignment, energy = tabu_search(bqm, iterations=3000, seed=seed)
+        assert energy == pytest.approx(opt, abs=1e-9)
+
+    def test_respects_initial_assignment(self):
+        bqm = BinaryQuadraticModel({0: 10.0, 1: 10.0})
+        start = {0: 0, 1: 0}
+        assignment, energy = tabu_search(bqm, initial=start, iterations=50, seed=1)
+        assert energy == pytest.approx(0.0)
+
+    def test_escapes_local_minimum(self):
+        # Two decoupled wells: flipping both a and b together gains -4,
+        # but each single flip costs +1 — greedy descent is stuck,
+        # tabu's forced moves escape.
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": 1.0}, {("a", "b"): -6.0})
+        start = {"a": 0, "b": 0}
+        _assignment, energy = tabu_search(bqm, initial=start, iterations=50, seed=0)
+        assert energy == pytest.approx(-4.0)
+
+    def test_deterministic_given_seed(self):
+        bqm = _random_bqm(9, 7)
+        a = tabu_search(bqm, iterations=800, seed=42)
+        b = tabu_search(bqm, iterations=800, seed=42)
+        assert a == b
+
+    def test_more_iterations_never_worse(self):
+        bqm = _random_bqm(12, 3, density=0.7)
+        _x1, short = tabu_search(bqm, iterations=50, seed=5)
+        _x2, long = tabu_search(bqm, iterations=5000, seed=5)
+        assert long <= short + 1e-9

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import figure1_graph
+from repro.graphs import Graph, gnm_random_graph
+
+
+@pytest.fixture
+def fig1() -> Graph:
+    """The paper's 6-vertex running example."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def petersen_like() -> Graph:
+    """A small structured graph: the 5-cycle with chords."""
+    return Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[0, 1, 2])
+def small_random_graph(request) -> Graph:
+    """Three seeded 7-vertex random graphs."""
+    return gnm_random_graph(7, 10, seed=request.param)

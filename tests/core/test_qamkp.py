@@ -1,0 +1,97 @@
+"""Unit tests for the qaMKP driver (Algorithm 4)."""
+
+import pytest
+
+from repro.annealing import SimulatedQPUSampler, chimera_graph
+from repro.core import build_mkp_qubo, cost_versus_runtime, qamkp
+from repro.datasets import figure1_graph
+from repro.graphs import gnm_random_graph
+from repro.kplex import is_kplex, maximum_kplex_bruteforce
+
+
+@pytest.fixture(scope="module")
+def small_qpu():
+    return SimulatedQPUSampler(hardware=chimera_graph(6), max_call_time_us=None)
+
+
+class TestValidation:
+    def test_bad_solver(self, fig1):
+        with pytest.raises(ValueError, match="solver"):
+            qamkp(fig1, 2, solver="quantum")
+
+    def test_bad_runtime(self, fig1):
+        with pytest.raises(ValueError, match="runtime"):
+            qamkp(fig1, 2, runtime_us=0)
+
+
+class TestSaSolver:
+    def test_finds_optimum_on_small_instance(self, fig1):
+        result = qamkp(fig1, 2, runtime_us=500, solver="sa", seed=0, sa_shot_cost_us=1.0)
+        assert result.repaired_size == 4
+        assert is_kplex(fig1, result.repaired, 2)
+
+    def test_cost_reaches_minus_optimum(self, fig1):
+        result = qamkp(fig1, 2, runtime_us=2000, solver="sa", seed=0, sa_shot_cost_us=1.0)
+        assert result.cost <= -3  # near the -4 optimum
+
+    def test_cost_decreases_with_runtime(self):
+        g = gnm_random_graph(10, 25, seed=2)
+        short = qamkp(g, 3, runtime_us=5, solver="sa", seed=5, sa_shot_cost_us=1.0)
+        long = qamkp(g, 3, runtime_us=2000, solver="sa", seed=5, sa_shot_cost_us=1.0)
+        assert long.cost <= short.cost
+
+    def test_repair_always_feasible(self):
+        g = gnm_random_graph(9, 18, seed=4)
+        result = qamkp(g, 2, runtime_us=3, solver="sa", seed=1, sa_shot_cost_us=1.0)
+        assert is_kplex(g, result.repaired, 2)
+
+
+class TestQpuSolver:
+    def test_runs_and_reports_chain_stats(self, fig1, small_qpu):
+        result = qamkp(fig1, 2, runtime_us=200, solver="qpu", qpu=small_qpu, seed=0)
+        assert "average_chain_length" in result.info
+        assert result.info["total_runtime_us"] == pytest.approx(200)
+        assert is_kplex(fig1, result.repaired, 2)
+
+    def test_shots_follow_budget(self, fig1, small_qpu):
+        result = qamkp(
+            fig1, 2, runtime_us=100, delta_t_us=10, solver="qpu",
+            qpu=small_qpu, seed=0,
+        )
+        assert result.info["num_reads"] == 10
+
+
+class TestHybridSolver:
+    def test_minimum_runtime_floor(self, fig1):
+        result = qamkp(fig1, 2, runtime_us=10, solver="hybrid", seed=0)
+        assert result.runtime_us == pytest.approx(3.0e6)
+
+    def test_hybrid_finds_optimum(self, fig1):
+        result = qamkp(fig1, 2, solver="hybrid", seed=0)
+        assert result.cost == pytest.approx(-4.0)
+        assert result.repaired_size == 4
+
+
+class TestMilpSolver:
+    def test_milp_optimal(self, fig1):
+        result = qamkp(fig1, 2, runtime_us=5e6, solver="milp")
+        assert result.cost == pytest.approx(-4.0)
+        assert result.info["status"] in ("optimal", "time_limit")
+
+    def test_milp_matches_bruteforce(self):
+        g = gnm_random_graph(8, 14, seed=7)
+        result = qamkp(g, 2, runtime_us=5e6, solver="milp")
+        opt = len(maximum_kplex_bruteforce(g, 2))
+        assert result.cost == pytest.approx(-opt)
+
+
+class TestCostVersusRuntime:
+    def test_curve_lengths(self, fig1):
+        curve = cost_versus_runtime(fig1, 2, [5, 50, 500], solver="sa", seed=3)
+        assert len(curve) == 3
+        assert [r.runtime_us for r in curve] == [5, 50, 500]
+
+    def test_curve_roughly_monotone(self):
+        g = gnm_random_graph(12, 40, seed=1)
+        curve = cost_versus_runtime(g, 3, [2, 2000], solver="sa", seed=9)
+        assert curve[-1].cost <= curve[0].cost + 1e-9

@@ -1,0 +1,97 @@
+"""Unit tests for qTKP (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import qtkp
+from repro.graphs import complete_graph, gnm_random_graph
+from repro.kplex import find_kplex_of_size, is_kplex
+
+
+class TestBasics:
+    def test_finds_the_paper_solution(self, fig1, rng):
+        result = qtkp(fig1, 2, 4, rng=rng)
+        assert result.found
+        assert result.subset == frozenset({0, 1, 3, 4})
+        assert result.num_marked == 1
+        assert result.iterations == 6  # floor(pi/4 * sqrt(64))
+
+    def test_result_verified_as_kplex(self, fig1, rng):
+        result = qtkp(fig1, 2, 3, rng=rng)
+        assert result.found
+        assert len(result.subset) >= 3
+        assert is_kplex(fig1, result.subset, 2)
+
+    def test_not_found_above_optimum(self, fig1, rng):
+        result = qtkp(fig1, 2, 5, rng=rng)
+        assert not result.found
+        assert result.subset == frozenset()
+        assert result.num_marked == 0
+        assert result.oracle_calls > 0  # a failed attempt still costs
+
+    def test_success_probability_high(self, fig1, rng):
+        result = qtkp(fig1, 2, 4, rng=rng)
+        assert result.success_probability > 0.99
+
+    def test_gate_units_scale_with_calls(self, fig1, rng):
+        result = qtkp(fig1, 2, 4, rng=rng)
+        per_round = result.oracle_costs.total + (4 * 6 + 1)
+        assert result.gate_units == result.oracle_calls * per_round
+
+
+class TestValidation:
+    def test_threshold_bounds(self, fig1, rng):
+        with pytest.raises(ValueError):
+            qtkp(fig1, 2, 0, rng=rng)
+        with pytest.raises(ValueError):
+            qtkp(fig1, 2, 7, rng=rng)
+
+    def test_bad_counting_mode(self, fig1, rng):
+        with pytest.raises(ValueError):
+            qtkp(fig1, 2, 3, counting="guess", rng=rng)
+
+    def test_bad_max_attempts(self, fig1, rng):
+        with pytest.raises(ValueError):
+            qtkp(fig1, 2, 3, max_attempts=0, rng=rng)
+
+
+class TestAgreementWithClassical:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("threshold", [2, 3, 4, 5])
+    def test_decision_agrees_with_branch_search(self, seed, threshold):
+        g = gnm_random_graph(7, 11, seed=seed)
+        rng = np.random.default_rng(seed)
+        quantum = qtkp(g, 2, threshold, rng=rng)
+        classical = find_kplex_of_size(g, 2, threshold)
+        assert quantum.found == bool(classical.subset)
+
+    def test_complete_graph_whole_set(self, rng):
+        g = complete_graph(6)
+        result = qtkp(g, 1, 6, rng=rng)
+        assert result.found
+        assert result.subset == frozenset(range(6))
+
+
+class TestQuantumCounting:
+    def test_quantum_counting_still_succeeds(self, fig1):
+        # Counting error can change the schedule but verification
+        # protects correctness: across seeds, found results are valid.
+        found_any = False
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            result = qtkp(fig1, 2, 4, counting="quantum", rng=rng)
+            if result.found:
+                found_any = True
+                assert is_kplex(fig1, result.subset, 2)
+        assert found_any
+
+    def test_exact_counting_reports_true_m(self, fig1, rng):
+        result = qtkp(fig1, 2, 3, rng=rng)
+        # brute force: count 2-plexes with >= 3 vertices
+        brute = sum(
+            1
+            for m in range(64)
+            if len(fig1.bitmask_to_subset(m)) >= 3
+            and is_kplex(fig1, fig1.bitmask_to_subset(m), 2)
+        )
+        assert result.num_marked == brute

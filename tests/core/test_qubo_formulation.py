@@ -1,0 +1,151 @@
+"""Unit tests for the MKP -> QUBO reformulation (Section IV)."""
+
+import itertools
+
+import pytest
+
+from repro.core import build_mkp_qubo, slack_width
+from repro.graphs import complete_graph, empty_graph, gnm_random_graph
+from repro.kplex import is_kplex, maximum_kplex_bruteforce
+from repro.milp import solve_branch_bound
+
+
+class TestSlackWidth:
+    @pytest.mark.parametrize(
+        ("max_slack", "width"), [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4)]
+    )
+    def test_corrected_formula(self, max_slack, width):
+        assert slack_width(max_slack) == width
+
+    def test_paper_formula_underallocates_powers_of_two(self):
+        # paper: ceil(log2 4) = 2 bits -> can only represent 0..3 < 4.
+        assert slack_width(4, paper_faithful=True) == 2
+        assert slack_width(4, paper_faithful=False) == 3
+
+    def test_formulas_agree_off_powers(self):
+        for v in (3, 5, 6, 7, 9):
+            # corrected = ceil(log2(v+1)); paper = ceil(log2 v); equal
+            # unless v + 1 is a power of two boundary case.
+            assert slack_width(v, paper_faithful=True) <= slack_width(v)
+
+
+class TestStructure:
+    def test_variable_count_is_n_plus_slack(self, fig1):
+        model = build_mkp_qubo(fig1, 2)
+        assert model.num_variables == 6 + model.num_slack_variables
+
+    def test_unconstrained_vertices_get_no_slack(self):
+        # K_n: complement has no edges, no vertex can violate.
+        model = build_mkp_qubo(complete_graph(5), 2)
+        assert model.num_slack_variables == 0
+        assert model.bqm.num_interactions == 0
+
+    def test_nlogn_scaling(self):
+        """The paper's headline: O(n log n) binary variables."""
+        counts = []
+        for n in (10, 20, 30):
+            g = gnm_random_graph(n, round(0.7 * n * (n - 1) / 2), seed=0)
+            counts.append(build_mkp_qubo(g, 3).num_variables)
+        import math
+
+        for n, c in zip((10, 20, 30), counts):
+            assert c <= n * (1 + math.ceil(math.log2(n)) + 1)
+
+    def test_invalid_penalty(self, fig1):
+        with pytest.raises(ValueError, match="R"):
+            build_mkp_qubo(fig1, 2, penalty=1.0)
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(ValueError):
+            build_mkp_qubo(fig1, 0)
+
+
+class TestEnergyLandscape:
+    def _best_energy_over_slacks(self, model, subset):
+        """Minimum energy over all slack assignments for fixed x."""
+        x_part = {
+            model.vertex_variable(v): int(v in subset) for v in model.graph.vertices
+        }
+        slack_names = [name for bits in model.slack_bits.values() for name in bits]
+        best = float("inf")
+        for values in itertools.product((0, 1), repeat=len(slack_names)):
+            assignment = dict(x_part)
+            assignment.update(zip(slack_names, values))
+            best = min(best, model.bqm.energy(assignment))
+        return best
+
+    def test_feasible_subsets_reach_minus_size(self, fig1):
+        """A k-plex with optimal slack has energy exactly -|P|."""
+        model = build_mkp_qubo(fig1, 2)
+        for subset in ({0, 1, 3, 4}, {0, 1}, set()):
+            assert is_kplex(fig1, subset, 2)
+            assert self._best_energy_over_slacks(model, subset) == pytest.approx(
+                -len(subset)
+            )
+
+    def test_infeasible_subsets_cost_more(self, fig1):
+        model = build_mkp_qubo(fig1, 2)
+        bad = {0, 1, 2, 3, 4}  # not a 2-plex
+        assert self._best_energy_over_slacks(model, bad) > -5
+
+    def test_global_minimum_is_optimum(self):
+        """Minimising F solves MKP (paper's correctness claim)."""
+        for seed in (0, 1):
+            g = gnm_random_graph(6, 8, seed=seed)
+            model = build_mkp_qubo(g, 2)
+            result = solve_branch_bound(model.bqm)
+            opt = len(maximum_kplex_bruteforce(g, 2))
+            assert result.energy == pytest.approx(-opt)
+            decoded = model.decode(result.assignment)
+            assert is_kplex(g, decoded, 2)
+            assert len(decoded) == opt
+
+    def test_penalty_r_greater_than_one_required(self, fig1):
+        """With R = 2 the optimum is feasible; the decoded set is a plex."""
+        model = build_mkp_qubo(fig1, 2, penalty=2.0)
+        result = solve_branch_bound(model.bqm)
+        assert is_kplex(fig1, model.decode(result.assignment), 2)
+
+
+class TestAblations:
+    def test_global_big_m_same_optimum(self, fig1):
+        per_vertex = build_mkp_qubo(fig1, 2)
+        global_m = build_mkp_qubo(fig1, 2, global_big_m=True)
+        a = solve_branch_bound(per_vertex.bqm).energy
+        b = solve_branch_bound(global_m.bqm).energy
+        assert a == pytest.approx(b)
+
+    def test_global_big_m_uses_more_slack(self):
+        g = gnm_random_graph(8, 12, seed=1)
+        per_vertex = build_mkp_qubo(g, 2)
+        global_m = build_mkp_qubo(g, 2, global_big_m=True)
+        assert global_m.num_slack_variables >= per_vertex.num_slack_variables
+
+    def test_cost_helper_defaults_missing_vars(self, fig1):
+        model = build_mkp_qubo(fig1, 2)
+        partial = {model.vertex_variable(0): 1}
+        full = {model.vertex_variable(v): int(v == 0) for v in range(6)}
+        for bits in model.slack_bits.values():
+            full.update({name: 0 for name in bits})
+        assert model.cost(partial) == pytest.approx(model.bqm.energy(full))
+
+    def test_feasible_cost(self, fig1):
+        model = build_mkp_qubo(fig1, 2)
+        assert model.feasible_cost(frozenset({0, 1, 3, 4})) == -4.0
+
+
+class TestDecoding:
+    def test_decode_roundtrip(self, fig1):
+        model = build_mkp_qubo(fig1, 2)
+        assignment = {model.vertex_variable(v): int(v in {0, 3}) for v in range(6)}
+        assert model.decode(assignment) == frozenset({0, 3})
+
+    def test_decode_ignores_slack(self, fig1):
+        model = build_mkp_qubo(fig1, 2)
+        assignment = {name: 1 for bits in model.slack_bits.values() for name in bits}
+        assert model.decode(assignment) == frozenset()
+
+    def test_empty_graph(self):
+        model = build_mkp_qubo(empty_graph(3), 2)
+        # complement is K_3: every vertex has degree 2 > k - 1 = 1.
+        assert model.num_slack_variables > 0

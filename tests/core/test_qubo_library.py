@@ -1,0 +1,92 @@
+"""Unit tests for the graph-QUBO toolbox."""
+
+import pytest
+
+from repro.core.qubo_library import (
+    build_clique_qubo,
+    build_independent_set_qubo,
+    build_vertex_cover_qubo,
+)
+from repro.graphs import Graph, complete_graph, cycle_graph, gnm_random_graph
+from repro.kplex import maximum_kplex_bruteforce
+from repro.milp import solve_branch_bound
+
+
+def _max_clique_bruteforce(graph):
+    return len(maximum_kplex_bruteforce(graph, 1))
+
+
+def _min_vertex_cover_bruteforce(graph):
+    best = graph.num_vertices
+    for mask in range(1 << graph.num_vertices):
+        subset = graph.bitmask_to_subset(mask)
+        if all(u in subset or v in subset for u, v in graph.edges):
+            best = min(best, len(subset))
+    return best
+
+
+class TestCliqueQubo:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_minimum_encodes_max_clique(self, seed):
+        g = gnm_random_graph(7, 11, seed=seed)
+        model = build_clique_qubo(g)
+        result = solve_branch_bound(model.bqm)
+        opt = _max_clique_bruteforce(g)
+        assert result.energy == pytest.approx(-opt)
+        decoded = model.decode(result.assignment)
+        assert model.is_feasible(decoded)
+        assert len(decoded) == opt
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        model = build_clique_qubo(g)
+        assert solve_branch_bound(model.bqm).energy == pytest.approx(-5)
+
+    def test_penalty_validation(self, fig1):
+        with pytest.raises(ValueError):
+            build_clique_qubo(fig1, penalty=1.0)
+
+
+class TestIndependentSetQubo:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_duality_with_complement_clique(self, seed):
+        g = gnm_random_graph(7, 10, seed=seed)
+        mis = solve_branch_bound(build_independent_set_qubo(g).bqm).energy
+        cliq = solve_branch_bound(build_clique_qubo(g.complement()).bqm).energy
+        assert mis == pytest.approx(cliq)
+
+    def test_cycle(self):
+        # alpha(C_6) = 3
+        model = build_independent_set_qubo(cycle_graph(6))
+        assert solve_branch_bound(model.bqm).energy == pytest.approx(-3)
+
+    def test_feasibility_check(self, fig1):
+        model = build_independent_set_qubo(fig1)
+        assert model.is_feasible(frozenset({2, 5}))
+        assert not model.is_feasible(frozenset({0, 1}))
+
+
+class TestVertexCoverQubo:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_minimum_encodes_cover(self, seed):
+        g = gnm_random_graph(6, 8, seed=seed)
+        model = build_vertex_cover_qubo(g)
+        result = solve_branch_bound(model.bqm)
+        opt = _min_vertex_cover_bruteforce(g)
+        assert result.energy == pytest.approx(opt)
+        decoded = model.decode(result.assignment)
+        assert model.is_feasible(decoded)
+
+    def test_gallai_identity(self):
+        # alpha(G) + tau(G) = n for any graph.
+        g = gnm_random_graph(7, 12, seed=5)
+        alpha = -solve_branch_bound(build_independent_set_qubo(g).bqm).energy
+        tau = solve_branch_bound(build_vertex_cover_qubo(g).bqm).energy
+        assert alpha + tau == pytest.approx(g.num_vertices)
+
+    def test_star_cover_is_centre(self):
+        g = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        model = build_vertex_cover_qubo(g)
+        result = solve_branch_bound(model.bqm)
+        assert result.energy == pytest.approx(1)
+        assert model.decode(result.assignment) == frozenset({0})

@@ -1,0 +1,111 @@
+"""Unit tests for the generic Grover subset search (adaptability)."""
+
+import numpy as np
+import pytest
+
+from repro.core.subset_search import (
+    grover_maximum_subset,
+    grover_subset_decision,
+    maximum_clique_quantum,
+    maximum_independent_set_quantum,
+    maximum_nclan_quantum,
+    maximum_nclub_quantum,
+)
+from repro.graphs import Graph, complete_graph, empty_graph, gnm_random_graph
+from repro.kplex import (
+    is_kplex,
+    maximum_kplex_bruteforce,
+    maximum_nclan_bruteforce,
+    maximum_nclub_bruteforce,
+)
+
+
+class TestDecision:
+    def test_validation(self, fig1, rng):
+        with pytest.raises(ValueError, match="threshold"):
+            grover_subset_decision(fig1, lambda s: True, 0, rng=rng)
+        big = empty_graph(25)
+        with pytest.raises(ValueError, match="supports"):
+            grover_subset_decision(big, lambda s: True, 1, rng=rng)
+
+    def test_finds_when_exists(self, fig1, rng):
+        result = grover_subset_decision(
+            fig1, lambda s: is_kplex(fig1, s, 2), 4, rng=rng
+        )
+        assert result.found
+        assert result.subset == frozenset({0, 1, 3, 4})
+
+    def test_fails_above_optimum(self, fig1, rng):
+        result = grover_subset_decision(
+            fig1, lambda s: is_kplex(fig1, s, 2), 5, rng=rng
+        )
+        assert not result.found
+        assert result.oracle_calls > 0
+
+
+class TestMaximum:
+    def test_reduces_to_qmkp(self, fig1, rng):
+        result = grover_maximum_subset(
+            fig1, lambda s: is_kplex(fig1, s, 2), rng=rng
+        )
+        assert result.size == 4
+
+    def test_upper_bound_respected(self, fig1, rng):
+        result = grover_maximum_subset(
+            fig1, lambda s: is_kplex(fig1, s, 2), rng=rng, upper_bound=3
+        )
+        assert result.size == 3  # capped below the true optimum
+
+    def test_empty_graph(self, rng):
+        result = grover_maximum_subset(empty_graph(0), lambda s: True, rng=rng)
+        assert result.size == 0
+
+    def test_probe_log(self, fig1, rng):
+        result = grover_maximum_subset(
+            fig1, lambda s: is_kplex(fig1, s, 2), rng=rng
+        )
+        assert result.probes
+        assert sum(p.oracle_calls for p in result.probes) == result.oracle_calls
+
+
+class TestModelWrappers:
+    def test_clique_on_complete_graph(self, rng):
+        result = maximum_clique_quantum(complete_graph(5), rng=rng)
+        assert result.size == 5
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_clique_matches_1plex(self, seed):
+        g = gnm_random_graph(7, 11, seed=seed)
+        rng = np.random.default_rng(seed)
+        quantum = maximum_clique_quantum(g, rng=rng)
+        assert quantum.size == len(maximum_kplex_bruteforce(g, 1))
+
+    def test_independent_set_duality(self, rng):
+        g = gnm_random_graph(7, 10, seed=4)
+        mis = maximum_independent_set_quantum(g, rng=rng)
+        clique_in_complement = maximum_clique_quantum(g.complement(), rng=np.random.default_rng(4))
+        assert mis.size == clique_in_complement.size
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_nclan_matches_bruteforce(self, seed):
+        g = gnm_random_graph(7, 9, seed=seed)
+        rng = np.random.default_rng(seed)
+        quantum = maximum_nclan_quantum(g, 2, rng=rng)
+        assert quantum.size == len(maximum_nclan_bruteforce(g, 2))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_nclub_matches_bruteforce(self, seed):
+        g = gnm_random_graph(7, 9, seed=seed)
+        rng = np.random.default_rng(seed)
+        quantum = maximum_nclub_quantum(g, 2, rng=rng)
+        assert quantum.size == len(maximum_nclub_bruteforce(g, 2))
+
+    def test_paper_example_club(self, fig1, rng):
+        # fig1 is connected with diameter 3: the whole set is a 3-club.
+        result = maximum_nclub_quantum(fig1, 3, rng=rng)
+        assert result.size == 6
+
+    def test_star_clan(self, rng):
+        g = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        result = maximum_nclan_quantum(g, 2, rng=rng)
+        assert result.size == 5  # a star is a 2-clan

@@ -1,0 +1,97 @@
+"""Unit tests for the pinned paper instances."""
+
+import pytest
+
+from repro.core import build_mkp_qubo
+from repro.datasets import (
+    ANNEALING_INSTANCES,
+    GATE_INSTANCES,
+    annealing_instances,
+    chain_experiment_graph,
+    figure1_graph,
+    gate_instances,
+    load_instance,
+)
+from repro.kplex import is_kplex, maximum_kplex
+
+
+class TestFigure1:
+    def test_shape(self):
+        g = figure1_graph()
+        assert g.num_vertices == 6
+        assert g.num_edges == 7
+
+    def test_known_2plex(self):
+        g = figure1_graph()
+        assert is_kplex(g, {0, 1, 3, 4}, 2)
+
+    def test_optimum(self):
+        assert maximum_kplex(figure1_graph(), 2).size == 4
+
+
+class TestGateInstances:
+    @pytest.mark.parametrize("name", sorted(GATE_INSTANCES))
+    def test_sizes_match_names(self, name):
+        inst = GATE_INSTANCES[name]
+        g = inst.build()
+        assert g.num_vertices == inst.num_vertices
+        assert g.num_edges == inst.num_edges
+
+    @pytest.mark.parametrize("name", ["G_7_8", "G_8_10", "G_9_15", "G_10_23"])
+    def test_table2_optima_certified(self, name):
+        """Table II row check: max 2-plex sizes 4, 4, 5, 6."""
+        inst = GATE_INSTANCES[name]
+        g = inst.build()
+        assert maximum_kplex(g, 2).size == inst.known_optima[2]
+
+    def test_g_10_37_profile(self):
+        inst = GATE_INSTANCES["G_10_37"]
+        g = inst.build()
+        for k, opt in inst.known_optima.items():
+            assert maximum_kplex(g, k).size == opt
+
+    def test_builder_dict(self):
+        built = gate_instances()
+        assert set(built) == set(GATE_INSTANCES)
+
+
+class TestAnnealingInstances:
+    @pytest.mark.parametrize("name", sorted(ANNEALING_INSTANCES))
+    def test_sizes(self, name):
+        inst = ANNEALING_INSTANCES[name]
+        g = inst.build()
+        assert (g.num_vertices, g.num_edges) == (inst.num_vertices, inst.num_edges)
+
+    def test_d_instances_nontrivial_qubo(self):
+        """Every D instance must actually exercise the penalty machinery."""
+        for name, g in annealing_instances().items():
+            model = build_mkp_qubo(g, 3)
+            assert model.num_slack_variables > 0, name
+
+    def test_known_optimum_d_10_40(self):
+        g = load_instance("D_10_40")
+        assert maximum_kplex(g, 3).size == 9
+
+
+class TestLoadInstance:
+    def test_known_names(self):
+        assert load_instance("G_7_8").num_vertices == 7
+        assert load_instance("D_30_300").num_edges == 300
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown instance"):
+            load_instance("G_99_99")
+
+
+class TestChainExperiment:
+    def test_density_controls_edges(self):
+        g = chain_experiment_graph(20, density=0.7, seed=0)
+        assert g.num_vertices == 20
+        assert g.num_edges == round(0.7 * 190)
+
+    def test_reproducible(self):
+        assert chain_experiment_graph(15) == chain_experiment_graph(15)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            chain_experiment_graph(1)

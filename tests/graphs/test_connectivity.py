@@ -1,0 +1,81 @@
+"""Unit tests for connectivity and distance helpers."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    connected_components,
+    cycle_graph,
+    diameter,
+    is_connected,
+    pairwise_distances,
+    path_graph,
+    subset_diameter,
+)
+
+
+class TestComponents:
+    def test_single_component(self, fig1):
+        comps = connected_components(fig1)
+        assert len(comps) == 1
+        assert comps[0] == frozenset(range(6))
+
+    def test_two_components_sorted_by_size(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2]
+
+    def test_isolated_vertices(self):
+        g = Graph(3)
+        assert len(connected_components(g)) == 3
+
+    def test_is_connected(self, fig1):
+        assert is_connected(fig1)
+        assert not is_connected(Graph(2))
+        assert is_connected(Graph(0))
+
+
+class TestDistances:
+    def test_bfs_distances_path(self):
+        g = path_graph(4)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_bfs_unreachable_absent(self):
+        g = Graph(3, [(0, 1)])
+        assert 2 not in bfs_distances(g, 0)
+
+    def test_pairwise_symmetric_keys(self, fig1):
+        dist = pairwise_distances(fig1)
+        assert dist[(0, 5)] == 2  # v1 - v5 - v6
+        assert all(u <= v for (u, v) in dist)
+
+    def test_diameter_cycle(self):
+        assert diameter(cycle_graph(6)) == 3
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            diameter(Graph(3, [(0, 1)]))
+
+    def test_diameter_empty_raises(self):
+        with pytest.raises(ValueError):
+            diameter(Graph(0))
+
+
+class TestSubsetDiameter:
+    def test_connected_subset(self, fig1):
+        # {v1, v2, v4} induces a triangle: diameter 1.
+        assert subset_diameter(fig1, {0, 1, 3}) == 1
+
+    def test_disconnected_subset_none(self, fig1):
+        # {v3, v6} are non-adjacent with no internal path.
+        assert subset_diameter(fig1, {2, 5}) is None
+
+    def test_distances_internal_only(self):
+        # 0-1-2 path plus shortcut 0-3-2 outside the subset: within the
+        # subset {0, 1, 2} the 0-2 distance must be 2 (not through 3).
+        g = Graph(4, [(0, 1), (1, 2), (0, 3), (3, 2)])
+        assert subset_diameter(g, {0, 1, 2}) == 2
+
+    def test_empty_subset(self, fig1):
+        assert subset_diameter(fig1, []) is None

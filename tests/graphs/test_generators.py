@@ -1,0 +1,165 @@
+"""Unit tests for graph generators."""
+
+import pytest
+
+from repro.graphs import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    path_graph,
+    planted_kplex_graph,
+    star_graph,
+)
+from repro.kplex import is_kplex
+
+
+class TestGnm:
+    def test_exact_counts(self):
+        g = gnm_random_graph(10, 23, seed=1)
+        assert g.num_vertices == 10
+        assert g.num_edges == 23
+
+    def test_deterministic_given_seed(self):
+        assert gnm_random_graph(8, 12, seed=5) == gnm_random_graph(8, 12, seed=5)
+
+    def test_different_seeds_differ(self):
+        graphs = {gnm_random_graph(10, 20, seed=s) for s in range(10)}
+        assert len(graphs) > 1
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError, match="impossible"):
+            gnm_random_graph(4, 7)
+
+    def test_max_edges_is_complete(self):
+        assert gnm_random_graph(5, 10, seed=0) == complete_graph(5)
+
+
+class TestGnp:
+    def test_p_zero_empty(self):
+        assert gnp_random_graph(6, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_complete(self):
+        assert gnp_random_graph(6, 1.0, seed=1) == complete_graph(6)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5)
+
+
+class TestStructured:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices)
+
+    def test_empty(self):
+        assert empty_graph(4).num_edges == 0
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_star_needs_vertex(self):
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+
+class TestPlantedKplex:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_planted_set_is_kplex(self, k):
+        g = planted_kplex_graph(12, 6, k, seed=7)
+        assert is_kplex(g, range(6), k)
+
+    def test_plex_size_bounds(self):
+        with pytest.raises(ValueError):
+            planted_kplex_graph(5, 6, 2)
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            planted_kplex_graph(5, 3, 0)
+
+    def test_deterministic(self):
+        a = planted_kplex_graph(10, 5, 2, seed=3)
+        b = planted_kplex_graph(10, 5, 2, seed=3)
+        assert a == b
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        g = barabasi_albert_graph(20, 2, seed=1)
+        assert g.num_vertices == 20
+        # each of the n - m new vertices adds m edges
+        assert g.num_edges <= 2 * 20
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5)
+
+    def test_deterministic(self):
+        assert barabasi_albert_graph(15, 2, seed=4) == barabasi_albert_graph(15, 2, seed=4)
+
+    def test_hub_emerges(self):
+        g = barabasi_albert_graph(50, 2, seed=2)
+        assert g.max_degree() >= 8  # preferential attachment grows hubs
+
+
+class TestStochasticBlockModel:
+    def test_sizes(self):
+        from repro.graphs import stochastic_block_model
+
+        g = stochastic_block_model([4, 5, 3], 0.9, 0.1, seed=1)
+        assert g.num_vertices == 12
+
+    def test_extreme_probabilities(self):
+        from repro.graphs import stochastic_block_model
+
+        g = stochastic_block_model([3, 3], 1.0, 0.0, seed=0)
+        # two disjoint triangles
+        assert g.num_edges == 6
+        assert not g.has_edge(0, 3)
+        assert g.has_edge(0, 1)
+
+    def test_blocks_denser_than_background(self):
+        from repro.graphs import stochastic_block_model
+
+        g = stochastic_block_model([10, 10], 0.8, 0.05, seed=2)
+        within = sum(
+            1 for (u, v) in g.edges if (u < 10) == (v < 10)
+        )
+        between = g.num_edges - within
+        assert within > between
+
+    def test_validation(self):
+        from repro.graphs import stochastic_block_model
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            stochastic_block_model([], 0.5, 0.5)
+        with _pytest.raises(ValueError):
+            stochastic_block_model([3], 1.5, 0.5)
+
+    def test_deterministic(self):
+        from repro.graphs import stochastic_block_model
+
+        a = stochastic_block_model([4, 4], 0.7, 0.1, seed=9)
+        b = stochastic_block_model([4, 4], 0.7, 0.1, seed=9)
+        assert a == b

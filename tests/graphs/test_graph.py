@@ -1,0 +1,152 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+
+from repro.graphs import Graph, complete_graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices) == []
+
+    def test_basic_counts(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        assert g.num_vertices == 4
+        assert g.num_edges == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(3, [(0, 3)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_edges_are_canonical_pairs(self):
+        g = Graph(3, [(2, 0)])
+        assert g.edges == frozenset({(0, 2)})
+
+
+class TestAccessors:
+    def test_degree(self, fig1):
+        # v1 (index 0) is adjacent to v2..v5 in the paper's example.
+        assert fig1.degree(0) == 4
+
+    def test_degrees_list(self, fig1):
+        assert fig1.degrees() == [4, 2, 1, 3, 3, 1]
+
+    def test_max_degree(self, fig1):
+        assert fig1.max_degree() == 4
+
+    def test_max_degree_empty(self):
+        assert Graph(0).max_degree() == 0
+
+    def test_neighbors(self, fig1):
+        assert fig1.neighbors(5) == frozenset({4})
+
+    def test_has_edge_both_orientations(self, fig1):
+        assert fig1.has_edge(0, 1)
+        assert fig1.has_edge(1, 0)
+        assert not fig1.has_edge(0, 5)
+
+    def test_has_edge_self(self, fig1):
+        assert not fig1.has_edge(2, 2)
+
+    def test_contains_protocol(self, fig1):
+        assert (0, 1) in fig1
+        assert (0, 5) not in fig1
+
+    def test_density_complete(self):
+        assert complete_graph(5).density() == pytest.approx(1.0)
+
+    def test_density_tiny(self):
+        assert Graph(1).density() == 0.0
+
+    def test_len_and_iter(self, fig1):
+        assert len(fig1) == 6
+        assert list(fig1) == [0, 1, 2, 3, 4, 5]
+
+
+class TestDerivedGraphs:
+    def test_complement_edge_count(self, fig1):
+        comp = fig1.complement()
+        assert comp.num_edges == 15 - fig1.num_edges
+
+    def test_complement_involution(self, fig1):
+        assert fig1.complement().complement() == fig1
+
+    def test_complement_matches_paper_fig6(self, fig1):
+        # The paper's Fig. 6 encodes complement edges e1..e8.
+        expected = {(0, 5), (1, 5), (2, 5), (3, 5), (1, 4), (1, 2), (2, 4), (2, 3)}
+        assert fig1.complement().edges == frozenset(expected)
+
+    def test_induced_subgraph(self, fig1):
+        sub = fig1.induced_subgraph([0, 1, 3])
+        assert sub.num_vertices == 3
+        # edges (0,1), (0,3), (1,3) all exist among v1, v2, v4
+        assert sub.num_edges == 3
+
+    def test_induced_subgraph_relabels_in_order(self, fig1):
+        sub = fig1.induced_subgraph([5, 4])  # sorted -> [4, 5]
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1)
+
+    def test_induced_subgraph_out_of_range(self, fig1):
+        with pytest.raises(ValueError):
+            fig1.induced_subgraph([0, 99])
+
+    def test_degree_in_subset(self, fig1):
+        assert fig1.degree_in(0, {1, 3, 5}) == 2
+
+    def test_remove_vertices_mapping(self, fig1):
+        sub, kept = fig1.remove_vertices([0])
+        assert kept == [1, 2, 3, 4, 5]
+        assert sub.num_vertices == 5
+        # edge (3,4) survives as (kept.index(3), kept.index(4)) = (2, 3)
+        assert sub.has_edge(2, 3)
+
+
+class TestBitmaskEncoding:
+    def test_roundtrip(self, fig1):
+        for mask in range(64):
+            assert fig1.subset_to_bitmask(fig1.bitmask_to_subset(mask)) == mask
+
+    def test_paper_example_state_36(self, fig1):
+        # The paper encodes {v1, v4} as |100100> = 36 reading v1 as the
+        # most significant position; our little-endian convention maps
+        # {v1, v4} = {0, 3} to bitmask 0b001001 = 9.
+        assert fig1.subset_to_bitmask({0, 3}) == 9
+
+    def test_out_of_range_subset(self, fig1):
+        with pytest.raises(ValueError):
+            fig1.subset_to_bitmask({6})
+
+    def test_out_of_range_mask(self, fig1):
+        with pytest.raises(ValueError):
+            fig1.bitmask_to_subset(64)
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+
+    def test_unequal_vertex_counts(self):
+        assert Graph(3, [(0, 1)]) != Graph(4, [(0, 1)])
+
+    def test_hashable(self):
+        s = {Graph(3, [(0, 1)]), Graph(3, [(0, 1)])}
+        assert len(s) == 1
+
+    def test_repr(self, fig1):
+        assert repr(fig1) == "Graph(n=6, m=7)"

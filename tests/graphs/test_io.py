@@ -1,0 +1,104 @@
+"""Unit tests for graph IO."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    from_adjacency_matrix,
+    from_networkx,
+    parse_edge_list,
+    read_edge_list,
+    to_adjacency_matrix,
+    to_networkx,
+    write_edge_list,
+)
+
+
+class TestParseEdgeList:
+    def test_basic(self):
+        g, labels = parse_edge_list("0 1\n1 2\n")
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert labels == {0: 0, 1: 1, 2: 2}
+
+    def test_comments_and_blanks_ignored(self):
+        g, _ = parse_edge_list("# header\n% alt comment\n\n0 1\n")
+        assert g.num_edges == 1
+
+    def test_noncontiguous_labels_compacted(self):
+        g, labels = parse_edge_list("10 30\n30 20\n")
+        assert g.num_vertices == 3
+        assert labels == {0: 10, 1: 20, 2: 30}
+        assert g.has_edge(0, 2)  # 10-30
+        assert g.has_edge(1, 2)  # 20-30
+
+    def test_self_loops_dropped(self):
+        g, _ = parse_edge_list("0 0\n0 1\n")
+        assert g.num_edges == 1
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_edge_list("0 1 2\n")
+
+    def test_non_integer(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_edge_list("a b\n")
+
+
+class TestFileRoundtrip:
+    def test_write_then_read(self, tmp_path, fig1):
+        path = tmp_path / "g.txt"
+        write_edge_list(fig1, path)
+        g, labels = read_edge_list(path)
+        assert g == fig1
+        assert labels == {v: v for v in range(6)}
+
+    def test_header_written(self, tmp_path, fig1):
+        path = tmp_path / "g.txt"
+        write_edge_list(fig1, path, header=True)
+        assert path.read_text().startswith("# n=6 m=7")
+
+
+class TestAdjacencyMatrix:
+    def test_roundtrip(self, fig1):
+        assert from_adjacency_matrix(to_adjacency_matrix(fig1)) == fig1
+
+    def test_matrix_symmetric(self, fig1):
+        mat = to_adjacency_matrix(fig1)
+        assert np.array_equal(mat, mat.T)
+        assert mat.sum() == 2 * fig1.num_edges
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            from_adjacency_matrix(np.zeros((2, 3)))
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            from_adjacency_matrix(np.eye(3))
+
+    def test_rejects_asymmetric(self):
+        mat = np.zeros((3, 3))
+        mat[0, 1] = 1
+        with pytest.raises(ValueError, match="symmetric"):
+            from_adjacency_matrix(mat)
+
+
+class TestNetworkx:
+    def test_roundtrip(self, fig1):
+        nx_g = to_networkx(fig1)
+        g, labels = from_networkx(nx_g)
+        assert g == fig1
+
+    def test_node_and_edge_counts(self, fig1):
+        nx_g = to_networkx(fig1)
+        assert nx_g.number_of_nodes() == 6
+        assert nx_g.number_of_edges() == 7
+
+    def test_from_networkx_string_labels(self):
+        import networkx as nx
+
+        nx_g = nx.Graph([("a", "b"), ("b", "c")])
+        g, labels = from_networkx(nx_g)
+        assert g.num_vertices == 3
+        assert set(labels.values()) == {"a", "b", "c"}

@@ -1,0 +1,102 @@
+"""Unit tests for the core-truss co-pruning reductions."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    co_prune,
+    complete_graph,
+    core_reduction,
+    gnm_random_graph,
+    star_graph,
+    truss_reduction,
+)
+from repro.kplex import maximum_kplex_bruteforce
+
+
+class TestCoreReduction:
+    def test_no_removal_without_lower_bound(self, fig1):
+        res = core_reduction(fig1, k=2, lower_bound=0)
+        assert res.graph == fig1
+        assert res.removed_vertices == []
+
+    def test_removes_low_degree_vertices(self, fig1):
+        # Looking for 2-plexes of size >= 5 requires degree >= 3; after
+        # the cascade every surviving vertex meets the threshold.
+        res = core_reduction(fig1, k=2, lower_bound=4)
+        assert res.removed_vertices  # fig1 has degree-1 vertices
+        assert all(res.graph.degree(v) >= 3 for v in res.graph.vertices)
+
+    def test_cascade(self):
+        # A path: peeling one endpoint cascades down the whole path.
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        res = core_reduction(g, k=1, lower_bound=2)  # need degree >= 2
+        assert res.graph.num_vertices == 0
+
+    def test_preserves_optimum_when_bound_below_opt(self, fig1):
+        opt = maximum_kplex_bruteforce(fig1, 2)
+        res = core_reduction(fig1, k=2, lower_bound=len(opt) - 1)
+        reduced_opt = maximum_kplex_bruteforce(res.graph, 2)
+        assert len(reduced_opt) == len(opt)
+
+    def test_translate_back(self, fig1):
+        res = core_reduction(fig1, k=2, lower_bound=3)
+        sub = frozenset(range(res.graph.num_vertices))
+        original = res.translate_back(sub)
+        assert original == frozenset(res.kept_vertices)
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(ValueError):
+            core_reduction(fig1, k=0, lower_bound=1)
+
+
+class TestTrussReduction:
+    def test_star_edges_removed_for_large_bound(self):
+        # Star edges have no common neighbours; demanding size >= 2k + 1
+        # kills them all.
+        g = star_graph(6)
+        res = truss_reduction(g, k=1, lower_bound=3)
+        assert res.graph.num_edges == 0
+
+    def test_complete_graph_untouched(self):
+        g = complete_graph(6)
+        res = truss_reduction(g, k=1, lower_bound=4)
+        # every edge of K6 has 4 common neighbours >= 5 - 2 = 3
+        assert res.graph.num_edges == 15
+
+    def test_safe_for_optimum(self):
+        g = gnm_random_graph(9, 16, seed=3)
+        opt = maximum_kplex_bruteforce(g, 2)
+        res = truss_reduction(g, k=2, lower_bound=len(opt) - 1)
+        assert len(maximum_kplex_bruteforce(res.graph, 2)) == len(opt)
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(ValueError):
+            truss_reduction(fig1, k=0, lower_bound=1)
+
+
+class TestCoPrune:
+    def test_fixed_point_reached(self, fig1):
+        res = co_prune(fig1, k=2, lower_bound=3)
+        # Re-running on the result changes nothing.
+        again = co_prune(res.graph, k=2, lower_bound=3)
+        assert again.graph == res.graph
+
+    def test_mapping_composes_correctly(self):
+        g = gnm_random_graph(10, 14, seed=1)
+        res = co_prune(g, k=2, lower_bound=3)
+        # every kept vertex must map back to a vertex with the same
+        # neighbourhood structure: spot-check edges.
+        for (u, v) in res.graph.edges:
+            assert g.has_edge(res.kept_vertices[u], res.kept_vertices[v])
+
+    def test_preserves_optimum(self):
+        for seed in range(4):
+            g = gnm_random_graph(9, 14, seed=seed)
+            opt = len(maximum_kplex_bruteforce(g, 2))
+            res = co_prune(g, k=2, lower_bound=opt - 1)
+            assert len(maximum_kplex_bruteforce(res.graph, 2)) == opt
+
+    def test_removed_plus_kept_partition(self, fig1):
+        res = co_prune(fig1, k=2, lower_bound=4)
+        assert sorted(res.kept_vertices + res.removed_vertices) == list(range(6))

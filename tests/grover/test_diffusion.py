@@ -1,0 +1,49 @@
+"""Unit tests for the diffusion operator circuit."""
+
+import numpy as np
+import pytest
+
+from repro.grover import diffusion_circuit, diffusion_gate_count, diffusion_matrix
+from repro.quantum import simulate
+
+
+def _circuit_matrix(qc):
+    dim = 1 << qc.num_qubits
+    cols = []
+    for basis in range(dim):
+        cols.append(simulate(qc, initial=basis).data)
+    return np.column_stack(cols)
+
+
+class TestDiffusion:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_ideal_reflection_up_to_phase(self, n):
+        built = _circuit_matrix(diffusion_circuit(n))
+        ideal = diffusion_matrix(n)
+        # The circuit realises the reflection up to a global -1 phase.
+        ratio = built @ np.linalg.inv(ideal)
+        assert np.allclose(ratio, np.eye(1 << n)) or np.allclose(
+            ratio, -np.eye(1 << n)
+        )
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_unitary(self, n):
+        u = _circuit_matrix(diffusion_circuit(n))
+        assert np.allclose(u @ u.conj().T, np.eye(1 << n))
+
+    def test_preserves_uniform_superposition(self):
+        ideal = diffusion_matrix(3)
+        s = np.full(8, 1 / np.sqrt(8))
+        assert np.allclose(ideal @ s, s)
+
+    def test_gate_count_formula(self):
+        for n in (1, 2, 5, 10):
+            assert diffusion_gate_count(n) == 4 * n + 1
+
+    def test_gate_count_matches_circuit(self):
+        for n in (2, 3, 4):
+            assert diffusion_circuit(n).num_gates == diffusion_gate_count(n)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            diffusion_circuit(0)

@@ -1,0 +1,78 @@
+"""Unit tests for BBHT search (Grover with unknown M)."""
+
+import numpy as np
+import pytest
+
+from repro.grover import PhaseOracleGrover, bbht_search
+
+
+class TestBBHT:
+    @pytest.mark.parametrize("marked", [[5], [1, 9, 14], list(range(8))])
+    def test_finds_a_solution(self, marked, rng):
+        engine = PhaseOracleGrover(4, marked)
+        result = bbht_search(engine, rng=rng)
+        assert result.found
+        assert result.mask in set(marked)
+
+    def test_no_solutions_terminates(self, rng):
+        engine = PhaseOracleGrover(4, [])
+        result = bbht_search(engine, rng=rng)
+        assert not result.found
+        assert result.mask is None
+        # the default budget, plus at most one overshooting round
+        assert result.oracle_calls <= (6 * 4 + 12) + 4
+
+    def test_cost_scales_with_rarity(self):
+        """Expected calls grow as M shrinks (the O(sqrt(N/M)) law)."""
+        n = 8
+        dense_costs, sparse_costs = [], []
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            dense = bbht_search(PhaseOracleGrover(n, range(64)), rng=rng)
+            rng = np.random.default_rng(seed)
+            sparse = bbht_search(PhaseOracleGrover(n, [7]), rng=rng)
+            assert dense.found and sparse.found
+            dense_costs.append(dense.oracle_calls)
+            sparse_costs.append(sparse.oracle_calls)
+        assert np.mean(sparse_costs) > np.mean(dense_costs)
+
+    def test_respects_budget(self, rng):
+        engine = PhaseOracleGrover(6, [3])
+        result = bbht_search(engine, rng=rng, max_oracle_calls=0)
+        assert not result.found
+        assert result.oracle_calls == 0
+
+    def test_near_optimal_expected_cost(self):
+        """Mean BBHT cost is within a small factor of pi/4 sqrt(N/M)."""
+        n, m = 8, 4
+        engine = PhaseOracleGrover(n, range(m))
+        optimal = np.pi / 4 * np.sqrt((1 << n) / m)
+        costs = [
+            bbht_search(engine, rng=np.random.default_rng(s)).oracle_calls
+            for s in range(40)
+        ]
+        assert np.mean(costs) < 8 * optimal
+
+
+class TestQtkpIntegration:
+    def test_bbht_mode_finds_paper_solution(self, fig1, rng):
+        from repro.core import qtkp
+
+        result = qtkp(fig1, 2, 4, counting="bbht", rng=rng)
+        assert result.found
+        assert result.subset == frozenset({0, 1, 3, 4})
+        assert result.iterations == 0  # mode marker
+        assert result.oracle_calls > 0
+
+    def test_bbht_mode_fails_above_optimum(self, fig1, rng):
+        from repro.core import qtkp
+
+        result = qtkp(fig1, 2, 5, counting="bbht", rng=rng)
+        assert not result.found
+        assert result.oracle_calls > 0
+
+    def test_unknown_counting_mode_rejected(self, fig1, rng):
+        from repro.core import qtkp
+
+        with pytest.raises(ValueError, match="counting"):
+            qtkp(fig1, 2, 3, counting="magic", rng=rng)

@@ -1,0 +1,112 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import figure1_graph
+from repro.graphs import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig1.txt"
+    write_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self, graph_file):
+        args = build_parser().parse_args(["solve", graph_file])
+        assert args.k == 2
+        assert args.solver == "bs"
+
+
+class TestSolve:
+    def test_bs(self, graph_file, capsys):
+        assert main(["solve", graph_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "maximum 2-plex size: 4" in out
+
+    def test_bruteforce(self, graph_file, capsys):
+        assert main(["solve", graph_file, "--solver", "bruteforce"]) == 0
+        assert "size: 4" in capsys.readouterr().out
+
+    def test_qmkp(self, graph_file, capsys):
+        assert main(["solve", graph_file, "--solver", "qmkp", "--seed", "3"]) == 0
+        assert "size: 4" in capsys.readouterr().out
+
+    def test_qamkp_sa(self, graph_file, capsys):
+        code = main([
+            "solve", graph_file, "--solver", "qamkp-sa",
+            "--runtime-us", "500", "--seed", "0",
+        ])
+        assert code == 0
+        assert "objective cost" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_valid_plex(self, graph_file, capsys):
+        assert main(["check", graph_file, "-k", "2", "0", "1", "3", "4"]) == 0
+        assert "is a 2-plex" in capsys.readouterr().out
+
+    def test_invalid_plex(self, graph_file, capsys):
+        assert main(["check", graph_file, "-k", "2", "0", "1", "2", "3", "4"]) == 1
+        assert "NOT" in capsys.readouterr().out
+
+    def test_unknown_vertex(self, graph_file, capsys):
+        assert main(["check", graph_file, "99"]) == 2
+
+
+class TestInfoCommands:
+    def test_qubo(self, graph_file, capsys):
+        assert main(["qubo", graph_file, "-k", "3"]) == 0
+        assert "slack variables" in capsys.readouterr().out
+
+    def test_oracle(self, graph_file, capsys):
+        assert main(["oracle", graph_file, "-k", "2", "-T", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "degree count gates" in out
+
+
+class TestEnumerate:
+    def test_lists_maximal_plexes(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "-k", "2", "--min-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "size 4" in out
+        assert "1 maximal 2-plex(es)" in out
+
+    def test_limit(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "-k", "2", "--limit", "1"]) == 0
+
+
+class TestRelax:
+    def test_club(self, graph_file, capsys):
+        assert main(["relax", graph_file, "--model", "club", "-n", "3",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "maximum 3-club size: 6" in out
+
+    def test_clan(self, graph_file, capsys):
+        assert main(["relax", graph_file, "--model", "clan", "-n", "2",
+                     "--seed", "1"]) == 0
+        assert "maximum 2-clan size" in capsys.readouterr().out
+
+
+class TestDraw:
+    def test_small_circuit_drawn(self, tmp_path, capsys):
+        from repro.graphs import Graph, write_edge_list
+
+        path = tmp_path / "tiny.txt"
+        write_edge_list(Graph(3, [(0, 1), (1, 2)]), path)
+        assert main(["draw", str(path), "-k", "2", "-T", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "|0>" in out
+        assert "qubits" in out
+
+    def test_too_large_refused(self, graph_file, capsys):
+        # Fig. 1's oracle has 95 qubits: over the drawing limit.
+        assert main(["draw", graph_file, "-k", "2", "-T", "4"]) == 2

@@ -1,0 +1,96 @@
+"""End-to-end scenarios exercising the full public API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Graph,
+    build_mkp_qubo,
+    is_kplex,
+    maximum_kplex,
+    qamkp,
+    qmkp,
+    qtkp,
+)
+from repro.annealing import SimulatedQPUSampler, chimera_graph
+from repro.datasets import figure1_graph, load_instance
+from repro.graphs import co_prune, write_edge_list, read_edge_list
+from repro.kplex import grasp_kplex
+
+
+class TestGatePipeline:
+    def test_paper_walkthrough(self):
+        """The full Section III story on the running example."""
+        g = figure1_graph()
+        rng = np.random.default_rng(0)
+        # decision problem first ...
+        decision = qtkp(g, 2, 4, rng=rng)
+        assert decision.found
+        # ... then the full optimisation ...
+        full = qmkp(g, 2, rng=rng)
+        assert full.size == 4
+        # ... progressive answers surfaced along the way.
+        assert full.first_result is not None
+
+    def test_reduction_then_search_on_g10(self):
+        g = load_instance("G_10_23")
+        reduced = co_prune(g, 2, lower_bound=2)
+        rng = np.random.default_rng(1)
+        result = qmkp(reduced.graph, 2, rng=rng)
+        back = reduced.translate_back(result.subset)
+        assert is_kplex(g, back, 2)
+        assert len(back) == maximum_kplex(g, 2).size
+
+
+class TestAnnealingPipeline:
+    def test_qubo_qpu_roundtrip(self):
+        g = load_instance("D_10_40")
+        qpu = SimulatedQPUSampler(hardware=chimera_graph(8), max_call_time_us=None)
+        result = qamkp(g, 3, runtime_us=400, solver="qpu", qpu=qpu, seed=0)
+        assert is_kplex(g, result.repaired, 3)
+        assert result.info["num_physical_qubits"] >= build_mkp_qubo(g, 3).num_variables
+
+    def test_budget_sweep_improves(self):
+        g = load_instance("D_15_70")
+        cheap = qamkp(g, 3, runtime_us=4, solver="sa", seed=2, sa_shot_cost_us=1.0)
+        rich = qamkp(g, 3, runtime_us=4000, solver="sa", seed=2, sa_shot_cost_us=1.0)
+        assert rich.cost <= cheap.cost
+
+
+class TestFileWorkflow:
+    def test_save_solve_verify(self, tmp_path):
+        g = figure1_graph()
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        loaded, labels = read_edge_list(path)
+        result = maximum_kplex(loaded, 2)
+        original_ids = {labels[v] for v in result.subset}
+        assert is_kplex(g, original_ids, 2)
+
+
+class TestHeuristicVsExact:
+    def test_grasp_within_optimum(self):
+        g = load_instance("G_9_15")
+        exact = maximum_kplex(g, 2).size
+        heuristic = len(grasp_kplex(g, 2, iterations=15, seed=0))
+        assert heuristic <= exact
+        assert heuristic >= exact - 1  # near-optimal on small instances
+
+
+class TestPublicApiSurface:
+    def test_star_imports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_graph_reexport_identity(self):
+        from repro import Graph as g1
+        from repro.graphs import Graph as g2
+
+        assert g1 is g2

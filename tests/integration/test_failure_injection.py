@@ -1,0 +1,139 @@
+"""Failure injection: the library's verifiers must catch corruption.
+
+These tests deliberately break things — drop an oracle gate, overlap
+two embedding chains, hand the annealer a hostile landscape — and
+assert the corresponding safety net fires.  A reproduction whose
+checks cannot fail is not checking anything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    BinaryQuadraticModel,
+    Embedding,
+    EmbeddingError,
+    SimulatedQPUSampler,
+    chimera_graph,
+)
+from repro.core.oracle import KCplexOracle
+from repro.datasets import figure1_graph
+from repro.graphs import Graph
+from repro.kplex import is_kplex, repair_to_kplex
+from repro.quantum import QuantumCircuit
+
+
+class TestOracleCorruptionDetected:
+    def _corrupt(self, circuit: QuantumCircuit, drop_index: int) -> QuantumCircuit:
+        out = QuantumCircuit(circuit.num_qubits)
+        for i, gate in enumerate(circuit):
+            if i != drop_index:
+                out.append(gate)
+        return out
+
+    def test_dropping_a_live_gate_breaks_equivalence(self):
+        """Deleting any graph-encoding Toffoli must flip some output.
+
+        (Some deep carry gates are legitimately dead — the counters have
+        overflow headroom — so the probe targets the encode section,
+        where every gate fires for some input.)
+        """
+        g = figure1_graph()
+        oracle = KCplexOracle(g.complement(), 2, 4)
+        from repro.quantum import classical_simulate
+
+        baseline = [
+            classical_simulate(oracle.u_check, mask) for mask in range(64)
+        ]
+        num_encode = g.complement().num_edges
+        for drop in range(num_encode):
+            corrupted = self._corrupt(oracle.u_check, drop)
+            outputs = [classical_simulate(corrupted, mask) for mask in range(64)]
+            assert outputs != baseline, f"dropping gate {drop} went unnoticed"
+
+    def test_most_random_gate_drops_detected(self):
+        """A random sample of gates is overwhelmingly live."""
+        g = figure1_graph()
+        oracle = KCplexOracle(g.complement(), 2, 4)
+        from repro.quantum import classical_simulate
+
+        baseline = [
+            classical_simulate(oracle.u_check, mask) for mask in range(64)
+        ]
+        rng = np.random.default_rng(0)
+        detected = 0
+        sample = rng.choice(oracle.u_check.num_gates, size=12, replace=False)
+        for drop in sample:
+            corrupted = self._corrupt(oracle.u_check, int(drop))
+            outputs = [classical_simulate(corrupted, mask) for mask in range(64)]
+            detected += outputs != baseline
+        assert detected >= len(sample) // 2
+
+    def test_wrong_threshold_changes_marked_set(self):
+        g = figure1_graph()
+        right = KCplexOracle(g.complement(), 2, 4)
+        wrong = KCplexOracle(g.complement(), 2, 3)
+        marked_right = {m for m in range(64) if right.predicate(m)}
+        marked_wrong = {m for m in range(64) if wrong.predicate(m)}
+        assert marked_right != marked_wrong
+
+
+class TestEmbeddingValidation:
+    def test_overlapping_chains_rejected(self):
+        hw = chimera_graph(2)
+        emb = Embedding({0: (0, 4), 1: (4, 8)}, hw)
+        with pytest.raises(EmbeddingError, match="overlap"):
+            emb.validate([])
+
+    def test_missing_coupler_rejected(self):
+        hw = chimera_graph(2)
+        # qubits 0 and 1 share a cell shore: not coupled in Chimera.
+        emb = Embedding({0: (0,), 1: (1,)}, hw)
+        with pytest.raises(EmbeddingError, match="coupler"):
+            emb.validate([(0, 1)])
+
+    def test_qpu_survives_extreme_noise(self):
+        """Even absurd control noise must yield verifiable samples."""
+        sampler = SimulatedQPUSampler(
+            hardware=chimera_graph(3), noise_scale=2.0, max_call_time_us=None
+        )
+        bqm = BinaryQuadraticModel({"a": -1.0, "b": -1.0}, {("a", "b"): 1.0})
+        ss = sampler.sample(bqm, annealing_time_us=2, num_reads=20, seed=0)
+        for sample in ss:
+            # energies are always recomputed against the clean model
+            assert sample.energy == pytest.approx(bqm.energy(sample.assignment))
+
+
+class TestDecodeRepairSafetyNet:
+    def test_adversarial_sample_repaired(self):
+        """Any assignment — even all-ones on a sparse graph — decodes to
+        a feasible k-plex after repair."""
+        g = Graph(8, [(0, 1), (2, 3), (4, 5), (6, 7)])
+        repaired = repair_to_kplex(g, range(8), 2)
+        assert is_kplex(g, repaired, 2)
+
+    def test_repair_idempotent(self):
+        g = figure1_graph()
+        once = repair_to_kplex(g, range(6), 2)
+        twice = repair_to_kplex(g, once, 2)
+        assert once == twice
+
+
+class TestRuntimeGuards:
+    def test_qamkp_rejects_over_cap_qpu(self):
+        from repro.annealing import QPURuntimeExceeded
+        from repro.core import qamkp
+
+        g = figure1_graph()
+        capped = SimulatedQPUSampler(
+            hardware=chimera_graph(4), max_call_time_us=100.0
+        )
+        with pytest.raises(QPURuntimeExceeded):
+            qamkp(g, 2, runtime_us=10_000.0, solver="qpu", qpu=capped, seed=0)
+
+    def test_brute_force_guards_protect_against_blowup(self):
+        from repro.graphs import empty_graph
+        from repro.kplex import maximum_kplex_bruteforce
+
+        with pytest.raises(ValueError):
+            maximum_kplex_bruteforce(empty_graph(40), 2)

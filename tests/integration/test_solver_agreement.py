@@ -1,0 +1,46 @@
+"""Cross-solver agreement: every MKP solver must find the same optimum.
+
+This is the library's strongest integration invariant: the brute-force
+enumerator, the branch-and-search baseline, the gate-based qMKP, the
+QUBO+MILP path, and the annealing samplers with generous budgets all
+attack the same instances and must agree on the optimum size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_mkp_qubo, qamkp, qmkp
+from repro.graphs import gnm_random_graph
+from repro.kplex import is_kplex, maximum_kplex, maximum_kplex_bruteforce
+from repro.milp import solve_qubo_milp
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("k", [1, 2, 3])
+class TestAllSolversAgree:
+    def test_five_way_agreement(self, seed, k):
+        g = gnm_random_graph(7, 11, seed=seed)
+        opt = len(maximum_kplex_bruteforce(g, k))
+
+        assert maximum_kplex(g, k).size == opt
+
+        quantum = qmkp(g, k, rng=np.random.default_rng(seed))
+        assert quantum.size == opt
+        assert is_kplex(g, quantum.subset, k)
+
+        model = build_mkp_qubo(g, k)
+        milp = solve_qubo_milp(model.bqm)
+        assert milp.energy == pytest.approx(-opt)
+        assert len(model.decode(milp.assignment)) == opt
+
+        annealed = qamkp(g, k, runtime_us=3000, solver="sa", seed=seed, sa_shot_cost_us=1.0)
+        assert annealed.repaired_size == opt
+
+
+class TestHybridAgreement:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_hybrid_matches_bruteforce(self, seed):
+        g = gnm_random_graph(8, 16, seed=seed)
+        opt = len(maximum_kplex_bruteforce(g, 2))
+        result = qamkp(g, 2, solver="hybrid", seed=seed)
+        assert result.cost == pytest.approx(-opt)

@@ -1,0 +1,78 @@
+"""Unit tests for the polynomial upper bounds."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnm_random_graph,
+    star_graph,
+)
+from repro.kplex import (
+    best_upper_bound,
+    coloring_bound,
+    degeneracy,
+    degeneracy_bound,
+    maximum_kplex_bruteforce,
+    trivial_bound,
+)
+
+
+class TestDegeneracy:
+    def test_complete(self):
+        assert degeneracy(complete_graph(5)) == 4
+
+    def test_cycle(self):
+        assert degeneracy(cycle_graph(7)) == 2
+
+    def test_star(self):
+        assert degeneracy(star_graph(9)) == 1
+
+    def test_empty(self):
+        assert degeneracy(empty_graph(4)) == 0
+
+
+class TestBoundsAreValid:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_all_bounds_dominate_optimum(self, k, seed):
+        g = gnm_random_graph(8, 14, seed=seed)
+        opt = len(maximum_kplex_bruteforce(g, k))
+        assert trivial_bound(g, k) >= opt
+        assert degeneracy_bound(g, k) >= opt
+        assert coloring_bound(g, k) >= opt
+        assert best_upper_bound(g, k) >= opt
+
+    def test_best_is_min(self, fig1):
+        assert best_upper_bound(fig1, 2) == min(
+            trivial_bound(fig1, 2),
+            degeneracy_bound(fig1, 2),
+            coloring_bound(fig1, 2),
+        )
+
+
+class TestBoundTightness:
+    def test_degeneracy_tight_on_clique(self):
+        g = complete_graph(6)
+        assert degeneracy_bound(g, 1) == 6
+
+    def test_coloring_bound_on_empty_graph(self):
+        # 1 colour suffices; a k-plex in the empty graph has size <= k.
+        assert coloring_bound(empty_graph(5), 3) == 3
+
+    def test_bounds_never_exceed_n(self, fig1):
+        for k in (1, 2, 3, 4):
+            assert degeneracy_bound(fig1, k) <= 6
+            assert coloring_bound(fig1, k) <= 6
+
+    def test_zero_vertices(self):
+        g = empty_graph(0)
+        assert degeneracy_bound(g, 2) == 0
+        assert coloring_bound(g, 2) == 0
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(ValueError):
+            degeneracy_bound(fig1, 0)
+        with pytest.raises(ValueError):
+            coloring_bound(fig1, 0)

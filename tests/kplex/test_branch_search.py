@@ -1,0 +1,119 @@
+"""Unit tests for the branch-and-search exact solver (the BS baseline)."""
+
+import pytest
+
+from repro.graphs import complete_graph, empty_graph, gnm_random_graph, star_graph
+from repro.kplex import (
+    find_kplex_of_size,
+    is_kplex,
+    maximum_kplex,
+    maximum_kplex_bruteforce,
+)
+
+
+class TestMaximumKplex:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_agrees_with_bruteforce(self, k, seed):
+        g = gnm_random_graph(8, 13, seed=seed)
+        assert maximum_kplex(g, k).size == len(maximum_kplex_bruteforce(g, k))
+
+    def test_result_is_valid_plex(self, fig1):
+        res = maximum_kplex(fig1, 2)
+        assert is_kplex(fig1, res.subset, 2)
+
+    def test_paper_example(self, fig1):
+        assert maximum_kplex(fig1, 2).size == 4
+
+    def test_complete_graph(self):
+        assert maximum_kplex(complete_graph(8), 1).size == 8
+
+    def test_empty_graph_instance(self):
+        assert maximum_kplex(empty_graph(5), 2).size == 2
+
+    def test_zero_vertices(self):
+        assert maximum_kplex(empty_graph(0), 1).size == 0
+
+    def test_star_2plex(self):
+        # Star: centre + 2 leaves is a 2-plex (leaves miss each other);
+        # 3 leaves would leave each leaf with deficiency 2.
+        assert maximum_kplex(star_graph(8), 2).size == 3
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(ValueError):
+            maximum_kplex(fig1, 0)
+
+    def test_warm_start_does_not_change_answer(self, small_random_graph):
+        a = maximum_kplex(small_random_graph, 2, warm_start=True).size
+        b = maximum_kplex(small_random_graph, 2, warm_start=False).size
+        assert a == b
+
+    def test_stats_populated(self, fig1):
+        res = maximum_kplex(fig1, 2, warm_start=False)
+        assert res.stats.nodes > 0
+
+    def test_warm_start_prunes_more(self):
+        g = gnm_random_graph(12, 30, seed=5)
+        cold = maximum_kplex(g, 2, warm_start=False)
+        warm = maximum_kplex(g, 2, warm_start=True)
+        assert warm.size == cold.size
+        assert warm.stats.nodes <= cold.stats.nodes
+
+
+class TestDecisionVariant:
+    def test_finds_when_exists(self, fig1):
+        res = find_kplex_of_size(fig1, 2, 4)
+        assert len(res.subset) >= 4
+        assert is_kplex(fig1, res.subset, 2)
+
+    def test_empty_when_impossible(self, fig1):
+        assert find_kplex_of_size(fig1, 2, 5).subset == frozenset()
+
+    def test_size_zero(self, fig1):
+        assert find_kplex_of_size(fig1, 2, 0).subset == frozenset()
+
+    def test_early_stop_cheaper_than_full_search(self):
+        g = gnm_random_graph(12, 35, seed=1)
+        decision = find_kplex_of_size(g, 2, 3)
+        full = maximum_kplex(g, 2, warm_start=False)
+        assert decision.stats.nodes <= full.stats.nodes
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 6])
+    def test_matches_bruteforce_threshold(self, fig1, size):
+        found = bool(find_kplex_of_size(fig1, 2, size).subset)
+        brute = any(
+            is_kplex(fig1, fig1.bitmask_to_subset(m), 2)
+            and len(fig1.bitmask_to_subset(m)) >= size
+            for m in range(64)
+        )
+        assert found == brute
+
+
+class TestProgressiveFeatures:
+    def test_incumbent_callback_fires(self):
+        g = gnm_random_graph(9, 16, seed=2)
+        events = []
+        res = maximum_kplex(
+            g, 2, warm_start=False,
+            on_incumbent=lambda subset, nodes: events.append((len(subset), nodes)),
+        )
+        assert events
+        sizes = [s for s, _n in events]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == res.size
+
+    def test_warm_start_reports_seed_incumbent(self):
+        g = gnm_random_graph(9, 16, seed=2)
+        events = []
+        maximum_kplex(g, 2, on_incumbent=lambda s, n: events.append(n))
+        assert events[0] == 0  # the greedy seed arrives before any node
+
+    def test_time_limit_returns_incumbent(self):
+        g = gnm_random_graph(14, 45, seed=1)
+        res = maximum_kplex(g, 3, warm_start=False, time_limit_s=0.0)
+        assert res.stats.timed_out
+        assert is_kplex(g, res.subset, 3)
+
+    def test_no_time_limit_proves_optimality(self, fig1):
+        res = maximum_kplex(fig1, 2)
+        assert not res.stats.timed_out

@@ -1,0 +1,94 @@
+"""Unit tests for the heuristic constructors."""
+
+import pytest
+
+from repro.graphs import complete_graph, empty_graph, gnm_random_graph
+from repro.kplex import (
+    grasp_kplex,
+    greedy_kplex,
+    is_kplex,
+    local_search_improve,
+    maximum_kplex_bruteforce,
+    repair_to_kplex,
+)
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_output_is_kplex(self, small_random_graph, k):
+        assert is_kplex(small_random_graph, greedy_kplex(small_random_graph, k), k)
+
+    def test_output_is_maximal(self, fig1):
+        plex = greedy_kplex(fig1, 2)
+        for v in fig1.vertices:
+            if v not in plex:
+                assert not is_kplex(fig1, plex | {v}, 2)
+
+    def test_clique_found_on_complete(self):
+        assert len(greedy_kplex(complete_graph(6), 1)) == 6
+
+    def test_empty_graph(self):
+        assert greedy_kplex(empty_graph(0), 2) == frozenset()
+
+    def test_start_vertex_respected(self, fig1):
+        assert 5 in greedy_kplex(fig1, 2, start=5)
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(ValueError):
+            greedy_kplex(fig1, 0)
+
+
+class TestGrasp:
+    def test_output_is_kplex(self, small_random_graph):
+        plex = grasp_kplex(small_random_graph, 2, iterations=5, seed=1)
+        assert is_kplex(small_random_graph, plex, 2)
+
+    def test_at_least_greedy_quality_on_example(self, fig1):
+        plex = grasp_kplex(fig1, 2, iterations=10, seed=3)
+        assert len(plex) == 4  # finds the optimum on the small example
+
+    def test_deterministic_given_seed(self, fig1):
+        a = grasp_kplex(fig1, 2, iterations=5, seed=9)
+        b = grasp_kplex(fig1, 2, iterations=5, seed=9)
+        assert a == b
+
+    def test_invalid_alpha(self, fig1):
+        with pytest.raises(ValueError):
+            grasp_kplex(fig1, 2, alpha=1.5)
+
+    def test_invalid_iterations(self, fig1):
+        with pytest.raises(ValueError):
+            grasp_kplex(fig1, 2, iterations=0)
+
+
+class TestLocalSearch:
+    def test_never_shrinks(self, small_random_graph):
+        seed_plex = greedy_kplex(small_random_graph, 2)
+        improved = local_search_improve(small_random_graph, seed_plex, 2)
+        assert len(improved) >= len(seed_plex)
+        assert is_kplex(small_random_graph, improved, 2)
+
+    def test_requires_feasible_start(self, fig1):
+        with pytest.raises(ValueError, match="feasible"):
+            local_search_improve(fig1, {0, 1, 2, 3, 4}, 2)
+
+    def test_improves_singleton(self, fig1):
+        improved = local_search_improve(fig1, {5}, 2)
+        assert len(improved) >= 2
+
+
+class TestRepair:
+    def test_already_feasible_unchanged(self, fig1):
+        assert repair_to_kplex(fig1, {0, 1, 3, 4}, 2) == frozenset({0, 1, 3, 4})
+
+    def test_repairs_whole_vertex_set(self, fig1):
+        repaired = repair_to_kplex(fig1, range(6), 2)
+        assert is_kplex(fig1, repaired, 2)
+
+    def test_repair_never_exceeds_optimum(self):
+        g = gnm_random_graph(8, 12, seed=4)
+        opt = len(maximum_kplex_bruteforce(g, 2))
+        assert len(repair_to_kplex(g, range(8), 2)) <= opt
+
+    def test_empty_input(self, fig1):
+        assert repair_to_kplex(fig1, [], 2) == frozenset()

@@ -1,0 +1,80 @@
+"""Unit tests for the brute-force baselines."""
+
+import pytest
+
+from repro.graphs import Graph, complete_graph, empty_graph, gnm_random_graph
+from repro.kplex import (
+    count_kplexes_of_size,
+    enumerate_kplexes,
+    is_kplex,
+    kplexes_of_min_size,
+    maximum_kplex_bruteforce,
+)
+
+
+class TestEnumerate:
+    def test_all_yields_are_plexes(self, fig1):
+        for p in enumerate_kplexes(fig1, 2):
+            assert is_kplex(fig1, p, 2)
+
+    def test_includes_empty_set(self, fig1):
+        assert frozenset() in set(enumerate_kplexes(fig1, 1))
+
+    def test_count_matches_predicate_scan(self, fig1):
+        direct = sum(
+            1
+            for mask in range(64)
+            if is_kplex(fig1, fig1.bitmask_to_subset(mask), 2)
+        )
+        assert sum(1 for _ in enumerate_kplexes(fig1, 2)) == direct
+
+    def test_refuses_large_graphs(self):
+        with pytest.raises(ValueError, match="refuses"):
+            list(enumerate_kplexes(empty_graph(30), 2))
+
+
+class TestMaximum:
+    def test_paper_example(self, fig1):
+        best = maximum_kplex_bruteforce(fig1, 2)
+        assert best == frozenset({0, 1, 3, 4})
+
+    def test_clique_whole_graph(self):
+        assert maximum_kplex_bruteforce(complete_graph(5), 1) == frozenset(range(5))
+
+    def test_empty_graph_kplex_is_k(self):
+        # k isolated vertices are a k-plex; k + 1 are not.
+        assert len(maximum_kplex_bruteforce(empty_graph(6), 3)) == 3
+
+    def test_monotone_in_k(self, small_random_graph):
+        sizes = [
+            len(maximum_kplex_bruteforce(small_random_graph, k)) for k in (1, 2, 3)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_deterministic_tie_break(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        a = maximum_kplex_bruteforce(g, 1)
+        b = maximum_kplex_bruteforce(g, 1)
+        assert a == b
+
+
+class TestCounting:
+    def test_count_of_max_size(self, fig1):
+        # Exactly one 2-plex of size 4 in the running example.
+        assert count_kplexes_of_size(fig1, 2, 4) == 1
+
+    def test_count_zero_above_optimum(self, fig1):
+        assert count_kplexes_of_size(fig1, 2, 5) == 0
+
+    def test_min_size_filter(self, fig1):
+        plexes = kplexes_of_min_size(fig1, 2, 4)
+        assert plexes == [frozenset({0, 1, 3, 4})]
+
+    def test_min_size_one_excludes_empty(self, fig1):
+        assert all(len(p) >= 1 for p in kplexes_of_min_size(fig1, 2, 1))
+
+    def test_counts_sum_consistency(self):
+        g = gnm_random_graph(7, 11, seed=2)
+        total = sum(1 for _ in enumerate_kplexes(g, 2))
+        by_size = sum(count_kplexes_of_size(g, 2, s) for s in range(8))
+        assert total == by_size

@@ -1,0 +1,89 @@
+"""Unit tests for the n-clan / n-club relaxations."""
+
+import pytest
+
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+from repro.kplex import (
+    is_nclan,
+    is_nclique,
+    is_nclub,
+    maximum_nclan_bruteforce,
+    maximum_nclub_bruteforce,
+)
+
+
+class TestNClique:
+    def test_clique_is_1clique(self):
+        g = complete_graph(4)
+        assert is_nclique(g, range(4), 1)
+
+    def test_path_endpoints(self):
+        g = path_graph(4)
+        assert is_nclique(g, {0, 3}, 3)
+        assert not is_nclique(g, {0, 3}, 2)
+
+    def test_distances_may_use_outside_vertices(self):
+        # 0 and 2 are within distance 2 through 1, even excluding 1.
+        g = path_graph(3)
+        assert is_nclique(g, {0, 2}, 2)
+
+    def test_invalid_n(self, fig1):
+        with pytest.raises(ValueError):
+            is_nclique(fig1, {0}, 0)
+
+
+class TestNClub:
+    def test_small_sets_trivial(self, fig1):
+        assert is_nclub(fig1, [], 1)
+        assert is_nclub(fig1, [3], 1)
+
+    def test_triangle_is_1club(self, fig1):
+        assert is_nclub(fig1, {0, 1, 3}, 1)
+
+    def test_induced_distance_matters(self):
+        # {0, 2} at distance 2 via vertex 1 — but the induced subgraph
+        # on {0, 2} is disconnected, so it is not a 2-club.
+        g = path_graph(3)
+        assert not is_nclub(g, {0, 2}, 2)
+        assert is_nclub(g, {0, 1, 2}, 2)
+
+    def test_cycle_whole_is_club(self):
+        g = cycle_graph(6)
+        assert is_nclub(g, range(6), 3)
+        assert not is_nclub(g, range(6), 2)
+
+
+class TestNClan:
+    def test_clan_requires_both_conditions(self):
+        # The classic example: a 2-clique that is not a 2-clan.
+        # Star-of-paths: hub 0; 1 and 2 adjacent to 0; 3 adjacent to 1 and 2.
+        g = Graph(5, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 4)])
+        subset = {1, 2, 4}
+        assert is_nclique(g, subset, 2)  # distances via 0
+        assert not is_nclan(g, subset, 2)  # induced subgraph edgeless
+
+    def test_clique_is_1clan(self):
+        g = complete_graph(4)
+        assert is_nclan(g, range(4), 1)
+
+
+class TestBruteForce:
+    def test_nclub_at_least_nclan(self, fig1):
+        # Every n-clan is an n-club, so the max n-club is at least as big.
+        clan = maximum_nclan_bruteforce(fig1, 2)
+        club = maximum_nclub_bruteforce(fig1, 2)
+        assert len(club) >= len(clan)
+
+    def test_results_satisfy_predicates(self, fig1):
+        assert is_nclan(fig1, maximum_nclan_bruteforce(fig1, 2), 2)
+        assert is_nclub(fig1, maximum_nclub_bruteforce(fig1, 2), 2)
+
+    def test_whole_graph_when_diameter_fits(self, fig1):
+        # fig1 is connected with diameter 3.
+        assert len(maximum_nclub_bruteforce(fig1, 3)) == 6
+
+    def test_refuses_large(self):
+        from repro.graphs import empty_graph
+
+        with pytest.raises(ValueError):
+            maximum_nclub_bruteforce(empty_graph(20), 2)

@@ -1,0 +1,95 @@
+"""Unit tests for k-plex / k-cplex predicates."""
+
+import pytest
+
+from repro.graphs import complete_graph, empty_graph
+from repro.kplex import (
+    is_kcplex,
+    is_kplex,
+    kplex_deficiencies,
+    max_k_for_subset,
+    violating_vertices,
+)
+
+
+class TestIsKplex:
+    def test_paper_example(self, fig1):
+        assert is_kplex(fig1, {0, 1, 3, 4}, 2)
+
+    def test_paper_example_not_extensible(self, fig1):
+        assert not is_kplex(fig1, {0, 1, 2, 3, 4}, 2)
+
+    def test_empty_set(self, fig1):
+        assert is_kplex(fig1, [], 1)
+
+    def test_singleton(self, fig1):
+        assert is_kplex(fig1, [2], 1)
+
+    def test_clique_is_1plex(self):
+        g = complete_graph(5)
+        assert is_kplex(g, range(5), 1)
+
+    def test_independent_set_is_kplex_iff_small(self):
+        g = empty_graph(5)
+        assert is_kplex(g, range(3), 3)       # 3 isolated vertices, k = 3
+        assert not is_kplex(g, range(4), 3)   # deficiency 3 > k - 1
+
+    def test_small_sets_trivially_plexes(self, fig1):
+        # any set of size <= k is a k-plex
+        assert is_kplex(fig1, {2, 5}, 2)
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(ValueError):
+            is_kplex(fig1, {0}, 0)
+
+
+class TestIsKcplex:
+    def test_complement_duality(self, fig1, small_random_graph):
+        for g in (fig1, small_random_graph):
+            comp = g.complement()
+            for mask in range(1 << g.num_vertices):
+                subset = g.bitmask_to_subset(mask)
+                assert is_kplex(g, subset, 2) == is_kcplex(comp, subset, 2)
+
+    def test_paper_cplex_example(self, fig1):
+        # {v1, v2, v4, v5} is the max 2-cplex of the complement (Fig. 5).
+        assert is_kcplex(fig1.complement(), {0, 1, 3, 4}, 2)
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(ValueError):
+            is_kcplex(fig1, {0}, 0)
+
+
+class TestDeficiencies:
+    def test_values(self, fig1):
+        defs = kplex_deficiencies(fig1, {0, 1, 3, 4})
+        # v1 adjacent to all three others; v2 misses v5.
+        assert defs[0] == 0
+        assert defs[1] == 1
+
+    def test_plex_iff_max_deficiency_small(self, fig1):
+        subset = {0, 1, 3, 4}
+        assert max(kplex_deficiencies(fig1, subset).values()) <= 1
+
+    def test_violating_vertices(self, fig1):
+        bad = violating_vertices(fig1, {0, 1, 2, 3, 4}, 2)
+        assert 2 in bad  # v3 has only one neighbour (v1) among the five
+
+    def test_violating_empty_for_plex(self, fig1):
+        assert violating_vertices(fig1, {0, 1, 3, 4}, 2) == []
+
+
+class TestMaxK:
+    def test_clique(self):
+        assert max_k_for_subset(complete_graph(4), range(4)) == 1
+
+    def test_singleton(self, fig1):
+        assert max_k_for_subset(fig1, {0}) == 1
+
+    def test_agrees_with_predicate(self, fig1):
+        for mask in range(1, 64):
+            subset = fig1.bitmask_to_subset(mask)
+            k_min = max_k_for_subset(fig1, subset)
+            assert is_kplex(fig1, subset, k_min)
+            if k_min > 1:
+                assert not is_kplex(fig1, subset, k_min - 1)

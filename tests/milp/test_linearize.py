@@ -1,0 +1,61 @@
+"""Unit tests for the QUBO -> MILP linearisation."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import BinaryQuadraticModel
+from repro.milp import linearize_qubo
+
+
+@pytest.fixture
+def toy():
+    return BinaryQuadraticModel(
+        {"x": -1.0, "y": 2.0}, {("x", "y"): 3.0}, offset=1.0
+    )
+
+
+class TestLinearize:
+    def test_column_layout(self, toy):
+        lin = linearize_qubo(toy)
+        assert lin.num_x == 2
+        assert lin.num_y == 1
+        assert lin.x_variables == ["x", "y"]
+        assert lin.y_pairs == [("x", "y")]
+
+    def test_objective_coefficients(self, toy):
+        lin = linearize_qubo(toy)
+        assert lin.c.tolist() == [-1.0, 2.0, 3.0]
+        assert lin.offset == 1.0
+
+    def test_three_constraints_per_pair(self, toy):
+        lin = linearize_qubo(toy)
+        assert lin.a_ub.shape == (3, 3)
+
+    def test_mccormick_rows(self, toy):
+        lin = linearize_qubo(toy)
+        # For each feasible binary (x, y) with y_xy = x*y, all rows hold.
+        for x in (0, 1):
+            for y in (0, 1):
+                z = np.array([x, y, x * y], dtype=float)
+                assert np.all(lin.a_ub @ z <= lin.b_ub + 1e-12)
+
+    def test_mccormick_cuts_wrong_products(self, toy):
+        lin = linearize_qubo(toy)
+        # y_xy = 1 with x = 0 violates y <= x.
+        z = np.array([0, 1, 1], dtype=float)
+        assert np.any(lin.a_ub @ z > lin.b_ub + 1e-12)
+
+    def test_integrality_marks_only_x(self, toy):
+        lin = linearize_qubo(toy)
+        assert lin.integrality.tolist() == [1.0, 1.0, 0.0]
+
+    def test_zero_coupling_dropped(self):
+        bqm = BinaryQuadraticModel({"a": 1.0}, {("a", "b"): 0.0})
+        lin = linearize_qubo(bqm)
+        assert lin.num_y == 0
+        assert lin.a_ub.shape[0] == 0
+
+    def test_decode_rounds(self, toy):
+        lin = linearize_qubo(toy)
+        z = np.array([0.999, 0.001, 0.0])
+        assert lin.decode(z) == {"x": 1, "y": 0}

@@ -1,0 +1,104 @@
+"""Unit tests for the MILP backends (HiGHS adapter + branch and bound)."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import BinaryQuadraticModel
+from repro.milp import (
+    solve_branch_bound,
+    solve_qubo_milp,
+    solve_with_highs,
+)
+
+
+def _random_bqm(n, seed, density=0.5):
+    rng = np.random.default_rng(seed)
+    bqm = BinaryQuadraticModel(offset=float(rng.normal()))
+    for i in range(n):
+        bqm.add_linear(i, float(rng.normal()))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                bqm.add_quadratic(i, j, float(rng.normal()))
+    return bqm
+
+
+def _bruteforce_min(bqm):
+    order = bqm.variables
+    best = float("inf")
+    for mask in range(1 << len(order)):
+        sample = {v: (mask >> i) & 1 for i, v in enumerate(order)}
+        best = min(best, bqm.energy(sample))
+    return best
+
+
+class TestBranchBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_bruteforce(self, seed):
+        bqm = _random_bqm(9, seed)
+        result = solve_branch_bound(bqm)
+        assert result.energy == pytest.approx(_bruteforce_min(bqm))
+        assert result.proven_optimal
+
+    def test_energy_matches_assignment(self):
+        bqm = _random_bqm(7, 5)
+        result = solve_branch_bound(bqm)
+        assert bqm.energy(result.assignment) == pytest.approx(result.energy)
+
+    def test_refuses_huge_models(self):
+        bqm = BinaryQuadraticModel({i: 1.0 for i in range(100)})
+        with pytest.raises(ValueError, match="refuses"):
+            solve_branch_bound(bqm)
+
+    def test_time_limit_returns_incumbent(self):
+        bqm = _random_bqm(20, 1, density=0.9)
+        result = solve_branch_bound(bqm, time_limit_s=1e-4)
+        assert result.assignment is not None
+
+    def test_offset_included(self):
+        bqm = BinaryQuadraticModel({"a": 1.0}, offset=10.0)
+        assert solve_branch_bound(bqm).energy == pytest.approx(10.0)
+
+
+class TestHighs:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_bruteforce(self, seed):
+        bqm = _random_bqm(8, seed)
+        result = solve_with_highs(bqm)
+        assert result.found
+        assert result.energy == pytest.approx(_bruteforce_min(bqm), abs=1e-6)
+        assert result.status == "optimal"
+
+    def test_energy_consistent_with_assignment(self):
+        bqm = _random_bqm(6, 9)
+        result = solve_with_highs(bqm)
+        assert bqm.energy(result.assignment) == pytest.approx(result.energy)
+
+    def test_time_limit_passed(self):
+        bqm = _random_bqm(10, 4)
+        result = solve_with_highs(bqm, time_limit_us=5e6)
+        assert result.found
+        assert result.runtime_limit_us == 5e6
+
+
+class TestFacade:
+    def test_auto_uses_highs(self):
+        result = solve_qubo_milp(_random_bqm(6, 0))
+        assert result.backend == "highs"
+
+    def test_branch_bound_backend(self):
+        bqm = _random_bqm(6, 0)
+        a = solve_qubo_milp(bqm, backend="branch_bound")
+        b = solve_qubo_milp(bqm, backend="highs")
+        assert a.energy == pytest.approx(b.energy)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve_qubo_milp(_random_bqm(3, 0), backend="gurobi")
+
+    def test_agreement_across_backends(self):
+        for seed in range(3):
+            bqm = _random_bqm(8, seed + 10)
+            highs = solve_qubo_milp(bqm, backend="highs")
+            bnb = solve_qubo_milp(bqm, backend="branch_bound")
+            assert highs.energy == pytest.approx(bnb.energy, abs=1e-6)

@@ -1,0 +1,76 @@
+"""Property-based tests for the annealing substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import BinaryQuadraticModel, SimulatedAnnealingSampler, tabu_search
+from repro.annealing.qpu import _gauge_transform
+
+
+@st.composite
+def bqms(draw, max_vars=6):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    bqm = BinaryQuadraticModel(offset=draw(st.floats(-3, 3)))
+    for i in range(n):
+        bqm.add_linear(i, draw(st.floats(-3, 3)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                bqm.add_quadratic(i, j, draw(st.floats(-3, 3)))
+    return bqm
+
+
+class TestGaugeInvariance:
+    @given(bqms(), st.data())
+    @settings(max_examples=40)
+    def test_energy_spectrum_preserved(self, bqm, data):
+        """A spin-reversal transform is an exact change of variables."""
+        flips = {
+            v for v in bqm.variables if data.draw(st.booleans())
+        }
+        gauged = _gauge_transform(bqm, flips)
+        for mask in range(1 << bqm.num_variables):
+            x = {v: (mask >> i) & 1 for i, v in enumerate(bqm.variables)}
+            flipped = {v: (1 - val if v in flips else val) for v, val in x.items()}
+            assert abs(gauged.energy(flipped) - bqm.energy(x)) < 1e-8
+
+    @given(bqms())
+    @settings(max_examples=30)
+    def test_double_gauge_is_identity(self, bqm):
+        flips = set(bqm.variables[::2])
+        twice = _gauge_transform(_gauge_transform(bqm, flips), flips)
+        for v in bqm.variables:
+            assert abs(twice.linear[v] - bqm.linear[v]) < 1e-8
+        for key, bias in bqm.quadratic.items():
+            assert abs(twice.quadratic.get(key, twice.quadratic.get((key[1], key[0]), 0.0)) - bias) < 1e-8
+
+
+class TestSamplerInvariants:
+    @given(bqms(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_sa_energies_are_consistent(self, bqm, seed):
+        ss = SimulatedAnnealingSampler().sample(bqm, num_reads=4, num_sweeps=10, seed=seed)
+        for sample in ss:
+            assert abs(sample.energy - bqm.energy(sample.assignment)) < 1e-8
+
+    @given(bqms(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_tabu_never_beats_global_minimum(self, bqm, seed):
+        order = bqm.variables
+        exact = min(
+            bqm.energy({v: (mask >> i) & 1 for i, v in enumerate(order)})
+            for mask in range(1 << len(order))
+        )
+        _assignment, energy = tabu_search(bqm, iterations=200, seed=seed)
+        assert energy >= exact - 1e-8
+
+    @given(bqms())
+    @settings(max_examples=20, deadline=None)
+    def test_ising_and_numpy_views_agree(self, bqm):
+        h, j, offset, order = bqm.to_numpy()
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, size=len(order)).astype(float)
+        matrix_energy = float(offset + h @ x + x @ j @ x)
+        dict_energy = bqm.energy(dict(zip(order, x.astype(int))))
+        assert abs(matrix_energy - dict_energy) < 1e-8

@@ -1,0 +1,65 @@
+"""Property-based tests for the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, to_adjacency_matrix
+
+
+@st.composite
+def graphs(draw, max_n=9):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pairs), unique=True)) if pairs else []
+    return Graph(n, edges)
+
+
+class TestGraphInvariants:
+    @given(graphs())
+    def test_degree_sum_is_twice_edges(self, g):
+        assert sum(g.degrees()) == 2 * g.num_edges
+
+    @given(graphs())
+    def test_complement_is_involution(self, g):
+        assert g.complement().complement() == g
+
+    @given(graphs())
+    def test_complement_edge_partition(self, g):
+        comp = g.complement()
+        total = g.num_vertices * (g.num_vertices - 1) // 2
+        assert g.num_edges + comp.num_edges == total
+        assert not g.edges & comp.edges
+
+    @given(graphs())
+    def test_bitmask_roundtrip(self, g):
+        for mask in range(min(1 << g.num_vertices, 128)):
+            assert g.subset_to_bitmask(g.bitmask_to_subset(mask)) == mask
+
+    @given(graphs())
+    def test_adjacency_matrix_faithful(self, g):
+        mat = to_adjacency_matrix(g)
+        for u in g.vertices:
+            for v in g.vertices:
+                assert bool(mat[u, v]) == g.has_edge(u, v)
+
+    @given(graphs(), st.data())
+    @settings(max_examples=50)
+    def test_induced_subgraph_preserves_adjacency(self, g, data):
+        if g.num_vertices == 0:
+            return
+        subset = data.draw(
+            st.lists(
+                st.integers(0, g.num_vertices - 1), unique=True, min_size=1
+            )
+        )
+        keep = sorted(set(subset))
+        sub = g.induced_subgraph(keep)
+        for i, u in enumerate(keep):
+            for j, v in enumerate(keep):
+                assert sub.has_edge(i, j) == g.has_edge(u, v)
+
+    @given(graphs())
+    def test_neighbors_symmetric(self, g):
+        for u in g.vertices:
+            for v in g.neighbors(u):
+                assert u in g.neighbors(v)

@@ -1,0 +1,96 @@
+"""Property-based tests for the k-plex domain layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+from repro.kplex import (
+    best_upper_bound,
+    greedy_kplex,
+    is_kcplex,
+    is_kplex,
+    max_k_for_subset,
+    maximum_kplex,
+    maximum_kplex_bruteforce,
+    repair_to_kplex,
+)
+
+
+@st.composite
+def graph_and_k(draw, max_n=8):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pairs), unique=True)) if pairs else []
+    k = draw(st.integers(min_value=1, max_value=3))
+    return Graph(n, edges), k
+
+
+class TestPredicateProperties:
+    @given(graph_and_k())
+    @settings(max_examples=60)
+    def test_hereditary(self, gk):
+        """Every subset of a k-plex is a k-plex."""
+        g, k = gk
+        plex = maximum_kplex_bruteforce(g, k)
+        members = sorted(plex)
+        for drop in members:
+            assert is_kplex(g, set(members) - {drop}, k)
+
+    @given(graph_and_k())
+    @settings(max_examples=60)
+    def test_monotone_in_k(self, gk):
+        g, k = gk
+        for mask in range(1 << g.num_vertices):
+            subset = g.bitmask_to_subset(mask)
+            if is_kplex(g, subset, k):
+                assert is_kplex(g, subset, k + 1)
+
+    @given(graph_and_k())
+    @settings(max_examples=60)
+    def test_complement_duality(self, gk):
+        g, k = gk
+        comp = g.complement()
+        for mask in range(1 << g.num_vertices):
+            subset = g.bitmask_to_subset(mask)
+            assert is_kplex(g, subset, k) == is_kcplex(comp, subset, k)
+
+    @given(graph_and_k())
+    @settings(max_examples=60)
+    def test_max_k_is_minimal(self, gk):
+        g, _ = gk
+        subset = frozenset(g.vertices)
+        k_min = max_k_for_subset(g, subset)
+        assert is_kplex(g, subset, k_min)
+
+
+class TestSolverProperties:
+    @given(graph_and_k(max_n=7))
+    @settings(max_examples=40, deadline=None)
+    def test_branch_search_optimal(self, gk):
+        g, k = gk
+        assert maximum_kplex(g, k).size == len(maximum_kplex_bruteforce(g, k))
+
+    @given(graph_and_k())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_feasible_and_bounded(self, gk):
+        g, k = gk
+        plex = greedy_kplex(g, k)
+        assert is_kplex(g, plex, k)
+        assert len(plex) <= best_upper_bound(g, k)
+
+    @given(graph_and_k(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_repair_always_feasible(self, gk, data):
+        g, k = gk
+        raw = data.draw(
+            st.lists(st.integers(0, g.num_vertices - 1), unique=True)
+        )
+        repaired = repair_to_kplex(g, raw, k)
+        assert is_kplex(g, repaired, k)
+        assert repaired <= set(raw)
+
+    @given(graph_and_k(max_n=7))
+    @settings(max_examples=40, deadline=None)
+    def test_upper_bound_valid(self, gk):
+        g, k = gk
+        assert best_upper_bound(g, k) >= len(maximum_kplex_bruteforce(g, k))

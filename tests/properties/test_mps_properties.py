@@ -1,0 +1,77 @@
+"""Property-based tests: the MPS simulator equals the dense simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import QuantumCircuit, simulate
+from repro.quantum.mps import simulate_mps
+
+
+@st.composite
+def random_circuits(draw, num_qubits=5, max_gates=15):
+    qc = QuantumCircuit(num_qubits)
+    for _ in range(draw(st.integers(0, max_gates))):
+        kind = draw(st.integers(0, 5))
+        if kind == 0:
+            qc.h(draw(st.integers(0, num_qubits - 1)))
+        elif kind == 1:
+            qc.x(draw(st.integers(0, num_qubits - 1)))
+        elif kind == 2:
+            qc.z(draw(st.integers(0, num_qubits - 1)))
+        elif kind == 3:
+            pair = draw(
+                st.lists(st.integers(0, num_qubits - 1), min_size=2,
+                         max_size=2, unique=True)
+            )
+            qc.cx(pair[0], pair[1])
+        elif kind == 4:
+            triple = draw(
+                st.lists(st.integers(0, num_qubits - 1), min_size=3,
+                         max_size=3, unique=True)
+            )
+            values = draw(st.lists(st.integers(0, 1), min_size=2, max_size=2))
+            qc.mcx(triple[:2], triple[2], control_values=values)
+        else:
+            pair = draw(
+                st.lists(st.integers(0, num_qubits - 1), min_size=2,
+                         max_size=2, unique=True)
+            )
+            qc.cz(pair[0], pair[1])
+    return qc
+
+
+class TestMpsDenseEquivalence:
+    @given(random_circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_all_amplitudes_agree(self, qc):
+        mps = simulate_mps(qc)
+        sv = simulate(qc)
+        for basis in range(1 << qc.num_qubits):
+            assert abs(mps.amplitude(basis) - sv.data[basis]) < 1e-9
+
+    @given(random_circuits(), st.integers(0, 31))
+    @settings(max_examples=30, deadline=None)
+    def test_basis_inputs_agree(self, qc, initial):
+        mps = simulate_mps(qc, initial_bits=initial)
+        sv = simulate(qc, initial=initial)
+        for basis in range(1 << qc.num_qubits):
+            assert abs(mps.amplitude(basis) - sv.data[basis]) < 1e-9
+
+    @given(random_circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_norm_one_without_truncation(self, qc):
+        mps = simulate_mps(qc)
+        assert abs(mps.norm() - 1.0) < 1e-9
+        assert mps.truncation_error < 1e-12
+
+    @given(random_circuits())
+    @settings(max_examples=15, deadline=None)
+    def test_marginals_agree(self, qc):
+        mps = simulate_mps(qc)
+        sv = simulate(qc)
+        qubits = [0, 2]
+        ours = mps.marginal_probabilities(qubits)
+        theirs = sv.marginal_probabilities(qubits)
+        for key in set(ours) | set(theirs):
+            assert abs(ours.get(key, 0.0) - theirs.get(key, 0.0)) < 1e-9

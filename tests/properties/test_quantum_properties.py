@@ -1,0 +1,126 @@
+"""Property-based tests for the quantum substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grover import PhaseOracleGrover
+from repro.quantum import (
+    QuantumCircuit,
+    QubitAllocator,
+    classical_simulate,
+    compare_geq_const,
+    compare_leq_const,
+    popcount,
+    simulate,
+)
+
+
+@st.composite
+def classical_circuits(draw, num_qubits=5, max_gates=12):
+    qc = QuantumCircuit(num_qubits)
+    n_gates = draw(st.integers(0, max_gates))
+    for _ in range(n_gates):
+        target = draw(st.integers(0, num_qubits - 1))
+        others = [q for q in range(num_qubits) if q != target]
+        n_controls = draw(st.integers(0, min(2, len(others))))
+        controls = draw(
+            st.lists(st.sampled_from(others), min_size=n_controls,
+                     max_size=n_controls, unique=True)
+        )
+        values = draw(
+            st.lists(st.integers(0, 1), min_size=len(controls),
+                     max_size=len(controls))
+        )
+        qc.mcx(controls, target, control_values=values) if controls else qc.x(target)
+    return qc
+
+
+class TestReversibility:
+    @given(classical_circuits(), st.integers(0, 31))
+    @settings(max_examples=60)
+    def test_inverse_undoes(self, qc, bits):
+        forward = classical_simulate(qc, bits)
+        assert classical_simulate(qc.inverse(), forward) == bits
+
+    @given(classical_circuits())
+    @settings(max_examples=30)
+    def test_permutation_property(self, qc):
+        """A classical-reversible circuit permutes the basis states."""
+        outputs = {classical_simulate(qc, b) for b in range(32)}
+        assert len(outputs) == 32
+
+    @given(classical_circuits(), st.integers(0, 31))
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_dense_simulator(self, qc, bits):
+        expected = classical_simulate(qc, bits)
+        sv = simulate(qc, initial=bits)
+        assert sv.probability_of(expected) > 0.999999
+
+
+class TestArithmeticProperties:
+    @given(st.integers(1, 6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_popcount_correct(self, width, data):
+        pattern = data.draw(st.integers(0, (1 << width) - 1))
+        qc = QuantumCircuit(width)
+        counter = popcount(qc, list(range(width)), QubitAllocator(qc))
+        out = classical_simulate(qc, pattern)
+        value = sum(((out >> q) & 1) << i for i, q in enumerate(counter))
+        assert value == bin(pattern).count("1")
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_comparators_agree_with_python(self, width, data):
+        x = data.draw(st.integers(0, (1 << width) - 1))
+        const = data.draw(st.integers(0, (1 << width) - 1))
+        qc = QuantumCircuit(width)
+        alloc = QubitAllocator(qc)
+        leq = compare_leq_const(qc, list(range(width)), const, alloc)
+        geq = compare_geq_const(qc, list(range(width)), const, alloc)
+        out = classical_simulate(qc, x)
+        assert (out >> leq) & 1 == int(x <= const)
+        assert (out >> geq) & 1 == int(x >= const)
+
+
+class TestGroverProperties:
+    @given(st.integers(2, 8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_amplitudes_stay_normalised(self, n, data):
+        dim = 1 << n
+        marked = data.draw(
+            st.lists(st.integers(0, dim - 1), unique=True, max_size=dim // 2)
+        )
+        engine = PhaseOracleGrover(n, marked)
+        run = engine.run(data.draw(st.integers(0, 8)))
+        np.testing.assert_allclose(np.sum(run.amplitudes ** 2), 1.0, rtol=1e-9)
+
+    @given(st.integers(2, 8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_simulation_matches_closed_form(self, n, data):
+        dim = 1 << n
+        m = data.draw(st.integers(1, dim // 2))
+        marked = list(range(m))
+        engine = PhaseOracleGrover(n, marked)
+        iters = data.draw(st.integers(0, 6))
+        run = engine.run(iters)
+        assert abs(run.success_probability - engine.theoretical_success(iters)) < 1e-9
+
+    @given(st.integers(2, 7), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_amplitudes_among_marked(self, n, data):
+        """Symmetry: all marked states share one amplitude, likewise unmarked."""
+        dim = 1 << n
+        marked = data.draw(
+            st.lists(st.integers(0, dim - 1), unique=True, min_size=1,
+                     max_size=dim - 1)
+        )
+        run = PhaseOracleGrover(n, marked).run(3)
+        marked_amps = {round(float(run.amplitudes[i]), 12) for i in marked}
+        unmarked_amps = {
+            round(float(run.amplitudes[i]), 12)
+            for i in range(dim)
+            if i not in set(marked)
+        }
+        assert len(marked_amps) == 1
+        assert len(unmarked_amps) <= 1

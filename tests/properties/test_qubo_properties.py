@@ -1,0 +1,109 @@
+"""Property-based tests for the QUBO formulation and annealing models."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import BinaryQuadraticModel
+from repro.core import build_mkp_qubo
+from repro.graphs import Graph
+from repro.kplex import is_kplex, maximum_kplex_bruteforce
+from repro.milp import linearize_qubo, solve_branch_bound
+
+
+@st.composite
+def small_graphs(draw, max_n=6):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pairs), unique=True)) if pairs else []
+    return Graph(n, edges)
+
+
+@st.composite
+def small_bqms(draw, max_vars=6):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    bqm = BinaryQuadraticModel(offset=draw(st.floats(-5, 5)))
+    for i in range(n):
+        bqm.add_linear(i, draw(st.floats(-3, 3)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                bqm.add_quadratic(i, j, draw(st.floats(-3, 3)))
+    return bqm
+
+
+class TestQuboCorrectness:
+    @given(small_graphs(), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_global_minimum_encodes_optimum(self, g, k):
+        """The paper's Theorem-level claim: min F = -|maximum k-plex|."""
+        model = build_mkp_qubo(g, k)
+        if model.num_variables > 18:
+            return  # keep exact minimisation tractable
+        result = solve_branch_bound(model.bqm)
+        opt = len(maximum_kplex_bruteforce(g, k))
+        assert result.energy == -opt
+        decoded = model.decode(result.assignment)
+        assert is_kplex(g, decoded, k)
+        assert len(decoded) == opt
+
+    @given(small_graphs(), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_feasible_sets_reach_minus_size(self, g, k):
+        """Every k-plex admits a zero-penalty slack completion."""
+        model = build_mkp_qubo(g, k)
+        slack_names = [b for bits in model.slack_bits.values() for b in bits]
+        if len(slack_names) > 12:
+            return
+        plex = maximum_kplex_bruteforce(g, k)
+        x_part = {model.vertex_variable(v): int(v in plex) for v in g.vertices}
+        best = min(
+            model.bqm.energy({**x_part, **dict(zip(slack_names, values))})
+            for values in itertools.product((0, 1), repeat=len(slack_names))
+        ) if slack_names else model.bqm.energy(x_part)
+        assert best == -len(plex)
+
+
+class TestBqmProperties:
+    @given(small_bqms(), st.data())
+    @settings(max_examples=50)
+    def test_ising_energy_identity(self, bqm, data):
+        sample = {
+            v: data.draw(st.integers(0, 1)) for v in bqm.variables
+        }
+        h_s, j_s, offset = bqm.to_ising()
+        spins = {v: 2 * x - 1 for v, x in sample.items()}
+        ising = offset + sum(h_s[v] * spins[v] for v in spins) + sum(
+            bias * spins[u] * spins[v] for (u, v), bias in j_s.items()
+        )
+        assert abs(ising - bqm.energy(sample)) < 1e-8
+
+    @given(small_bqms(), st.data())
+    @settings(max_examples=50)
+    def test_vectorised_energy_matches(self, bqm, data):
+        import numpy as np
+
+        order = bqm.variables
+        state = [data.draw(st.integers(0, 1)) for _ in order]
+        vec = bqm.energies(np.array([state]), order)[0]
+        scalar = bqm.energy(dict(zip(order, state)))
+        assert abs(vec - scalar) < 1e-8
+
+
+class TestLinearizationProperties:
+    @given(small_bqms(max_vars=5), st.data())
+    @settings(max_examples=40)
+    def test_true_products_always_feasible(self, bqm, data):
+        import numpy as np
+
+        lin = linearize_qubo(bqm)
+        x = {v: data.draw(st.integers(0, 1)) for v in lin.x_variables}
+        z = np.array(
+            [float(x[v]) for v in lin.x_variables]
+            + [float(x[u] * x[v]) for (u, v) in lin.y_pairs]
+        )
+        if lin.a_ub.shape[0]:
+            assert np.all(lin.a_ub @ z <= lin.b_ub + 1e-9)
+        # objective with true products equals the QUBO energy
+        assert abs(float(lin.c @ z) + lin.offset - bqm.energy(x)) < 1e-8

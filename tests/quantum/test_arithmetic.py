@@ -1,0 +1,221 @@
+"""Unit tests for the reversible arithmetic circuits (paper Figs. 7-9)."""
+
+import pytest
+
+from repro.quantum import (
+    QuantumCircuit,
+    QubitAllocator,
+    add_bit_into_counter,
+    classical_simulate,
+    compare_geq_const,
+    compare_leq,
+    compare_leq_const,
+    counter_width,
+    full_adder,
+    popcount,
+    ripple_add,
+)
+
+
+def _encode(pairs):
+    """Build an input bitmask from (qubit, value) pairs."""
+    mask = 0
+    for qubit, value in pairs:
+        if value:
+            mask |= 1 << qubit
+    return mask
+
+
+class TestCounterWidth:
+    @pytest.mark.parametrize(
+        ("value", "width"), [(0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4)]
+    )
+    def test_widths(self, value, width):
+        assert counter_width(value) == width
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            counter_width(-1)
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_truth_table(self, x, y, cin):
+        """Fig. 7: sum and carry for all eight input combinations."""
+        qc = QuantumCircuit(5)
+        s_q, c_q = full_adder(qc, 0, 1, 2, 3, 4)
+        out = classical_simulate(qc, _encode([(0, x), (1, y), (2, cin)]))
+        total = x + y + cin
+        assert (out >> s_q) & 1 == total & 1
+        assert (out >> c_q) & 1 == total >> 1
+
+    def test_gate_budget_is_five(self):
+        qc = QuantumCircuit(5)
+        full_adder(qc, 0, 1, 2, 3, 4)
+        assert qc.num_gates == 5
+
+
+class TestRippleAdd:
+    @pytest.mark.parametrize("x", range(8))
+    @pytest.mark.parametrize("y", range(8))
+    def test_three_bit_addition(self, x, y):
+        """Fig. 8: x + y for all pairs of 3-bit operands."""
+        qc = QuantumCircuit(6)
+        alloc = QubitAllocator(qc)
+        sum_bits = ripple_add(qc, [0, 1, 2], [3, 4, 5], alloc)
+        input_mask = x | (y << 3)
+        out = classical_simulate(qc, input_mask)
+        result = sum(((out >> q) & 1) << i for i, q in enumerate(sum_bits))
+        assert result == x + y
+
+    def test_width_mismatch(self):
+        qc = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            ripple_add(qc, [0], [1, 2], QubitAllocator(qc))
+
+
+class TestAddBitIntoCounter:
+    def test_increment_sequence(self):
+        """Adding 1-bits repeatedly counts up correctly."""
+        qc = QuantumCircuit(3 + 5)  # 5 one-bits, 3-bit counter
+        alloc = QubitAllocator(qc)
+        counter = [0, 1, 2]
+        for bit in range(3, 8):
+            add_bit_into_counter(qc, bit, counter, alloc)
+        out = classical_simulate(qc, 0b11111 << 3)
+        value = sum(((out >> q) & 1) << i for i, q in enumerate(counter))
+        assert value == 5
+
+    def test_zero_bits_do_nothing(self):
+        qc = QuantumCircuit(4)
+        alloc = QubitAllocator(qc)
+        add_bit_into_counter(qc, 3, [0, 1, 2], alloc)
+        assert classical_simulate(qc, 0) == 0
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("pattern", range(16))
+    def test_counts_ones(self, pattern):
+        qc = QuantumCircuit(4)
+        alloc = QubitAllocator(qc)
+        counter = popcount(qc, [0, 1, 2, 3], alloc)
+        out = classical_simulate(qc, pattern)
+        value = sum(((out >> q) & 1) << i for i, q in enumerate(counter))
+        assert value == bin(pattern).count("1")
+
+    def test_counter_width_sized_for_input(self):
+        qc = QuantumCircuit(5)
+        counter = popcount(qc, [0, 1, 2, 3, 4], QubitAllocator(qc))
+        assert len(counter) == counter_width(5) == 3
+
+
+class TestCompareLeqRegisters:
+    @pytest.mark.parametrize("x", range(4))
+    @pytest.mark.parametrize("y", range(4))
+    def test_two_bit_comparison(self, x, y):
+        """Fig. 9: x <= y over all 2-bit operand pairs."""
+        qc = QuantumCircuit(4)
+        alloc = QubitAllocator(qc)
+        out_q = compare_leq(qc, [0, 1], [2, 3], alloc)
+        out = classical_simulate(qc, x | (y << 2))
+        assert (out >> out_q) & 1 == int(x <= y)
+
+    def test_width_mismatch(self):
+        qc = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            compare_leq(qc, [0], [1, 2], QubitAllocator(qc))
+
+
+class TestCompareConst:
+    @pytest.mark.parametrize("const", range(8))
+    @pytest.mark.parametrize("x", range(8))
+    def test_leq_const(self, const, x):
+        qc = QuantumCircuit(3)
+        alloc = QubitAllocator(qc)
+        out_q = compare_leq_const(qc, [0, 1, 2], const, alloc)
+        out = classical_simulate(qc, x)
+        assert (out >> out_q) & 1 == int(x <= const)
+
+    @pytest.mark.parametrize("const", range(8))
+    @pytest.mark.parametrize("x", range(8))
+    def test_geq_const(self, const, x):
+        qc = QuantumCircuit(3)
+        alloc = QubitAllocator(qc)
+        out_q = compare_geq_const(qc, [0, 1, 2], const, alloc)
+        out = classical_simulate(qc, x)
+        assert (out >> out_q) & 1 == int(x >= const)
+
+    def test_constant_too_wide(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="fit"):
+            compare_leq_const(qc, [0, 1], 4, QubitAllocator(qc))
+
+    def test_negative_constant(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            compare_geq_const(qc, [0, 1], -1, QubitAllocator(qc))
+
+    def test_no_ancillas_beyond_output(self):
+        qc = QuantumCircuit(3)
+        alloc = QubitAllocator(qc)
+        compare_leq_const(qc, [0, 1, 2], 5, alloc)
+        assert qc.num_qubits == 4  # inputs + single output qubit
+
+
+class TestUncompute:
+    def test_arithmetic_uncomputes_cleanly(self):
+        """forward + inverse restores every ancilla (oracle requirement)."""
+        qc = QuantumCircuit(6)
+        alloc = QubitAllocator(qc)
+        counter = popcount(qc, [0, 1, 2, 3, 4, 5], alloc)
+        compare_leq_const(qc, counter, 3, alloc)
+        round_trip = QuantumCircuit(qc.num_qubits)
+        round_trip.extend(qc)
+        round_trip.extend(qc.inverse())
+        for pattern in range(64):
+            assert classical_simulate(round_trip, pattern) == pattern
+
+
+class TestFullAdderAccumulation:
+    """The paper-faithful Fig. 7 accumulation chain."""
+
+    @pytest.mark.parametrize("pattern", range(16))
+    def test_popcount_full_adder_mode(self, pattern):
+        qc = QuantumCircuit(4)
+        alloc = QubitAllocator(qc)
+        counter = popcount(qc, [0, 1, 2, 3], alloc, adder="full_adder")
+        out = classical_simulate(qc, pattern)
+        value = sum(((out >> q) & 1) << i for i, q in enumerate(counter))
+        assert value == bin(pattern).count("1")
+
+    def test_gate_budget_five_per_stage(self):
+        qc = QuantumCircuit(1)
+        alloc = QubitAllocator(qc)
+        counter = alloc.take(3, "c")
+        add_bit_into_counter(qc, 0, counter, alloc, adder="full_adder")
+        assert qc.num_gates == 5 * 3
+
+    def test_compact_budget_two_per_stage(self):
+        qc = QuantumCircuit(1)
+        alloc = QubitAllocator(qc)
+        counter = alloc.take(3, "c")
+        add_bit_into_counter(qc, 0, counter, alloc, adder="compact")
+        assert qc.num_gates == 2 * 3
+
+    def test_unknown_adder_rejected(self):
+        qc = QuantumCircuit(1)
+        alloc = QubitAllocator(qc)
+        with pytest.raises(ValueError, match="adder"):
+            add_bit_into_counter(qc, 0, alloc.take(2, "c"), alloc, adder="ripple")
+
+    def test_uncompute_clean_in_full_adder_mode(self):
+        qc = QuantumCircuit(5)
+        alloc = QubitAllocator(qc)
+        popcount(qc, [0, 1, 2, 3, 4], alloc, adder="full_adder")
+        round_trip = QuantumCircuit(qc.num_qubits)
+        round_trip.extend(qc)
+        round_trip.extend(qc.inverse())
+        for pattern in range(32):
+            assert classical_simulate(round_trip, pattern) == pattern

@@ -1,0 +1,136 @@
+"""Unit tests for the circuit IR."""
+
+import pytest
+
+from repro.quantum import QuantumCircuit, classical_simulate, simulate
+
+
+class TestStructure:
+    def test_empty_circuit(self):
+        qc = QuantumCircuit(3)
+        assert qc.num_qubits == 3
+        assert qc.num_gates == 0
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(-1)
+
+    def test_add_register(self):
+        qc = QuantumCircuit(2)
+        reg = qc.add_register("anc", 3)
+        assert reg.offset == 2
+        assert qc.num_qubits == 5
+        assert qc.register("anc") is reg
+
+    def test_duplicate_register_name(self):
+        qc = QuantumCircuit(0)
+        qc.add_register("a", 1)
+        with pytest.raises(ValueError, match="already exists"):
+            qc.add_register("a", 2)
+
+    def test_gate_out_of_bounds(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="touches qubit"):
+            qc.x(2)
+
+
+class TestAppends:
+    def test_gate_counts(self):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        qc.x(1)
+        qc.cx(0, 1)
+        qc.ccx(0, 1, 2)
+        qc.mcx([0, 1, 2], 3)
+        qc.cz(0, 1)
+        qc.mcz([0, 1], 2)
+        counts = qc.gate_counts()
+        assert counts == {
+            "h": 1, "x": 1, "cx": 1, "ccx": 1, "mcx": 1, "cz": 1, "mcz": 1,
+        }
+
+    def test_mcx_control_values_length(self):
+        qc = QuantumCircuit(3)
+        with pytest.raises(ValueError, match="length"):
+            qc.mcx([0, 1], 2, control_values=[1])
+
+    def test_count_ops(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.x(1)
+        assert qc.count_ops() == 2
+        assert len(qc) == 2
+
+
+class TestLabels:
+    def test_labelled_counts(self):
+        qc = QuantumCircuit(2)
+        qc.set_label("a")
+        qc.x(0)
+        qc.x(1)
+        qc.set_label("b")
+        qc.x(0)
+        qc.set_label(None)
+        qc.x(1)
+        assert qc.labelled_gate_counts() == {"a": 2, "b": 1, "": 1}
+
+
+class TestInverse:
+    def test_inverse_reverses_classical_circuit(self):
+        qc = QuantumCircuit(3)
+        qc.x(0)
+        qc.cx(0, 1)
+        qc.ccx(0, 1, 2)
+        inv = qc.inverse()
+        for bits in range(8):
+            assert classical_simulate(inv, classical_simulate(qc, bits)) == bits
+
+    def test_inverse_of_statevector_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.z(1)
+        combined = QuantumCircuit(2)
+        combined.extend(qc)
+        combined.extend(qc.inverse())
+        sv = simulate(combined)
+        assert sv.probability_of(0) == pytest.approx(1.0)
+
+    def test_inverse_preserves_labels(self):
+        qc = QuantumCircuit(1)
+        qc.set_label("body")
+        qc.x(0)
+        assert qc.inverse().labelled_gate_counts() == {"body": 1}
+
+
+class TestExtendAndDepth:
+    def test_extend_requires_fit(self):
+        small = QuantumCircuit(2)
+        big = QuantumCircuit(3)
+        big.x(2)
+        with pytest.raises(ValueError, match="cannot extend"):
+            small.extend(big)
+
+    def test_extend_copies_gates(self):
+        a = QuantumCircuit(2)
+        a.x(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        a.extend(b)
+        assert a.num_gates == 2
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(4)
+        qc.x(0)
+        qc.x(1)
+        qc.x(2)
+        assert qc.depth() == 1
+
+    def test_depth_serial_chain(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(0, 1)
+        assert qc.depth() == 2
+
+    def test_depth_empty(self):
+        assert QuantumCircuit(3).depth() == 0

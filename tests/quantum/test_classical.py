@@ -1,0 +1,83 @@
+"""Unit tests for the bit-level classical-reversible simulator."""
+
+import pytest
+
+from repro.quantum import (
+    QuantumCircuit,
+    assert_classical,
+    classical_output_bit,
+    classical_simulate,
+    simulate,
+)
+
+
+class TestClassicalSimulate:
+    def test_x(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        assert classical_simulate(qc, 0) == 1
+        assert classical_simulate(qc, 1) == 0
+
+    def test_cx_truth_table(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        assert [classical_simulate(qc, b) for b in range(4)] == [0, 1 | 2, 2, 1]
+
+    def test_control_on_zero(self):
+        qc = QuantumCircuit(2)
+        qc.mcx([0], 1, control_values=[0])
+        assert classical_simulate(qc, 0) == 2
+        assert classical_simulate(qc, 1) == 1
+
+    def test_mcx_all_controls(self):
+        qc = QuantumCircuit(4)
+        qc.mcx([0, 1, 2], 3)
+        assert classical_simulate(qc, 0b0111) == 0b1111
+        assert classical_simulate(qc, 0b0011) == 0b0011
+
+    def test_rejects_h(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        with pytest.raises(ValueError, match="not classical"):
+            classical_simulate(qc, 0)
+
+    def test_rejects_out_of_range_input(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="out of range"):
+            classical_simulate(qc, 4)
+
+    def test_output_bit_helper(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        assert classical_output_bit(qc, 1, 1) == 1
+        assert classical_output_bit(qc, 0, 1) == 0
+
+
+class TestAssertClassical:
+    def test_accepts_x_family(self):
+        qc = QuantumCircuit(3)
+        qc.x(0)
+        qc.cx(0, 1)
+        qc.ccx(0, 1, 2)
+        assert_classical(qc)  # no raise
+
+    def test_rejects_z(self):
+        qc = QuantumCircuit(1)
+        qc.z(0)
+        with pytest.raises(ValueError):
+            assert_classical(qc)
+
+
+class TestAgreementWithStatevector:
+    def test_matches_dense_simulation_on_basis_states(self):
+        """The bit simulator and the dense simulator must agree exactly."""
+        qc = QuantumCircuit(4)
+        qc.x(0)
+        qc.cx(0, 1)
+        qc.ccx(1, 2, 3)
+        qc.mcx([0, 3], 2, control_values=[1, 0])
+        qc.cx(3, 0)
+        for bits in range(16):
+            expected = classical_simulate(qc, bits)
+            sv = simulate(qc, initial=bits)
+            assert sv.probability_of(expected) == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""Unit tests for simulated quantum counting."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import phase_distribution, quantum_count
+
+
+class TestPhaseDistribution:
+    def test_normalised(self):
+        probs = phase_distribution(6, 4, 7)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_zero_marked_peaks_at_zero_phase(self):
+        probs = phase_distribution(5, 0, 6)
+        assert int(np.argmax(probs)) == 0
+
+    def test_all_marked_peaks_at_half_turn(self):
+        # theta = pi/2, eigenphase pi: readout m = 2^t / 2.
+        probs = phase_distribution(3, 8, 5)
+        assert int(np.argmax(probs)) == 16
+
+    def test_invalid_marked(self):
+        with pytest.raises(ValueError):
+            phase_distribution(3, 9, 4)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            phase_distribution(3, 1, 0)
+
+    def test_peak_tracks_theta(self):
+        # More marked states -> larger theta -> peak further from 0.
+        peak_small = np.argmax(phase_distribution(8, 1, 8))
+        peak_large = np.argmax(phase_distribution(8, 64, 8))
+        t = 1 << 8
+        fold = lambda m: min(m, t - m)  # noqa: E731
+        assert fold(int(peak_large)) > fold(int(peak_small))
+
+
+class TestQuantumCount:
+    @pytest.mark.parametrize("true_m", [1, 2, 4, 8, 16])
+    def test_estimates_close(self, true_m, rng):
+        result = quantum_count(8, true_m, precision_qubits=10, shots=128, rng=rng)
+        assert result.estimate == pytest.approx(true_m, rel=0.5, abs=1.0)
+
+    def test_rounded_exact_for_easy_cases(self, rng):
+        # M = N/4 gives theta = pi/6... use M = N/2: theta = pi/4,
+        # phase = pi/2, exactly representable.
+        result = quantum_count(4, 8, precision_qubits=8, shots=64, rng=rng)
+        assert result.rounded == 8
+
+    def test_metadata(self, rng):
+        result = quantum_count(5, 3, precision_qubits=6, shots=32, rng=rng)
+        assert result.precision_qubits == 6
+        assert result.shots == 32
+        assert 0 <= result.measured_phase < 64

@@ -1,0 +1,81 @@
+"""Unit tests for the ASCII circuit drawer."""
+
+import pytest
+
+from repro.quantum import QuantumCircuit
+from repro.quantum.drawer import draw_circuit
+
+
+class TestDrawCircuit:
+    def test_single_gate(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        art = draw_circuit(qc)
+        assert "q0 |0>" in art
+        assert "-X-" in art
+
+    def test_cnot_shows_control_and_target(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        art = draw_circuit(qc)
+        lines = art.splitlines()
+        assert "-*-" in lines[0]
+        assert "-X-" in lines[-1]
+        assert "|" in art  # the vertical connector
+
+    def test_control_on_zero_is_hollow(self):
+        qc = QuantumCircuit(2)
+        qc.mcx([0], 1, control_values=[0])
+        assert "-o-" in draw_circuit(qc).splitlines()[0]
+
+    def test_gate_order_is_left_to_right(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.x(0)
+        top = draw_circuit(qc).splitlines()[0]
+        assert top.index("H") < top.index("X")
+
+    def test_pass_through_wire_marked(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)  # passes through qubit 1
+        middle = draw_circuit(qc).splitlines()[2]
+        assert "-|-" in middle
+
+    def test_register_labels_used(self):
+        qc = QuantumCircuit(0)
+        v = qc.add_register("v", 2)
+        qc.cx(v[0], v[1])
+        art = draw_circuit(qc)
+        assert "v0 |0>" in art
+        assert "v1 |0>" in art
+
+    def test_custom_labels(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        assert "anc |0>" in draw_circuit(qc, labels={0: "anc"})
+
+    def test_size_guards(self):
+        with pytest.raises(ValueError, match="qubits"):
+            draw_circuit(QuantumCircuit(40))
+        qc = QuantumCircuit(1)
+        for _ in range(500):
+            qc.x(0)
+        with pytest.raises(ValueError, match="gates"):
+            draw_circuit(qc)
+
+    def test_mcz_target(self):
+        qc = QuantumCircuit(3)
+        qc.mcz([0, 1], 2)
+        art = draw_circuit(qc)
+        assert "-Z-" in art
+        assert art.count("-*-") == 2
+
+    def test_all_rows_same_length(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.ccx(0, 1, 2)
+        qc.z(1)
+        wire_lines = [
+            line for line in draw_circuit(qc).splitlines() if "|0>" in line
+        ]
+        assert len({len(line) for line in wire_lines}) == 1

@@ -1,0 +1,90 @@
+"""Unit tests for the gate vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import Control, Gate, is_classical_gate
+
+
+class TestControl:
+    def test_default_value_one(self):
+        assert Control(3).value == 1
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            Control(0, 2)
+
+    def test_negative_qubit(self):
+        with pytest.raises(ValueError):
+            Control(-1)
+
+
+class TestGate:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            Gate("y", 0)
+
+    def test_phase_needs_param(self):
+        with pytest.raises(ValueError, match="param"):
+            Gate("p", 0)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gate("x", 0, (Control(0),))
+
+    def test_qubits_property(self):
+        g = Gate("x", 2, (Control(0), Control(1, 0)))
+        assert g.qubits == (0, 1, 2)
+        assert g.num_controls == 2
+
+    def test_matrix_x(self):
+        assert np.array_equal(Gate("x", 0).matrix(), [[0, 1], [1, 0]])
+
+    def test_matrix_h_unitary(self):
+        u = Gate("h", 0).matrix()
+        assert np.allclose(u @ u.conj().T, np.eye(2))
+
+    def test_matrix_phase(self):
+        u = Gate("p", 0, param=np.pi).matrix()
+        assert np.allclose(u, [[1, 0], [0, -1]])
+
+    def test_shifted(self):
+        g = Gate("x", 1, (Control(0),)).shifted(5)
+        assert g.target == 6
+        assert g.controls[0].qubit == 5
+
+
+class TestInverse:
+    @pytest.mark.parametrize("name", ["x", "h", "z"])
+    def test_self_inverse(self, name):
+        g = Gate(name, 0)
+        assert g.inverse() == g
+
+    def test_s_sdg_pair(self):
+        assert Gate("s", 0).inverse().name == "sdg"
+        assert Gate("sdg", 0).inverse().name == "s"
+
+    def test_phase_negates(self):
+        g = Gate("p", 0, param=0.5)
+        assert g.inverse().param == -0.5
+
+    def test_inverse_preserves_controls(self):
+        g = Gate("x", 1, (Control(0, 0),))
+        assert g.inverse().controls == g.controls
+
+    def test_inverse_matrix_is_adjoint(self):
+        for name in ("x", "h", "z", "s", "sdg"):
+            g = Gate(name, 0)
+            assert np.allclose(g.inverse().matrix(), g.matrix().conj().T)
+
+
+class TestClassicality:
+    def test_x_family_classical(self):
+        assert is_classical_gate(Gate("x", 0))
+        assert is_classical_gate(Gate("x", 1, (Control(0),)))
+
+    def test_h_not_classical(self):
+        assert not is_classical_gate(Gate("h", 0))
+
+    def test_z_not_classical(self):
+        assert not is_classical_gate(Gate("z", 0))

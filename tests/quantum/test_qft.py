@@ -1,0 +1,89 @@
+"""Unit tests for the QFT and phase estimation circuits."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import simulate
+from repro.quantum.counting import phase_distribution
+from repro.quantum.qft import (
+    estimate_phase_distribution,
+    inverse_qft_circuit,
+    phase_estimation_circuit,
+    qft_circuit,
+    qft_matrix,
+)
+
+
+def _circuit_matrix(qc):
+    dim = 1 << qc.num_qubits
+    return np.column_stack(
+        [simulate(qc, initial=basis).data for basis in range(dim)]
+    )
+
+
+class TestQft:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        built = _circuit_matrix(qft_circuit(n))
+        assert np.allclose(built, qft_matrix(n), atol=1e-10)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_unitary(self, n):
+        u = _circuit_matrix(qft_circuit(n))
+        assert np.allclose(u @ u.conj().T, np.eye(1 << n), atol=1e-10)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_inverse_composes_to_identity(self, n):
+        forward = qft_circuit(n)
+        backward = inverse_qft_circuit(n)
+        combined = _circuit_matrix(forward) @ _circuit_matrix(backward)
+        assert np.allclose(combined, np.eye(1 << n), atol=1e-10)
+
+    def test_uniform_from_zero(self):
+        # QFT|0> is the uniform superposition.
+        sv = simulate(qft_circuit(3))
+        assert np.allclose(sv.probabilities(), 1 / 8)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("k", [0, 1, 3, 5])
+    def test_exact_phases_read_out_deterministically(self, k):
+        """phase = 2 pi k / 2^t collapses to readout k with certainty."""
+        t = 3
+        phase = 2 * np.pi * k / (1 << t)
+        probs = estimate_phase_distribution(t, phase)
+        assert probs[k] == pytest.approx(1.0, abs=1e-9)
+
+    def test_inexact_phase_peaks_at_nearest(self):
+        t = 4
+        phase = 2 * np.pi * (5.2 / 16)
+        probs = estimate_phase_distribution(t, phase)
+        assert int(np.argmax(probs)) == 5
+
+    def test_distribution_normalised(self):
+        probs = estimate_phase_distribution(3, 1.234)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            phase_estimation_circuit(0, 1.0)
+
+
+class TestCountingModelValidation:
+    """The analytic counting kernel must match circuit-level QPE."""
+
+    @pytest.mark.parametrize(("n", "m"), [(3, 1), (3, 2), (4, 4)])
+    def test_analytic_matches_circuit(self, n, m):
+        t = 4
+        theta = float(np.arcsin(np.sqrt(m / (1 << n))))
+        # The Grover operator's two eigenphases are +/- 2 theta; the
+        # analytic model averages both branches.
+        plus = estimate_phase_distribution(t, 2 * theta)
+        minus = estimate_phase_distribution(t, -2 * theta)
+        circuit_level = 0.5 * (plus + minus)
+        analytic = phase_distribution(n, m, t)
+        assert np.allclose(circuit_level, analytic, atol=1e-8)

@@ -1,0 +1,39 @@
+"""Unit tests for named registers."""
+
+import pytest
+
+from repro.quantum import QuantumRegister
+
+
+class TestRegister:
+    def test_indexing(self):
+        reg = QuantumRegister("v", 4, offset=3)
+        assert reg[0] == 3
+        assert reg[3] == 6
+
+    def test_negative_index(self):
+        reg = QuantumRegister("v", 4, offset=3)
+        assert reg[-1] == 6
+
+    def test_slice(self):
+        reg = QuantumRegister("v", 4, offset=2)
+        assert reg[1:3] == [3, 4]
+
+    def test_out_of_range(self):
+        reg = QuantumRegister("v", 2, offset=0)
+        with pytest.raises(IndexError):
+            reg[2]
+
+    def test_iteration_and_len(self):
+        reg = QuantumRegister("e", 3, offset=5)
+        assert list(reg) == [5, 6, 7]
+        assert len(reg) == 3
+        assert reg.qubits == [5, 6, 7]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            QuantumRegister("x", -1, 0)
+
+    def test_invalid_offset(self):
+        with pytest.raises(ValueError):
+            QuantumRegister("x", 1, -2)

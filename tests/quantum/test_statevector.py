@@ -1,0 +1,139 @@
+"""Unit tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import QuantumCircuit, Statevector, simulate
+
+
+class TestStatevector:
+    def test_initial_state(self):
+        sv = Statevector(2)
+        assert sv.probability_of(0) == pytest.approx(1.0)
+
+    def test_basis_state(self):
+        sv = Statevector.from_basis_state(3, 5)
+        assert sv.probability_of(5) == pytest.approx(1.0)
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError, match="refuses"):
+            Statevector(30)
+
+    def test_bad_data_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            Statevector(2, np.zeros(3))
+
+    def test_probabilities_sum_to_one(self):
+        qc = QuantumCircuit(3)
+        for q in range(3):
+            qc.h(q)
+        sv = simulate(qc)
+        assert sv.probabilities().sum() == pytest.approx(1.0)
+
+
+class TestSingleGates:
+    def test_x_flips(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        assert simulate(qc).probability_of(1) == pytest.approx(1.0)
+
+    def test_h_uniform(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        sv = simulate(qc)
+        assert sv.probability_of(0) == pytest.approx(0.5)
+        assert sv.probability_of(1) == pytest.approx(0.5)
+
+    def test_hzh_is_x(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.z(0)
+        qc.h(0)
+        assert simulate(qc).probability_of(1) == pytest.approx(1.0)
+
+    def test_z_phase(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.z(0)
+        sv = simulate(qc)
+        assert sv.data[1] == pytest.approx(-1.0)
+
+
+class TestControlledGates:
+    def test_cx_control_off(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        assert simulate(qc).probability_of(0) == pytest.approx(1.0)
+
+    def test_cx_control_on(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.cx(0, 1)
+        assert simulate(qc).probability_of(3) == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        sv = simulate(qc)
+        assert sv.probability_of(0) == pytest.approx(0.5)
+        assert sv.probability_of(3) == pytest.approx(0.5)
+
+    def test_control_on_zero(self):
+        qc = QuantumCircuit(2)
+        qc.mcx([0], 1, control_values=[0])
+        assert simulate(qc).probability_of(2) == pytest.approx(1.0)
+
+    def test_toffoli_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                qc = QuantumCircuit(3)
+                if a:
+                    qc.x(0)
+                if b:
+                    qc.x(1)
+                qc.ccx(0, 1, 2)
+                expected = a | (b << 1) | ((a & b) << 2)
+                assert simulate(qc).probability_of(expected) == pytest.approx(1.0)
+
+
+class TestMeasurement:
+    def test_sample_deterministic_state(self, rng):
+        sv = Statevector.from_basis_state(2, 3)
+        assert sv.sample(100, rng) == {3: 100}
+
+    def test_sample_distribution(self, rng):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        counts = simulate(qc).sample(10_000, rng)
+        assert abs(counts[0] - 5000) < 300
+
+    def test_marginal_probabilities(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 2)
+        sv = simulate(qc)
+        marg = sv.marginal_probabilities([0, 2])
+        assert marg[0b00] == pytest.approx(0.5)
+        assert marg[0b11] == pytest.approx(0.5)
+
+    def test_fidelity(self):
+        a = Statevector.from_basis_state(2, 1)
+        b = Statevector.from_basis_state(2, 1)
+        c = Statevector.from_basis_state(2, 2)
+        assert a.fidelity_with(b) == pytest.approx(1.0)
+        assert a.fidelity_with(c) == pytest.approx(0.0)
+
+
+class TestInitialStates:
+    def test_simulate_from_int(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        sv = simulate(qc, initial=2)
+        assert sv.probability_of(3) == pytest.approx(1.0)
+
+    def test_simulate_from_statevector(self):
+        start = Statevector.from_basis_state(1, 1)
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        assert simulate(qc, initial=start).probability_of(0) == pytest.approx(1.0)
