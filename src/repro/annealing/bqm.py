@@ -92,6 +92,25 @@ class BinaryQuadraticModel:
         """Variable pairs with non-zero coupling (for embedding)."""
         return [pair for pair, bias in self.quadratic.items() if bias != 0.0]
 
+    def require_finite(self) -> None:
+        """Raise ``ValueError`` if any coefficient is NaN or infinite.
+
+        Samplers call this before annealing: a non-finite bias poisons
+        every energy and acceptance probability downstream, and failing
+        at submission (as real solver APIs do) is the only point where
+        the culprit coefficient can still be named.
+        """
+        import math
+
+        if not math.isfinite(self.offset):
+            raise ValueError(f"non-finite offset {self.offset}")
+        for v, bias in self.linear.items():
+            if not math.isfinite(bias):
+                raise ValueError(f"non-finite linear bias {bias} on {v!r}")
+        for (u, v), bias in self.quadratic.items():
+            if not math.isfinite(bias):
+                raise ValueError(f"non-finite quadratic bias {bias} on ({u!r}, {v!r})")
+
     # ------------------------------------------------------------------
     # Energy
     # ------------------------------------------------------------------

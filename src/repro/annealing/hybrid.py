@@ -72,6 +72,7 @@ class HybridSampler:
         seed: int | None = None,
     ) -> SampleSet:
         """Solve with the hybrid portfolio; runtime floored at 3 s."""
+        bqm.require_finite()
         effective_us = max(float(time_limit_us), MIN_RUNTIME_US)
         sa = SimulatedAnnealingSampler()
         raw = sa.sample(

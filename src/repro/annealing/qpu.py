@@ -89,7 +89,21 @@ def _gauge_transform(
 
 
 class QPURuntimeExceeded(ValueError):
-    """Requested runtime exceeds the per-call cap (as on real hardware)."""
+    """Requested runtime exceeds the per-call cap (as on real hardware).
+
+    Carries the request and the cap so budget-aware callers (the
+    resilience layer) can clamp their next attempt instead of guessing.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        requested_us: float | None = None,
+        cap_us: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested_us = requested_us
+        self.cap_us = cap_us
 
 
 class SimulatedQPUSampler:
@@ -111,6 +125,12 @@ class SimulatedQPUSampler:
         Per-call runtime cap; ``None`` disables it.
     physical_qubit_budget:
         Auto-mode threshold between physical and logical execution.
+    allow_hardware_expansion:
+        When the embedding heuristic fails on the configured chip, the
+        default behaviour auto-expands to a bigger clique template (the
+        "move to a larger chip" step).  Set ``False`` to model a fixed
+        chip: :class:`EmbeddingError` then propagates to the caller,
+        exactly as the real solver API reports an unembeddable problem.
     """
 
     def __init__(
@@ -121,6 +141,7 @@ class SimulatedQPUSampler:
         chain_break_per_link: float = 0.03,
         max_call_time_us: float | None = 2.0e4,
         physical_qubit_budget: int = 600,
+        allow_hardware_expansion: bool = True,
     ) -> None:
         self.hardware = hardware or chimera_graph(16)
         self.sweeps_per_us = sweeps_per_us
@@ -128,7 +149,14 @@ class SimulatedQPUSampler:
         self.chain_break_per_link = chain_break_per_link
         self.max_call_time_us = max_call_time_us
         self.physical_qubit_budget = physical_qubit_budget
+        self.allow_hardware_expansion = allow_hardware_expansion
         self._embedding_cache: dict[int, tuple[Embedding, bool]] = {}
+
+    def max_reads(self, annealing_time_us: float) -> int | None:
+        """Largest ``num_reads`` the per-call cap admits (None = no cap)."""
+        if self.max_call_time_us is None:
+            return None
+        return max(0, int(self.max_call_time_us // annealing_time_us))
 
     # ------------------------------------------------------------------
     def embed(
@@ -156,6 +184,8 @@ class SimulatedQPUSampler:
                 )
                 expanded = False
             except EmbeddingError:
+                if not self.allow_hardware_expansion:
+                    raise
                 emb = clique_embedding_auto(bqm.variables)
                 expanded = True
             self._embedding_cache[key] = (emb, expanded)
@@ -187,11 +217,14 @@ class SimulatedQPUSampler:
             raise ValueError(f"num_reads must be >= 1, got {num_reads}")
         if mode not in ("auto", "physical", "logical"):
             raise ValueError(f"mode must be auto/physical/logical, got {mode!r}")
+        bqm.require_finite()
         total_us = annealing_time_us * num_reads
         if self.max_call_time_us is not None and total_us > self.max_call_time_us:
             raise QPURuntimeExceeded(
                 f"requested {total_us} us exceeds the per-call cap of "
-                f"{self.max_call_time_us} us"
+                f"{self.max_call_time_us} us",
+                requested_us=total_us,
+                cap_us=self.max_call_time_us,
             )
         rng = np.random.default_rng(seed)
         if embedding is not None:

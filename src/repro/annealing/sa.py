@@ -59,6 +59,7 @@ class SimulatedAnnealingSampler:
             if beta_schedule.ndim != 1 or beta_schedule.size < 1:
                 raise ValueError("beta_schedule must be a non-empty 1-D array")
             num_sweeps = int(beta_schedule.size)
+        bqm.require_finite()
         rng = np.random.default_rng(seed)
         h, j, offset, order = bqm.to_numpy()
         n = len(order)

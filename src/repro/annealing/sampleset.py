@@ -84,3 +84,11 @@ class SampleSet:
     def truncate(self, count: int) -> "SampleSet":
         """The ``count`` lowest-energy samples as a new set."""
         return SampleSet(list(self.samples[:count]), dict(self.info))
+
+    def filter(self, predicate) -> "SampleSet":
+        """Samples for which ``predicate(sample)`` holds, as a new set.
+
+        ``info`` is carried over; the result may be empty (callers that
+        require a best sample must check before touching ``first``).
+        """
+        return SampleSet([s for s in self.samples if predicate(s)], dict(self.info))

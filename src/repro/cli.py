@@ -50,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="runtime budget for annealing solvers (default 1000)",
     )
     solve.add_argument("--seed", type=int, default=None, help="random seed")
+    solve.add_argument(
+        "--retries", type=int, default=0,
+        help="qamkp-qpu: retries with backoff, debited from --runtime-us",
+    )
+    solve.add_argument(
+        "--fallback", action="store_true",
+        help="qamkp-qpu: degrade through sa -> tabu -> greedy on failure",
+    )
+    solve.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="qamkp-qpu: inject faults, e.g. 'transient=2,storm=0.5,seed=7'",
+    )
 
     check = sub.add_parser("check", help="verify a k-plex")
     check.add_argument("graph", help="edge-list file")
@@ -87,7 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    graph, labels = read_edge_list(args.graph)
+    try:
+        graph, labels = read_edge_list(args.graph)
+    except OSError as exc:
+        print(f"error: cannot read {args.graph}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.graph}: {exc}", file=sys.stderr)
+        return 2
     if args.command == "solve":
         return _cmd_solve(args, graph, labels)
     if args.command == "check":
@@ -118,13 +137,52 @@ def _cmd_solve(args, graph, labels) -> int:
         rng = np.random.default_rng(args.seed)
         subset = qmkp(graph, args.k, rng=rng).subset
     else:
+        from .annealing import EmbeddingError, QPURuntimeExceeded
+        from .resilience import BudgetExhausted, CircuitOpenError
+
         backend = args.solver.split("-", 1)[1]
-        result = qamkp(
-            graph, args.k, runtime_us=args.runtime_us,
-            solver=backend, seed=args.seed,
-        )
+        if args.inject_faults and backend != "qpu":
+            print(
+                "error: --inject-faults requires --solver qamkp-qpu",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            result = qamkp(
+                graph, args.k, runtime_us=args.runtime_us,
+                solver=backend, seed=args.seed,
+                retries=args.retries, fallback=args.fallback,
+                fault_plan=args.inject_faults,
+            )
+        except (
+            EmbeddingError, QPURuntimeExceeded, BudgetExhausted, CircuitOpenError,
+        ) as exc:
+            print(
+                f"error: {backend} solve failed ({exc}); "
+                "re-run with --fallback to degrade to a classical backend",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         subset = result.repaired
         print(f"objective cost: {result.cost}")
+        if not is_kplex(graph, subset, args.k):
+            print(
+                f"warning: repair produced an infeasible set of size "
+                f"{len(subset)}; result is not a valid {args.k}-plex",
+                file=sys.stderr,
+            )
+        resilience = result.info.get("resilience")
+        if resilience:
+            print(
+                f"backend: {result.info.get('backend_used', backend)} | "
+                f"attempts: {len(resilience['attempts'])} | "
+                f"faults: {len(resilience['faults'])} | "
+                f"charged: {resilience['charged_us']:.0f}/"
+                f"{resilience['budget_us']:.0f} us"
+            )
     print(f"maximum {args.k}-plex size: {len(subset)}")
     print(f"vertices: {_translate(subset, labels)}")
     return 0

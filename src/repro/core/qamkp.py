@@ -30,6 +30,14 @@ from ..annealing import (
 from ..graphs import Graph
 from ..kplex import is_kplex, repair_to_kplex
 from ..milp import solve_qubo_milp
+from ..resilience import (
+    CASCADE_ORDER,
+    FallbackCascade,
+    FaultInjectingSampler,
+    FaultPlan,
+    RetryPolicy,
+    validate_sampleset,
+)
 from .qubo_formulation import MkpQubo, build_mkp_qubo
 
 __all__ = ["QAMKPResult", "qamkp", "cost_versus_runtime"]
@@ -74,6 +82,16 @@ class QAMKPResult:
         return len(self.repaired)
 
 
+def _validated(sampleset, model: MkpQubo):
+    """Quarantine malformed rows; an empty survivor set is an error."""
+    clean, _report = validate_sampleset(sampleset, model.bqm)
+    if not clean.samples:
+        raise ValueError(
+            "sampler returned no usable rows: every sample was quarantined"
+        )
+    return clean
+
+
 def qamkp(
     graph: Graph,
     k: int,
@@ -85,6 +103,9 @@ def qamkp(
     qpu: SimulatedQPUSampler | None = None,
     seed: int | None = None,
     sa_shot_cost_us: float = 100.0,
+    retries: int = 0,
+    fallback: bool = False,
+    fault_plan: FaultPlan | str | None = None,
 ) -> QAMKPResult:
     """Solve MKP through the QUBO objective with the chosen backend.
 
@@ -109,6 +130,24 @@ def qamkp(
         SA takes ``runtime_us / sa_shot_cost_us`` shots.  QPU shots
         cost ``delta_t_us`` each — the hundredfold gap is exactly why
         the paper's SA curve only starts around 10^4 us.
+    retries:
+        QPU solves only: number of retries (so ``retries + 1``
+        attempts) with exponential backoff and full jitter, all debited
+        from the same ``runtime_us`` budget.
+    fallback:
+        QPU solves only: degrade through the sa -> tabu -> greedy
+        cascade instead of raising when the (resilient) QPU path fails.
+    fault_plan:
+        Inject deterministic faults into the QPU sampler (a
+        :class:`~repro.resilience.FaultPlan` or its string form, e.g.
+        ``"transient=2,storm=0.5"``) — for testing the handlers.
+
+    Any of ``retries``/``fallback``/``fault_plan`` routes the QPU solve
+    through the resilience pipeline and attaches the structured
+    :class:`~repro.resilience.ResilienceReport` as ``info["resilience"]``;
+    otherwise failures raise through unchanged.  Every sampler-backed
+    solve validates its sample set (quarantining malformed rows) before
+    the decode/repair step.
     """
     if solver not in _SOLVERS:
         raise ValueError(f"solver must be one of {_SOLVERS}, got {solver!r}")
@@ -117,25 +156,58 @@ def qamkp(
     model = qubo or build_mkp_qubo(graph, k, penalty)
     info: dict[str, object] = {}
 
+    if fault_plan is not None and solver != "qpu":
+        raise ValueError("fault_plan is only supported for solver='qpu'")
+
     if solver == "qpu":
         sampler = qpu or SimulatedQPUSampler()
-        shots = max(1, int(round(runtime_us / delta_t_us)))
-        sampleset = sampler.sample(
-            model.bqm,
-            annealing_time_us=delta_t_us,
-            num_reads=shots,
-            seed=seed,
+        plan = (
+            FaultPlan.parse(fault_plan)
+            if isinstance(fault_plan, str)
+            else fault_plan
         )
-        best = sampleset.first
-        cost = best.energy
-        assignment = dict(best.assignment)
-        info.update(sampleset.info)
+        if plan is not None and not plan.is_noop:
+            sampler = FaultInjectingSampler(sampler, plan)
+        if retries > 0 or fallback or isinstance(sampler, FaultInjectingSampler):
+            cascade = FallbackCascade(
+                sampler,
+                backends=CASCADE_ORDER if fallback else ("qpu",),
+                policy=RetryPolicy(max_attempts=retries + 1),
+                sa_shot_cost_us=sa_shot_cost_us,
+            )
+            outcome = cascade.solve(
+                model, graph, k,
+                runtime_us=runtime_us,
+                delta_t_us=delta_t_us,
+                seed=seed,
+            )
+            cost = outcome.cost
+            assignment = dict(outcome.assignment)
+            if outcome.sampleset is not None:
+                info.update(outcome.sampleset.info)
+            info["backend_used"] = outcome.backend
+            info["resilience"] = outcome.report.as_dict()
+            info["total_runtime_us"] = outcome.report.charged_us
+        else:
+            shots = max(1, int(round(runtime_us / delta_t_us)))
+            sampleset = sampler.sample(
+                model.bqm,
+                annealing_time_us=delta_t_us,
+                num_reads=shots,
+                seed=seed,
+            )
+            sampleset = _validated(sampleset, model)
+            best = sampleset.first
+            cost = best.energy
+            assignment = dict(best.assignment)
+            info.update(sampleset.info)
     elif solver == "sa":
         sampler = SimulatedAnnealingSampler()
         shots = max(1, int(round(runtime_us / sa_shot_cost_us)))
         sampleset = sampler.sample(
             model.bqm, num_reads=shots, num_sweeps=2, seed=seed
         )
+        sampleset = _validated(sampleset, model)
         best = sampleset.first
         cost = best.energy
         assignment = dict(best.assignment)
@@ -145,6 +217,7 @@ def qamkp(
         # Portfolio stage (SA restarts + tabu + descent) ...
         sampler = HybridSampler()
         sampleset = sampler.sample(model.bqm, time_limit_us=runtime_us, seed=seed)
+        sampleset = _validated(sampleset, model)
         best = sampleset.first
         cost = best.energy
         assignment = dict(best.assignment)

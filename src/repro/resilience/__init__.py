@@ -1,0 +1,38 @@
+"""Resilience layer: fault injection, budgeted retry, degradation.
+
+Sits between the annealing substrate and ``repro.core``: it imports
+samplers and k-plex heuristics but never ``repro.core`` itself (the
+cascade takes the QUBO model by duck type), keeping the architecture's
+arrows pointing down.
+"""
+
+from .fallback import CASCADE_ORDER, CascadeOutcome, FallbackCascade
+from .faults import FaultInjectingSampler, FaultPlan, TransientSamplerError
+from .retry import (
+    AttemptRecord,
+    BudgetExhausted,
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilienceReport,
+    ResilientSampler,
+    RetryPolicy,
+)
+from .validation import ValidationReport, validate_sampleset
+
+__all__ = [
+    "AttemptRecord",
+    "BudgetExhausted",
+    "CASCADE_ORDER",
+    "CascadeOutcome",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FallbackCascade",
+    "FaultInjectingSampler",
+    "FaultPlan",
+    "ResilienceReport",
+    "ResilientSampler",
+    "RetryPolicy",
+    "TransientSamplerError",
+    "ValidationReport",
+    "validate_sampleset",
+]

@@ -1,0 +1,229 @@
+"""Degradation cascade: qpu -> sa -> tabu -> greedy.
+
+When the resilient QPU path fails outright — embedding cannot fit,
+breaker stuck open, budget gone — a production service must still
+answer.  :class:`FallbackCascade` walks a fixed ladder of ever-cheaper
+backends, spending whatever simulated runtime remains in the shared
+budget at each rung:
+
+1. **qpu** — :class:`~repro.resilience.retry.ResilientSampler` around
+   the (possibly fault-injected) annealer;
+2. **sa** — classical simulated annealing, shots sized from the
+   remaining budget at the paper's per-shot CPU cost;
+3. **tabu** — one tabu-search descent on the QUBO;
+4. **greedy** — the classical :func:`~repro.kplex.greedy_kplex`
+   heuristic with closed-form slack completion.  Pure graph code: it
+   cannot fail, so the cascade always terminates with an answer.
+
+Every rung taken is appended to the shared
+:class:`~repro.resilience.retry.ResilienceReport`, so a result carries
+the full story of how it was obtained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..annealing.sa import SimulatedAnnealingSampler
+from ..annealing.sampleset import SampleSet
+from ..annealing.tabu import tabu_search
+from ..graphs import Graph
+from ..kplex import greedy_kplex
+from .retry import (
+    AttemptRecord,
+    CircuitBreaker,
+    ResilienceReport,
+    ResilientSampler,
+    RetryPolicy,
+)
+
+__all__ = ["CascadeOutcome", "FallbackCascade", "CASCADE_ORDER"]
+
+#: The full ladder, strongest first.
+CASCADE_ORDER = ("qpu", "sa", "tabu", "greedy")
+
+
+@dataclass
+class CascadeOutcome:
+    """The cascade's answer plus its provenance."""
+
+    assignment: dict
+    cost: float
+    backend: str
+    sampleset: SampleSet | None
+    report: ResilienceReport
+
+
+class FallbackCascade:
+    """Run the backend ladder until one rung produces an answer.
+
+    Parameters
+    ----------
+    qpu_sampler:
+        The primary sampler (wrap it in a
+        :class:`~repro.resilience.faults.FaultInjectingSampler` to test
+        the ladder).  ``None`` skips the qpu rung.
+    backends:
+        Which rungs to use, in order; must be a subsequence of
+        :data:`CASCADE_ORDER`.
+    policy, breaker:
+        Passed to the qpu rung's :class:`ResilientSampler`.
+    sa_shot_cost_us:
+        Modelled CPU cost of one SA shot (2 sweeps), matching
+        :func:`repro.core.qamkp.qamkp`'s accounting.
+    tabu_iterations:
+        Flip budget of the tabu rung.
+    """
+
+    def __init__(
+        self,
+        qpu_sampler=None,
+        backends: tuple[str, ...] = CASCADE_ORDER,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        sa_shot_cost_us: float = 100.0,
+        sa_sweeps: int = 2,
+        tabu_iterations: int = 2000,
+    ) -> None:
+        unknown = [b for b in backends if b not in CASCADE_ORDER]
+        if unknown:
+            raise ValueError(f"unknown backends {unknown}; choose from {CASCADE_ORDER}")
+        if not backends:
+            raise ValueError("at least one backend is required")
+        self.backends = tuple(backends)
+        self.qpu_sampler = qpu_sampler
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.sa_shot_cost_us = sa_shot_cost_us
+        self.sa_sweeps = sa_sweeps
+        self.tabu_iterations = tabu_iterations
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        model,
+        graph: Graph,
+        k: int,
+        runtime_us: float,
+        delta_t_us: float = 1.0,
+        seed: int | None = None,
+    ) -> CascadeOutcome:
+        """Solve ``model`` (an ``MkpQubo``-shaped object) down the ladder.
+
+        ``model`` needs ``bqm``, ``decode`` and ``optimal_slack`` — the
+        cascade never imports :mod:`repro.core`, keeping the dependency
+        arrows pointing down.
+        """
+        report = ResilienceReport(budget_us=float(runtime_us))
+        last_error: Exception | None = None
+        for rung, backend in enumerate(self.backends):
+            if rung > 0:
+                report.fallbacks.append(backend)
+            try:
+                if backend == "qpu":
+                    result = self._qpu_rung(model.bqm, delta_t_us, seed, report)
+                elif backend == "sa":
+                    result = self._sa_rung(model.bqm, seed, report)
+                elif backend == "tabu":
+                    result = self._tabu_rung(model, graph, k, seed, report)
+                else:
+                    result = self._greedy_rung(model, graph, k, report)
+            except Exception as exc:  # every rung failure cascades down
+                last_error = exc
+                continue
+            report.final_backend = backend
+            report.breaker_state = self.breaker.state
+            assignment, cost, sampleset = result
+            return CascadeOutcome(assignment, cost, backend, sampleset, report)
+        # Unreachable with the greedy rung enabled; without it, re-raise.
+        assert last_error is not None
+        last_error.resilience_report = report
+        raise last_error
+
+    # ------------------------------------------------------------------
+    # Rungs
+    # ------------------------------------------------------------------
+    def _qpu_rung(self, bqm, delta_t_us, seed, report):
+        if self.qpu_sampler is None:
+            raise RuntimeError("no qpu sampler configured")
+        reads = max(1, int(round(report.remaining_us / delta_t_us)))
+        sampler = ResilientSampler(
+            self.qpu_sampler, policy=self.policy, breaker=self.breaker
+        )
+        sampleset, _ = sampler.sample(
+            bqm,
+            annealing_time_us=delta_t_us,
+            num_reads=reads,
+            runtime_budget_us=report.remaining_us,
+            seed=seed,
+            report=report,
+        )
+        best = sampleset.first
+        return dict(best.assignment), float(best.energy), sampleset
+
+    def _sa_rung(self, bqm, seed, report):
+        shots = int(report.remaining_us // self.sa_shot_cost_us)
+        record = AttemptRecord(
+            backend="sa",
+            attempt=0,
+            requested_reads=max(0, shots),
+            annealing_time_us=self.sa_shot_cost_us,
+            outcome="rejected",
+        )
+        report.attempts.append(record)
+        if shots < 1:
+            record.fault = "budget_exhausted"
+            raise RuntimeError("no budget left for the sa rung")
+        try:
+            sampleset = SimulatedAnnealingSampler().sample(
+                bqm, num_reads=shots, num_sweeps=self.sa_sweeps, seed=seed
+            )
+        except Exception:
+            record.outcome = "fault"
+            record.fault = "sa_error"
+            raise
+        charged = min(shots * self.sa_shot_cost_us, report.remaining_us)
+        record.charged_us = charged
+        report.charge(charged)
+        record.outcome = "ok"
+        best = sampleset.first
+        return dict(best.assignment), float(best.energy), sampleset
+
+    def _tabu_rung(self, model, graph, k, seed, report):
+        record = AttemptRecord(
+            backend="tabu",
+            attempt=0,
+            requested_reads=1,
+            annealing_time_us=0.0,
+            outcome="rejected",
+        )
+        report.attempts.append(record)
+        try:
+            # Warm-start from the greedy k-plex: tabu then only ever
+            # improves on the rung below it, keeping the ladder monotone.
+            initial = model.optimal_slack(greedy_kplex(graph, k))
+            assignment, energy = tabu_search(
+                model.bqm,
+                initial=initial,
+                iterations=self.tabu_iterations,
+                seed=seed,
+            )
+        except Exception:
+            record.outcome = "fault"
+            record.fault = "tabu_error"
+            raise
+        record.outcome = "ok"
+        return assignment, float(energy), None
+
+    def _greedy_rung(self, model, graph, k, report):
+        record = AttemptRecord(
+            backend="greedy",
+            attempt=0,
+            requested_reads=1,
+            annealing_time_us=0.0,
+            outcome="ok",
+        )
+        report.attempts.append(record)
+        subset = greedy_kplex(graph, k)
+        assignment = model.optimal_slack(subset)
+        return dict(assignment), float(model.bqm.energy(assignment)), None

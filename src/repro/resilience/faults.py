@@ -1,0 +1,246 @@
+"""Deterministic fault injection for sampler pipelines.
+
+Real QPU access fails in ways the paper's experiments had to live with:
+transient submission errors, embeddings that do not fit the chip,
+per-call runtime rejections, chain-break storms at long chain lengths,
+corrupted readout rows, and latency spikes that eat the access budget.
+None of those can be provoked on demand from a simulator — so this
+module wraps any sampler and injects them on a seeded schedule, making
+every handler in :mod:`repro.resilience.retry` and
+:mod:`repro.resilience.fallback` testable bit-for-bit reproducibly.
+
+Two injection styles compose:
+
+* **scripted** faults (``transient=2``) consume a countdown — the first
+  N calls raise — which is what retry tests want ("fail twice, then
+  succeed");
+* **probabilistic** faults (``storm=0.5``) draw from the plan's own
+  seeded RNG per call, which is what soak-style matrix tests want.
+
+Raised faults use the same exception types the real stack raises
+(:class:`~repro.annealing.EmbeddingError`,
+:class:`~repro.annealing.QPURuntimeExceeded`) plus
+:class:`TransientSamplerError` for retryable submission failures, so
+handlers cannot tell injected faults from organic ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..annealing.embedding import EmbeddingError
+from ..annealing.qpu import QPURuntimeExceeded
+from ..annealing.sampleset import Sample, SampleSet
+
+__all__ = [
+    "TransientSamplerError",
+    "FaultPlan",
+    "FaultInjectingSampler",
+]
+
+
+class TransientSamplerError(RuntimeError):
+    """A submission failure that is expected to succeed on retry."""
+
+
+#: Fault classes a plan can carry, in the order scripted faults fire.
+SCRIPTED_FAULTS = ("transient", "embedding", "runtime")
+PROBABILISTIC_FAULTS = ("storm", "corrupt", "latency")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, how often, and from which seed.
+
+    Scripted counts (``transient``, ``embedding``, ``runtime``) are
+    consumed one per call, in that order, before the wrapped sampler is
+    reached.  Probabilities (``storm``, ``corrupt``, ``latency``) apply
+    to calls that do reach it and corrupt the returned sample set.
+    """
+
+    transient: int = 0
+    embedding: int = 0
+    runtime: int = 0
+    storm: float = 0.0
+    corrupt: float = 0.0
+    latency: float = 0.0
+    storm_flip_prob: float = 0.5
+    corrupt_row_prob: float = 0.5
+    latency_factor: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in SCRIPTED_FAULTS:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} count must be >= 0")
+        for name in PROBABILISTIC_FAULTS:
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+    @property
+    def is_noop(self) -> bool:
+        return all(getattr(self, n) == 0 for n in SCRIPTED_FAULTS) and all(
+            getattr(self, n) == 0.0 for n in PROBABILISTIC_FAULTS
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``"transient=2,storm=0.5,seed=7"`` (``:`` also accepted).
+
+        Scripted fault values are counts, probabilistic ones are rates;
+        tuning knobs (``latency_factor`` etc.) are accepted by name.
+        """
+        plan = cls()
+        if not spec.strip():
+            return plan
+        updates: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            sep = "=" if "=" in part else ":"
+            name, _, raw = part.partition(sep)
+            name = name.strip()
+            if name not in {f.name for f in plan.__dataclass_fields__.values()}:  # type: ignore[attr-defined]
+                raise ValueError(f"unknown fault class {name!r} in {spec!r}")
+            try:
+                value: object = (
+                    int(raw) if name in SCRIPTED_FAULTS + ("seed",) else float(raw)
+                )
+            except ValueError as exc:
+                raise ValueError(f"bad value for {name!r}: {raw!r}") from exc
+            updates[name] = value
+        return replace(plan, **updates)
+
+
+@dataclass
+class _Counters:
+    transient: int = 0
+    embedding: int = 0
+    runtime: int = 0
+
+
+class FaultInjectingSampler:
+    """Wrap a sampler and inject the plan's faults deterministically.
+
+    Exposes the wrapped sampler's ``max_call_time_us`` so budget-aware
+    callers (:class:`~repro.resilience.retry.ResilientSampler`) see the
+    same cap through the wrapper.  Every injected fault is appended to
+    :attr:`fault_log` as ``(call_index, fault_name)``.
+    """
+
+    def __init__(self, inner, plan: FaultPlan | str | None = None) -> None:
+        self.inner = inner
+        self.plan = (
+            FaultPlan.parse(plan) if isinstance(plan, str) else (plan or FaultPlan())
+        )
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._pending = _Counters(
+            self.plan.transient, self.plan.embedding, self.plan.runtime
+        )
+        self.calls = 0
+        self.fault_log: list[tuple[int, str]] = []
+
+    @property
+    def max_call_time_us(self):
+        return getattr(self.inner, "max_call_time_us", None)
+
+    # ------------------------------------------------------------------
+    def sample(self, bqm, **kwargs) -> SampleSet:
+        self.calls += 1
+        fault = self._next_scripted()
+        if fault == "transient":
+            raise TransientSamplerError(
+                f"injected transient submission error (call {self.calls})"
+            )
+        if fault == "embedding":
+            raise EmbeddingError(
+                f"injected embedding failure: chip too small (call {self.calls})"
+            )
+        if fault == "runtime":
+            raise QPURuntimeExceeded(
+                f"injected per-call runtime rejection (call {self.calls})"
+            )
+        result = self.inner.sample(bqm, **kwargs)
+        if self.plan.storm and self._rng.random() < self.plan.storm:
+            result = self._chain_break_storm(bqm, result)
+        if self.plan.corrupt and self._rng.random() < self.plan.corrupt:
+            result = self._corrupt_rows(result)
+        if self.plan.latency and self._rng.random() < self.plan.latency:
+            result = self._latency_spike(result)
+        return result
+
+    def _next_scripted(self) -> str | None:
+        for name in SCRIPTED_FAULTS:
+            if getattr(self._pending, name) > 0:
+                setattr(self._pending, name, getattr(self._pending, name) - 1)
+                self.fault_log.append((self.calls, name))
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Sampleset-level faults
+    # ------------------------------------------------------------------
+    def _chain_break_storm(self, bqm, result: SampleSet) -> SampleSet:
+        """Randomise a large fraction of bits, as a broken-chain readout
+        does, and report the elevated break fraction honestly — energies
+        are recomputed against the clean model, matching QPU bookkeeping.
+        """
+        self.fault_log.append((self.calls, "storm"))
+        flipped: list[dict] = []
+        for sample in result.samples:
+            for _ in range(sample.num_occurrences):
+                assignment = {
+                    v: (1 - x if self._rng.random() < self.plan.storm_flip_prob else x)
+                    for v, x in sample.assignment.items()
+                }
+                flipped.append(assignment)
+        energies = [bqm.energy(a) for a in flipped]
+        out = SampleSet.from_states(flipped, energies, dict(result.info))
+        # Storm flips land on top of whatever organically broke, so the
+        # reported fraction composes the two rates.
+        organic = float(result.info.get("chain_break_fraction", 0.0))
+        out.info["chain_break_fraction"] = (
+            self.plan.storm_flip_prob + (1.0 - self.plan.storm_flip_prob) * organic
+        )
+        out.info["injected_storm"] = True
+        return out
+
+    def _corrupt_rows(self, result: SampleSet) -> SampleSet:
+        """NaN energies and out-of-domain bits on a subset of rows —
+        the readout-corruption class sampleset validation must catch."""
+        self.fault_log.append((self.calls, "corrupt"))
+        corrupted: list[Sample] = []
+        hit_any = False
+        for i, sample in enumerate(result.samples):
+            hit = self._rng.random() < self.plan.corrupt_row_prob
+            # Guarantee at least the first row is corrupted so the fault
+            # is observable regardless of the row draw.
+            if i == 0 and not hit_any:
+                hit = True
+            if hit:
+                hit_any = True
+                assignment = dict(sample.assignment)
+                victim = next(iter(assignment))
+                assignment[victim] = 3  # out of the binary domain
+                corrupted.append(
+                    Sample(assignment, float("nan"), sample.num_occurrences)
+                )
+            else:
+                corrupted.append(sample)
+        out = SampleSet(corrupted, dict(result.info))
+        out.info["injected_corruption"] = True
+        return out
+
+    def _latency_spike(self, result: SampleSet) -> SampleSet:
+        """Inflate the reported runtime: the call took far longer than
+        requested, so budget accounting must debit more."""
+        self.fault_log.append((self.calls, "latency"))
+        out = SampleSet(list(result.samples), dict(result.info))
+        base = float(out.info.get("total_runtime_us", 0.0))
+        out.info["total_runtime_us"] = base * self.plan.latency_factor
+        out.info["injected_latency_factor"] = self.plan.latency_factor
+        return out

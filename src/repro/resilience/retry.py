@@ -1,0 +1,387 @@
+"""Retrying sampler: backoff with full jitter, budget debits, breaker.
+
+:class:`ResilientSampler` wraps any QPU-style sampler and turns "one
+shot, raise on failure" into a budgeted submission loop:
+
+* **retry with exponential backoff + full jitter** — attempt ``i``
+  waits ``uniform(0, min(cap, base * 2**i))`` simulated microseconds,
+  drawn from a seeded RNG so runs replay exactly;
+* **runtime-budget accounting** — every attempt's reported runtime
+  *and* every backoff wait are debited from one ``runtime_budget_us``
+  pool, and the reads requested by later attempts shrink to whatever
+  still fits, so the sum across retries never exceeds the paper's
+  per-run QPU access budget (``t = Delta-t x s``);
+* **circuit breaker** — after ``failure_threshold`` consecutive
+  failures the breaker opens and calls fail fast with
+  :class:`CircuitOpenError`; after ``cooldown_calls`` rejected calls it
+  half-opens and lets one probe through.
+
+Fault classification mirrors real submission stacks:
+``TransientSamplerError`` and chain-break storms retry; runtime
+rejections retry with the read count clamped under the cap;
+``EmbeddingError`` is permanent (the same chip will not grow) and
+surfaces immediately so a fallback layer can take over.
+
+Everything that happens — attempts, faults, charges, backoffs, breaker
+transitions — is recorded in a :class:`ResilienceReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..annealing.embedding import EmbeddingError
+from ..annealing.qpu import QPURuntimeExceeded
+from ..annealing.sampleset import SampleSet
+from .faults import TransientSamplerError
+from .validation import validate_sampleset
+
+__all__ = [
+    "BudgetExhausted",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "AttemptRecord",
+    "ResilienceReport",
+    "RetryPolicy",
+    "ResilientSampler",
+]
+
+
+class CircuitOpenError(RuntimeError):
+    """Fast-fail: the breaker is open after repeated consecutive failures."""
+
+
+class BudgetExhausted(RuntimeError):
+    """The runtime budget ran out before any attempt succeeded."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff shape and attempt ceiling.
+
+    ``backoff_base_us`` doubles per attempt up to ``backoff_cap_us``;
+    the actual wait is uniform in ``[0, bound]`` (full jitter), debited
+    from the runtime budget like annealing time is.
+    """
+
+    max_attempts: int = 4
+    backoff_base_us: float = 50.0
+    backoff_cap_us: float = 5_000.0
+    # Physical-mode majority-vote readout legitimately reports break
+    # fractions of 0.45-0.65 on long-chain instances (measured on the
+    # paper's Fig. 1 QUBO across embedding seeds), so only clearly
+    # anomalous rates above that band count as a storm.
+    chain_break_retry_threshold: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_us < 0 or self.backoff_cap_us < 0:
+            raise ValueError("backoff times must be >= 0")
+
+    def backoff_bound_us(self, attempt: int) -> float:
+        """Jitter upper bound before attempt ``attempt`` (0-based)."""
+        return min(self.backoff_cap_us, self.backoff_base_us * (2.0**attempt))
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a call-counted cooldown.
+
+    The simulator has no wall clock, so the open->half-open transition
+    is counted in rejected calls instead of elapsed seconds; the
+    semantics (open fails fast, a half-open probe closes or re-opens)
+    match the standard pattern.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_calls: int = 3) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_calls < 1:
+            raise ValueError("cooldown_calls must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_calls = cooldown_calls
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._rejections = 0
+
+    def allow(self) -> bool:
+        if self.state == "open":
+            self._rejections += 1
+            if self._rejections >= self.cooldown_calls:
+                self.state = "half_open"
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._rejections = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half_open" or (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = "open"
+            self._rejections = 0
+
+
+@dataclass
+class AttemptRecord:
+    """One submission attempt (or fast-fail) in the resilience loop."""
+
+    backend: str
+    attempt: int
+    requested_reads: int
+    annealing_time_us: float
+    outcome: str  # "ok" | "fault" | "rejected" | "degraded"
+    fault: str | None = None
+    charged_us: float = 0.0
+    backoff_us: float = 0.0
+    quarantined_rows: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "backend": self.backend,
+            "attempt": self.attempt,
+            "requested_reads": self.requested_reads,
+            "annealing_time_us": self.annealing_time_us,
+            "outcome": self.outcome,
+            "fault": self.fault,
+            "charged_us": self.charged_us,
+            "backoff_us": self.backoff_us,
+            "quarantined_rows": self.quarantined_rows,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """Structured account of everything the resilient pipeline did."""
+
+    budget_us: float = 0.0
+    charged_us: float = 0.0
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    fallbacks: list[str] = field(default_factory=list)
+    final_backend: str | None = None
+    breaker_state: str = "closed"
+
+    @property
+    def faults(self) -> list[str]:
+        return [a.fault for a in self.attempts if a.fault]
+
+    @property
+    def remaining_us(self) -> float:
+        return max(0.0, self.budget_us - self.charged_us)
+
+    def charge(self, us: float) -> None:
+        self.charged_us += max(0.0, float(us))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "budget_us": self.budget_us,
+            "charged_us": self.charged_us,
+            "attempts": [a.as_dict() for a in self.attempts],
+            "faults": self.faults,
+            "fallbacks": list(self.fallbacks),
+            "final_backend": self.final_backend,
+            "breaker_state": self.breaker_state,
+        }
+
+
+class ResilientSampler:
+    """Budgeted retry loop around a QPU-style sampler.
+
+    Parameters
+    ----------
+    inner:
+        Any object with ``sample(bqm, annealing_time_us=..., num_reads=...,
+        seed=...)`` returning a :class:`SampleSet` (optionally exposing
+        ``max_call_time_us``).
+    policy:
+        Backoff/attempt configuration.
+    breaker:
+        Shared circuit breaker; a private one is created if omitted.
+    validate:
+        Run sampleset validation after each successful call, quarantining
+        malformed rows; a fully-quarantined set counts as a failure.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        validate: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        bqm,
+        annealing_time_us: float = 1.0,
+        num_reads: int = 100,
+        runtime_budget_us: float | None = None,
+        seed: int | None = None,
+        report: ResilienceReport | None = None,
+        backend: str = "qpu",
+        **kwargs,
+    ) -> tuple[SampleSet, ResilienceReport]:
+        """Sample under a total runtime budget; returns (result, report).
+
+        ``runtime_budget_us`` defaults to ``annealing_time_us *
+        num_reads`` (the single-call budget).  On unrecoverable failure
+        the last exception is re-raised — with the report attached as
+        ``exc.resilience_report`` — so cascades can keep the history.
+        """
+        if report is None:
+            report = ResilienceReport(
+                budget_us=(
+                    float(runtime_budget_us)
+                    if runtime_budget_us is not None
+                    else annealing_time_us * num_reads
+                )
+            )
+        rng = np.random.default_rng(seed)
+        cap = getattr(self.inner, "max_call_time_us", None)
+        last_error: Exception | None = None
+        degraded_best: SampleSet | None = None
+
+        for attempt in range(self.policy.max_attempts):
+            backoff_us = 0.0
+            if attempt > 0:
+                bound = self.policy.backoff_bound_us(attempt - 1)
+                backoff_us = float(rng.uniform(0.0, bound)) if bound > 0 else 0.0
+                backoff_us = min(backoff_us, report.remaining_us)
+                report.charge(backoff_us)
+
+            reads = min(num_reads, int(report.remaining_us // annealing_time_us))
+            if cap is not None:
+                reads = min(reads, int(cap // annealing_time_us))
+            record = AttemptRecord(
+                backend=backend,
+                attempt=attempt,
+                requested_reads=reads,
+                annealing_time_us=annealing_time_us,
+                outcome="rejected",
+                backoff_us=backoff_us,
+            )
+            report.attempts.append(record)
+
+            if reads < 1:
+                record.fault = "budget_exhausted"
+                last_error = BudgetExhausted(
+                    f"runtime budget {report.budget_us} us exhausted after "
+                    f"{report.charged_us:.1f} us across {attempt} attempt(s)"
+                )
+                break
+            if not self.breaker.allow():
+                record.fault = "circuit_open"
+                last_error = CircuitOpenError(
+                    f"circuit open after {self.breaker.consecutive_failures} "
+                    "consecutive failures"
+                )
+                continue
+
+            attempt_seed = None if seed is None else seed + 1009 * attempt
+            try:
+                result = self.inner.sample(
+                    bqm,
+                    annealing_time_us=annealing_time_us,
+                    num_reads=reads,
+                    seed=attempt_seed,
+                    **kwargs,
+                )
+            except TransientSamplerError as exc:
+                # The submission never reached the anneal stage, so no
+                # QPU time is charged — the backoff waits before the
+                # retries are what this fault costs the budget.
+                record.outcome = "fault"
+                record.fault = "transient"
+                self.breaker.record_failure()
+                last_error = exc
+                continue
+            except QPURuntimeExceeded as exc:
+                # Rejected before running — nothing charged; retry with
+                # the cap re-read in case the wrapper misreported it.
+                record.outcome = "fault"
+                record.fault = "runtime_exceeded"
+                self.breaker.record_failure()
+                last_error = exc
+                cap = (
+                    getattr(exc, "cap_us", None)
+                    or getattr(self.inner, "max_call_time_us", None)
+                    or reads * annealing_time_us / 2.0
+                )
+                continue
+            except EmbeddingError as exc:
+                # Permanent for this (problem, chip) pair: retrying the
+                # identical embed cannot succeed.  Surface immediately.
+                record.outcome = "fault"
+                record.fault = "embedding"
+                self.breaker.record_failure()
+                report.breaker_state = self.breaker.state
+                exc.resilience_report = report
+                raise
+
+            # The per-call deadline cuts execution at the budget
+            # boundary, so a latency spike can cost at most what is
+            # left in the pool.
+            charged = min(
+                float(result.info.get("total_runtime_us", reads * annealing_time_us)),
+                report.remaining_us,
+            )
+            record.charged_us = charged
+            report.charge(charged)
+
+            if self.validate:
+                result, vreport = validate_sampleset(result, bqm)
+                record.quarantined_rows = vreport.quarantined_rows
+                if not result.samples:
+                    record.outcome = "fault"
+                    record.fault = "all_quarantined"
+                    self.breaker.record_failure()
+                    last_error = ValueError(
+                        "every sample row was quarantined by validation"
+                    )
+                    continue
+
+            cbf = float(result.info.get("chain_break_fraction", 0.0))
+            if cbf > self.policy.chain_break_retry_threshold:
+                # A storm: the samples are noise-dominated.  Keep the
+                # best-so-far in case every retry storms too, but retry.
+                record.outcome = "degraded"
+                record.fault = "chain_break_storm"
+                if (
+                    degraded_best is None
+                    or result.lowest_energy < degraded_best.lowest_energy
+                ):
+                    degraded_best = result
+                self.breaker.record_failure()
+                last_error = RuntimeError(
+                    f"chain break fraction {cbf:.2f} exceeds "
+                    f"{self.policy.chain_break_retry_threshold}"
+                )
+                continue
+
+            record.outcome = "ok"
+            self.breaker.record_success()
+            report.final_backend = backend
+            report.breaker_state = self.breaker.state
+            return result, report
+
+        report.breaker_state = self.breaker.state
+        if degraded_best is not None:
+            # Every attempt stormed; a noisy answer beats none.
+            report.final_backend = backend
+            report.fallbacks.append("degraded_accept")
+            return degraded_best, report
+        assert last_error is not None
+        last_error.resilience_report = report
+        raise last_error

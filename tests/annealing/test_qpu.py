@@ -43,6 +43,62 @@ class TestValidation:
         ss = sampler.sample(_toy_bqm(), annealing_time_us=100, num_reads=20, seed=0)
         assert ss.info["total_runtime_us"] == pytest.approx(2000)
 
+    def test_exactly_at_cap_is_accepted(self, qpu):
+        # cap is 1000 us: 10 us x 100 reads sits exactly on the boundary.
+        ss = qpu.sample(_toy_bqm(), annealing_time_us=10, num_reads=100, seed=0)
+        assert ss.info["total_runtime_us"] == pytest.approx(1000.0)
+
+    def test_one_read_over_cap_is_rejected(self, qpu):
+        with pytest.raises(QPURuntimeExceeded) as excinfo:
+            qpu.sample(_toy_bqm(), annealing_time_us=10, num_reads=101, seed=0)
+        assert excinfo.value.requested_us == pytest.approx(1010.0)
+        assert excinfo.value.cap_us == pytest.approx(1000.0)
+
+    def test_max_reads_helper(self, qpu):
+        assert qpu.max_reads(10.0) == 100
+        assert qpu.max_reads(3.0) == 333
+        uncapped = SimulatedQPUSampler(
+            hardware=chimera_graph(2), max_call_time_us=None
+        )
+        assert uncapped.max_reads(10.0) is None
+
+    def test_non_finite_bias_rejected(self, qpu):
+        bad = BinaryQuadraticModel({"a": float("nan")})
+        with pytest.raises(ValueError, match="non-finite"):
+            qpu.sample(bad, annealing_time_us=1, num_reads=1)
+
+
+class TestFixedChipEmbedding:
+    def test_too_small_chip_raises_without_expansion(self):
+        # A C1 Chimera cell (8 qubits, bipartite) cannot host a clique on
+        # many densely coupled logical variables.
+        from repro.annealing import EmbeddingError
+
+        sampler = SimulatedQPUSampler(
+            hardware=chimera_graph(1),
+            max_call_time_us=None,
+            allow_hardware_expansion=False,
+        )
+        n = 12
+        dense = BinaryQuadraticModel(
+            {i: -1.0 for i in range(n)},
+            {(i, j): 1.0 for i in range(n) for j in range(i + 1, n)},
+        )
+        with pytest.raises(EmbeddingError):
+            sampler.sample(dense, annealing_time_us=1, num_reads=2, seed=0)
+
+    def test_expansion_flagged_when_allowed(self):
+        sampler = SimulatedQPUSampler(
+            hardware=chimera_graph(1), max_call_time_us=None
+        )
+        n = 12
+        dense = BinaryQuadraticModel(
+            {i: -1.0 for i in range(n)},
+            {(i, j): 1.0 for i in range(n) for j in range(i + 1, n)},
+        )
+        ss = sampler.sample(dense, annealing_time_us=1, num_reads=2, seed=0)
+        assert ss.info["hardware_expanded"] is True
+
 
 class TestSampling:
     def test_solves_toy_model(self, qpu):

@@ -110,3 +110,73 @@ class TestDraw:
     def test_too_large_refused(self, graph_file, capsys):
         # Fig. 1's oracle has 95 qubits: over the drawing limit.
         assert main(["draw", graph_file, "-k", "2", "-T", "4"]) == 2
+
+
+class TestRobustness:
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["solve", "/nonexistent/graph.txt"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\nthis is not an edge\n")
+        assert main(["solve", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+
+    def test_non_integer_vertex_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 x\n")
+        assert main(["solve", str(path)]) == 2
+        assert "non-integer" in capsys.readouterr().err
+
+    def test_runtime_exceeded_without_fallback_exits_2(self, graph_file, capsys):
+        # 1e6 us of 1 us shots blows the default 2e4 us per-call cap.
+        code = main([
+            "solve", graph_file, "--solver", "qamkp-qpu",
+            "--runtime-us", "1000000", "--seed", "0",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--fallback" in err
+
+    def test_inject_faults_requires_qpu_solver(self, graph_file, capsys):
+        code = main([
+            "solve", graph_file, "--solver", "qamkp-sa",
+            "--inject-faults", "transient=1",
+        ])
+        assert code == 2
+        assert "qamkp-qpu" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, graph_file, capsys):
+        code = main([
+            "solve", graph_file, "--solver", "qamkp-qpu",
+            "--inject-faults", "gremlins=1",
+        ])
+        assert code == 2
+        assert "unknown fault class" in capsys.readouterr().err
+
+
+class TestResilientSolve:
+    def test_retries_and_fallback_flags(self, graph_file, capsys):
+        code = main([
+            "solve", graph_file, "--solver", "qamkp-qpu",
+            "--runtime-us", "500", "--seed", "0",
+            "--retries", "3", "--fallback",
+            "--inject-faults", "transient=2,seed=1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "objective cost" in out
+        assert "backend:" in out
+        assert "charged:" in out
+
+    def test_fallback_answers_despite_embedding_failure(self, graph_file, capsys):
+        code = main([
+            "solve", graph_file, "--solver", "qamkp-qpu",
+            "--runtime-us", "500", "--seed", "0", "--fallback",
+            "--inject-faults", "embedding=1,seed=1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maximum 2-plex size:" in out

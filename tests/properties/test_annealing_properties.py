@@ -74,3 +74,51 @@ class TestSamplerInvariants:
         matrix_energy = float(offset + h @ x + x @ j @ x)
         dict_energy = bqm.energy(dict(zip(order, x.astype(int))))
         assert abs(matrix_energy - dict_energy) < 1e-8
+
+
+class TestGaugeInvarianceAtScale:
+    """Sampled (non-exhaustive) gauge check on larger random BQMs.
+
+    The exhaustive spectrum test above stops at 6 variables; this one
+    drives `_gauge_transform` on models up to 16 variables with random
+    assignments, covering the sizes the MKP QUBOs actually reach.
+    """
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_bqm_random_flips_preserve_energy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        bqm = BinaryQuadraticModel(offset=float(rng.normal()))
+        for i in range(n):
+            bqm.add_linear(i, float(rng.normal()))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.4:
+                    bqm.add_quadratic(i, j, float(rng.normal()))
+        flips = {v for v in bqm.variables if rng.random() < 0.5}
+        gauged = _gauge_transform(bqm, flips)
+        for _ in range(20):
+            x = {v: int(rng.integers(0, 2)) for v in bqm.variables}
+            flipped = {v: (1 - val if v in flips else val) for v, val in x.items()}
+            assert abs(gauged.energy(flipped) - bqm.energy(x)) < 1e-8
+
+
+class TestValidationInvariants:
+    @given(bqms(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_validation_is_idempotent_and_energy_faithful(self, bqm, seed):
+        from repro.resilience import validate_sampleset
+
+        ss = SimulatedAnnealingSampler().sample(
+            bqm, num_reads=4, num_sweeps=5, seed=seed
+        )
+        once, report1 = validate_sampleset(ss, bqm)
+        twice, report2 = validate_sampleset(once, bqm)
+        assert report1.clean  # organic samplesets are already valid
+        assert report2.clean
+        assert [s.energy for s in twice.samples] == [s.energy for s in once.samples]
+        for sample in once:
+            assert abs(sample.energy - bqm.energy(sample.assignment)) < 1e-8

@@ -1,0 +1,129 @@
+"""Unit tests for the qpu -> sa -> tabu -> greedy degradation cascade."""
+
+import pytest
+
+from repro.core.qubo_formulation import build_mkp_qubo
+from repro.datasets import figure1_graph
+from repro.kplex import is_kplex
+from repro.resilience import (
+    CASCADE_ORDER,
+    FallbackCascade,
+    FaultInjectingSampler,
+    FaultPlan,
+    RetryPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = figure1_graph()
+    return g, 2, build_mkp_qubo(g, 2, 2.0)
+
+
+class AlwaysFailingSampler:
+    max_call_time_us = None
+
+    def sample(self, *a, **kw):
+        from repro.resilience import TransientSamplerError
+
+        raise TransientSamplerError("down for maintenance")
+
+
+class TestConfig:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backends"):
+            FallbackCascade(backends=("qpu", "quantum-teleporter"))
+
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ValueError):
+            FallbackCascade(backends=())
+
+
+class TestDescent:
+    def test_qpu_failure_falls_to_sa(self, instance):
+        graph, k, model = instance
+        sampler = FaultInjectingSampler(
+            AlwaysFailingSampler(), FaultPlan()
+        )
+        cascade = FallbackCascade(
+            sampler, policy=RetryPolicy(max_attempts=2, backoff_base_us=0.0)
+        )
+        outcome = cascade.solve(model, graph, k, runtime_us=500.0, seed=0)
+        assert outcome.backend == "sa"
+        assert outcome.report.fallbacks[0] == "sa"
+        subset = model.decode(outcome.assignment)
+        assert subset  # sa found something decodable
+
+    def test_no_qpu_configured_skips_to_sa(self, instance):
+        graph, k, model = instance
+        cascade = FallbackCascade(qpu_sampler=None)
+        outcome = cascade.solve(model, graph, k, runtime_us=1000.0, seed=0)
+        assert outcome.backend == "sa"
+
+    def test_zero_budget_lands_on_tabu(self, instance):
+        graph, k, model = instance
+        # 0.5 us cannot pay for a single 100 us SA shot; tabu is free.
+        cascade = FallbackCascade(qpu_sampler=None)
+        outcome = cascade.solve(model, graph, k, runtime_us=0.5, seed=0)
+        assert outcome.backend == "tabu"
+        # warm-started tabu matches the optimum on Fig. 1
+        assert len(model.decode(outcome.assignment)) == 4
+
+    def test_greedy_rung_always_answers(self, instance):
+        graph, k, model = instance
+        cascade = FallbackCascade(qpu_sampler=None, backends=("greedy",))
+        outcome = cascade.solve(model, graph, k, runtime_us=0.0, seed=0)
+        assert outcome.backend == "greedy"
+        subset = model.decode(outcome.assignment)
+        assert is_kplex(graph, subset, k)
+        assert outcome.cost == pytest.approx(-len(subset))
+
+    def test_without_terminal_rung_reraises(self, instance):
+        graph, k, model = instance
+        cascade = FallbackCascade(
+            AlwaysFailingSampler(),
+            backends=("qpu",),
+            policy=RetryPolicy(max_attempts=2, backoff_base_us=0.0),
+        )
+        from repro.resilience import TransientSamplerError
+
+        with pytest.raises(TransientSamplerError) as excinfo:
+            cascade.solve(model, graph, k, runtime_us=100.0, seed=0)
+        assert excinfo.value.resilience_report.attempts
+
+
+class TestReport:
+    def test_report_enumerates_everything(self, instance):
+        graph, k, model = instance
+        cascade = FallbackCascade(
+            AlwaysFailingSampler(),
+            policy=RetryPolicy(max_attempts=3, backoff_base_us=10.0),
+        )
+        outcome = cascade.solve(model, graph, k, runtime_us=500.0, seed=0)
+        report = outcome.report.as_dict()
+        backends = [a["backend"] for a in report["attempts"]]
+        assert backends.count("qpu") == 3
+        assert backends[-1] == "sa"
+        assert report["final_backend"] == "sa"
+        assert report["faults"].count("transient") == 3
+        assert report["charged_us"] <= report["budget_us"]
+
+    def test_budget_is_shared_across_rungs(self, instance):
+        graph, k, model = instance
+        cascade = FallbackCascade(
+            AlwaysFailingSampler(),
+            policy=RetryPolicy(max_attempts=2, backoff_base_us=100.0),
+        )
+        outcome = cascade.solve(model, graph, k, runtime_us=1000.0, seed=0)
+        # sa shots were sized from what the qpu attempts left over
+        sa_attempt = next(
+            a for a in outcome.report.attempts if a.backend == "sa"
+        )
+        backoff_spent = sum(a.backoff_us for a in outcome.report.attempts)
+        assert sa_attempt.requested_reads == int((1000.0 - backoff_spent) // 100.0)
+        assert outcome.report.charged_us <= 1000.0
+
+
+class TestOrder:
+    def test_cascade_order_constant(self):
+        assert CASCADE_ORDER == ("qpu", "sa", "tabu", "greedy")

@@ -1,0 +1,108 @@
+"""The acceptance matrix: every fault class, injected deterministically
+into a full ``qamkp`` solve, must still yield a feasible k-plex through
+the resilient pipeline, never overdraw the runtime budget, and leave a
+complete :class:`ResilienceReport` trail.
+"""
+
+import pytest
+
+from repro.core import qamkp
+from repro.datasets import figure1_graph
+from repro.kplex import is_kplex
+
+BUDGET_US = 500.0
+
+#: fault-class spec -> does it force a fallback off the qpu rung?
+FAULT_MATRIX = {
+    "transient": "transient=2,seed=1",
+    "embedding": "embedding=1,seed=1",
+    "runtime": "runtime=1,seed=1",
+    "storm": "storm=1.0,seed=3",
+    "corrupt": "corrupt=1.0,corrupt_row_prob=1.0,seed=3",
+    "latency": "latency=1.0,latency_factor=8,seed=3",
+}
+
+
+@pytest.mark.parametrize("fault", sorted(FAULT_MATRIX))
+def test_fault_class_degrades_gracefully(fault):
+    """Acceptance criterion: feasible answer, budget respected, full trail."""
+    g = figure1_graph()
+    result = qamkp(
+        g, 2,
+        runtime_us=BUDGET_US,
+        solver="qpu",
+        seed=0,
+        retries=3,
+        fallback=True,
+        fault_plan=FAULT_MATRIX[fault],
+    )
+    # 1. the answer is a usable k-plex
+    assert is_kplex(g, result.repaired, 2)
+    assert result.repaired_size >= 1
+    # 2. the budget was never overdrawn, across all retries and rungs
+    report = result.info["resilience"]
+    assert report["charged_us"] <= report["budget_us"] + 1e-9
+    assert report["budget_us"] == BUDGET_US
+    for attempt in report["attempts"]:
+        assert attempt["charged_us"] >= 0.0
+        assert attempt["backoff_us"] >= 0.0
+    # 3. the report enumerates every attempt and names the backend used
+    assert report["attempts"], "no attempts recorded"
+    assert report["final_backend"] == result.info["backend_used"]
+    assert report["final_backend"] in ("qpu", "sa", "tabu", "greedy")
+    # scripted faults must show up in the trail
+    if fault in ("transient", "embedding", "runtime"):
+        expected = {"transient": "transient",
+                    "embedding": "embedding",
+                    "runtime": "runtime_exceeded"}[fault]
+        assert expected in report["faults"]
+
+
+@pytest.mark.parametrize("fault", sorted(FAULT_MATRIX))
+def test_fault_matrix_is_deterministic(fault):
+    """Same seed, same plan: bit-identical resilience trail."""
+
+    def run():
+        result = qamkp(
+            figure1_graph(), 2,
+            runtime_us=BUDGET_US, solver="qpu", seed=0,
+            retries=2, fallback=True, fault_plan=FAULT_MATRIX[fault],
+        )
+        report = result.info["resilience"]
+        return (
+            result.cost,
+            frozenset(result.repaired),
+            report["charged_us"],
+            tuple((a["outcome"], a["fault"]) for a in report["attempts"]),
+        )
+
+    assert run() == run()
+
+
+def test_clean_run_reports_no_faults():
+    """The resilient path is transparent when nothing goes wrong."""
+    result = qamkp(
+        figure1_graph(), 2,
+        runtime_us=BUDGET_US, solver="qpu", seed=0, retries=3,
+    )
+    report = result.info["resilience"]
+    assert report["faults"] == []
+    assert report["final_backend"] == "qpu"
+    assert len(report["attempts"]) == 1
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(5))
+def test_combined_fault_soak(seed):
+    """Slow soak: several fault classes at once, many seeds — the cascade
+    must always land on a feasible answer within budget."""
+    g = figure1_graph()
+    result = qamkp(
+        g, 2,
+        runtime_us=BUDGET_US, solver="qpu", seed=seed,
+        retries=3, fallback=True,
+        fault_plan=f"transient=1,storm=0.4,corrupt=0.3,latency=0.3,seed={seed}",
+    )
+    assert is_kplex(g, result.repaired, 2)
+    report = result.info["resilience"]
+    assert report["charged_us"] <= report["budget_us"] + 1e-9

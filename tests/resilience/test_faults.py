@@ -1,0 +1,146 @@
+"""Unit tests for the fault-injection layer."""
+
+import math
+
+import pytest
+
+from repro.annealing import (
+    BinaryQuadraticModel,
+    EmbeddingError,
+    QPURuntimeExceeded,
+    SampleSet,
+)
+from repro.resilience import FaultInjectingSampler, FaultPlan, TransientSamplerError
+
+
+def _bqm():
+    return BinaryQuadraticModel({"a": -1.0, "b": -1.0}, {("a", "b"): 2.0})
+
+
+class FakeSampler:
+    """Deterministic inner sampler: returns the two single-one states."""
+
+    max_call_time_us = 1000.0
+
+    def __init__(self):
+        self.calls = 0
+
+    def sample(self, bqm, annealing_time_us=1.0, num_reads=10, seed=None, **kw):
+        self.calls += 1
+        states = [{"a": 1, "b": 0}, {"a": 0, "b": 1}]
+        energies = [bqm.energy(s) for s in states]
+        out = SampleSet.from_states(states, energies)
+        out.info.update(
+            {
+                "total_runtime_us": annealing_time_us * num_reads,
+                "chain_break_fraction": 0.05,
+            }
+        )
+        return out
+
+
+class TestFaultPlan:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse("transient=2,storm:0.5,latency=0.25,seed=7")
+        assert plan.transient == 2
+        assert plan.storm == 0.5
+        assert plan.latency == 0.25
+        assert plan.seed == 7
+
+    def test_parse_empty_is_noop(self):
+        assert FaultPlan.parse("").is_noop
+        assert FaultPlan().is_noop
+
+    def test_parse_rejects_unknown_class(self):
+        with pytest.raises(ValueError, match="unknown fault class"):
+            FaultPlan.parse("explosions=1")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="bad value"):
+            FaultPlan.parse("transient=many")
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(ValueError):
+            FaultPlan(storm=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(transient=-1)
+
+
+class TestScriptedFaults:
+    def test_transient_countdown_then_success(self):
+        inner = FakeSampler()
+        sampler = FaultInjectingSampler(inner, FaultPlan(transient=2))
+        for _ in range(2):
+            with pytest.raises(TransientSamplerError):
+                sampler.sample(_bqm())
+        result = sampler.sample(_bqm())
+        assert len(result.samples) == 2
+        assert inner.calls == 1  # the two faulted calls never reached it
+        assert [f for _, f in sampler.fault_log] == ["transient", "transient"]
+
+    def test_embedding_and_runtime_faults_use_real_types(self):
+        sampler = FaultInjectingSampler(
+            FakeSampler(), FaultPlan(embedding=1, runtime=1)
+        )
+        with pytest.raises(EmbeddingError):
+            sampler.sample(_bqm())
+        with pytest.raises(QPURuntimeExceeded):
+            sampler.sample(_bqm())
+        sampler.sample(_bqm())  # plan exhausted
+
+
+class TestSamplesetFaults:
+    def test_storm_flips_bits_and_reports_fraction(self):
+        plan = FaultPlan(storm=1.0, storm_flip_prob=0.5, seed=0)
+        sampler = FaultInjectingSampler(FakeSampler(), plan)
+        result = sampler.sample(_bqm())
+        assert result.info["injected_storm"] is True
+        # composed rate: 0.5 + 0.5 * 0.05
+        assert result.info["chain_break_fraction"] == pytest.approx(0.525)
+        # energies stay consistent with the clean model
+        bqm = _bqm()
+        for s in result.samples:
+            assert s.energy == pytest.approx(bqm.energy(s.assignment))
+
+    def test_corrupt_rows_are_detectably_broken(self):
+        plan = FaultPlan(corrupt=1.0, corrupt_row_prob=1.0, seed=0)
+        sampler = FaultInjectingSampler(FakeSampler(), plan)
+        result = sampler.sample(_bqm())
+        assert result.info["injected_corruption"] is True
+        assert all(math.isnan(s.energy) for s in result.samples)
+        assert any(
+            x not in (0, 1)
+            for s in result.samples
+            for x in s.assignment.values()
+        )
+
+    def test_latency_spike_inflates_reported_runtime(self):
+        plan = FaultPlan(latency=1.0, latency_factor=8.0, seed=0)
+        sampler = FaultInjectingSampler(FakeSampler(), plan)
+        result = sampler.sample(_bqm(), annealing_time_us=1.0, num_reads=10)
+        assert result.info["total_runtime_us"] == pytest.approx(80.0)
+
+    def test_seeded_injection_is_deterministic(self):
+        def run():
+            plan = FaultPlan(storm=0.5, seed=42)
+            sampler = FaultInjectingSampler(FakeSampler(), plan)
+            log = []
+            for _ in range(10):
+                sampler.sample(_bqm())
+                log.append(tuple(sampler.fault_log))
+            return log
+
+        assert run() == run()
+
+
+class TestPassthrough:
+    def test_exposes_inner_call_cap(self):
+        sampler = FaultInjectingSampler(FakeSampler(), FaultPlan())
+        assert sampler.max_call_time_us == 1000.0
+
+    def test_noop_plan_is_transparent(self):
+        inner = FakeSampler()
+        sampler = FaultInjectingSampler(inner, None)
+        result = sampler.sample(_bqm(), annealing_time_us=2.0, num_reads=5)
+        assert result.info["total_runtime_us"] == pytest.approx(10.0)
+        assert sampler.fault_log == []

@@ -1,0 +1,217 @@
+"""Unit tests for the budgeted retry loop and circuit breaker."""
+
+import pytest
+
+from repro.annealing import BinaryQuadraticModel, EmbeddingError, SampleSet
+from repro.annealing.qpu import QPURuntimeExceeded
+from repro.resilience import (
+    BudgetExhausted,
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientSampler,
+    RetryPolicy,
+    TransientSamplerError,
+)
+
+
+def _bqm():
+    return BinaryQuadraticModel({"a": -1.0, "b": -1.0}, {("a", "b"): 2.0})
+
+
+class ScriptedSampler:
+    """Raises the scripted exceptions in order, then succeeds forever."""
+
+    def __init__(self, script=(), max_call_time_us=None, chain_break=0.05):
+        self.script = list(script)
+        self.max_call_time_us = max_call_time_us
+        self.chain_break = chain_break
+        self.requests = []  # (num_reads, annealing_time_us) per real call
+
+    def sample(self, bqm, annealing_time_us=1.0, num_reads=10, seed=None, **kw):
+        if self.script:
+            raise self.script.pop(0)
+        self.requests.append((num_reads, annealing_time_us))
+        out = SampleSet.from_states([{"a": 1, "b": 0}], [bqm.energy({"a": 1, "b": 0})])
+        out.info.update(
+            {
+                "total_runtime_us": annealing_time_us * num_reads,
+                "chain_break_fraction": self.chain_break,
+            }
+        )
+        return out
+
+
+class TestRetrySuccess:
+    def test_succeeds_after_transient_faults(self):
+        inner = ScriptedSampler([TransientSamplerError("x"), TransientSamplerError("x")])
+        sampler = ResilientSampler(inner, RetryPolicy(max_attempts=4))
+        result, report = sampler.sample(
+            _bqm(), annealing_time_us=1.0, num_reads=100,
+            runtime_budget_us=1000.0, seed=0,
+        )
+        assert result.first.assignment == {"a": 1, "b": 0}
+        outcomes = [a.outcome for a in report.attempts]
+        assert outcomes == ["fault", "fault", "ok"]
+        assert report.final_backend == "qpu"
+        assert report.charged_us <= report.budget_us
+
+    def test_backoff_debits_budget_and_shrinks_reads(self):
+        inner = ScriptedSampler([TransientSamplerError("x")])
+        sampler = ResilientSampler(inner, RetryPolicy(max_attempts=3))
+        _, report = sampler.sample(
+            _bqm(), annealing_time_us=1.0, num_reads=500,
+            runtime_budget_us=500.0, seed=1,
+        )
+        retry = report.attempts[1]
+        assert retry.backoff_us > 0
+        # the retry could only afford what the backoff left over
+        assert retry.requested_reads == int(500.0 - retry.backoff_us)
+        assert report.charged_us <= 500.0
+
+    def test_deterministic_given_seed(self):
+        def run():
+            inner = ScriptedSampler([TransientSamplerError("x")])
+            sampler = ResilientSampler(inner, RetryPolicy(max_attempts=3))
+            _, report = sampler.sample(
+                _bqm(), num_reads=100, runtime_budget_us=500.0, seed=7
+            )
+            return [(a.outcome, a.backoff_us, a.requested_reads) for a in report.attempts]
+
+        assert run() == run()
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        inner = ScriptedSampler([TransientSamplerError("x")] * 10)
+        sampler = ResilientSampler(
+            inner, RetryPolicy(max_attempts=10, backoff_base_us=400.0)
+        )
+        with pytest.raises((BudgetExhausted, TransientSamplerError)) as excinfo:
+            sampler.sample(_bqm(), num_reads=100, runtime_budget_us=300.0, seed=0)
+        report = excinfo.value.resilience_report
+        assert report.charged_us <= report.budget_us
+
+    def test_zero_read_budget_fails_immediately(self):
+        inner = ScriptedSampler()
+        sampler = ResilientSampler(inner)
+        with pytest.raises(BudgetExhausted):
+            sampler.sample(
+                _bqm(), annealing_time_us=10.0, num_reads=5, runtime_budget_us=5.0
+            )
+        assert inner.requests == []
+
+    def test_call_cap_clamps_reads(self):
+        inner = ScriptedSampler(max_call_time_us=50.0)
+        sampler = ResilientSampler(inner)
+        result, report = sampler.sample(
+            _bqm(), annealing_time_us=1.0, num_reads=500, runtime_budget_us=500.0
+        )
+        assert inner.requests == [(50, 1.0)]
+        assert report.attempts[0].requested_reads == 50
+
+    def test_runtime_exceeded_halves_next_request(self):
+        # No advertised cap: the loop has to learn it from the exception.
+        inner = ScriptedSampler([QPURuntimeExceeded("cap", cap_us=40.0)])
+        sampler = ResilientSampler(inner, RetryPolicy(max_attempts=3))
+        _, report = sampler.sample(
+            _bqm(), annealing_time_us=1.0, num_reads=100,
+            runtime_budget_us=200.0, seed=0,
+        )
+        assert report.attempts[0].fault == "runtime_exceeded"
+        # second attempt clamped under the learned 40 us cap
+        assert inner.requests[0][0] <= 40
+
+    def test_latency_spike_cannot_overdraw_budget(self):
+        class SlowSampler(ScriptedSampler):
+            def sample(self, bqm, **kw):
+                out = super().sample(bqm, **kw)
+                out.info["total_runtime_us"] = 1e9
+                return out
+
+        sampler = ResilientSampler(SlowSampler())
+        _, report = sampler.sample(_bqm(), num_reads=10, runtime_budget_us=100.0)
+        assert report.charged_us <= 100.0
+
+
+class TestPermanentFaults:
+    def test_embedding_error_raises_immediately(self):
+        inner = ScriptedSampler([EmbeddingError("no fit")] * 5)
+        sampler = ResilientSampler(inner, RetryPolicy(max_attempts=5))
+        with pytest.raises(EmbeddingError) as excinfo:
+            sampler.sample(_bqm(), num_reads=10, runtime_budget_us=100.0)
+        report = excinfo.value.resilience_report
+        assert len(report.attempts) == 1  # no pointless retries
+        assert report.attempts[0].fault == "embedding"
+
+
+class TestQuarantineIntegration:
+    def test_all_quarantined_counts_as_failure(self):
+        class CorruptSampler(ScriptedSampler):
+            def sample(self, bqm, **kw):
+                out = super().sample(bqm, **kw)
+                from repro.annealing import Sample
+
+                return SampleSet(
+                    [Sample({"a": 9, "b": 9}, 0.0)], dict(out.info)
+                )
+
+        sampler = ResilientSampler(CorruptSampler(), RetryPolicy(max_attempts=2))
+        with pytest.raises(ValueError, match="quarantined"):
+            sampler.sample(_bqm(), num_reads=10, runtime_budget_us=1000.0, seed=0)
+
+
+class TestChainBreakStorm:
+    def test_storm_retries_then_accepts_degraded(self):
+        inner = ScriptedSampler(chain_break=0.95)
+        sampler = ResilientSampler(inner, RetryPolicy(max_attempts=3))
+        result, report = sampler.sample(
+            _bqm(), num_reads=10, runtime_budget_us=1000.0, seed=0
+        )
+        assert [a.fault for a in report.attempts] == ["chain_break_storm"] * 3
+        assert "degraded_accept" in report.fallbacks
+        assert result.samples  # a noisy answer beats none
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fails_fast(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_calls=100)
+        inner = ScriptedSampler([TransientSamplerError("x")] * 10)
+        sampler = ResilientSampler(
+            inner, RetryPolicy(max_attempts=5, backoff_base_us=0.0), breaker=breaker
+        )
+        with pytest.raises(CircuitOpenError):
+            sampler.sample(_bqm(), num_reads=1, runtime_budget_us=1000.0, seed=0)
+        assert breaker.state == "open"
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=2)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # rejection 1
+        assert breaker.allow()  # rejection 2 -> half-open probe
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_reopens_on_failure(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_calls=1)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.allow()  # half-open
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_shared_breaker_carries_state_across_calls(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_calls=50)
+        inner = ScriptedSampler([TransientSamplerError("x")] * 2)
+        sampler = ResilientSampler(
+            inner, RetryPolicy(max_attempts=2, backoff_base_us=0.0), breaker=breaker
+        )
+        with pytest.raises(TransientSamplerError):
+            sampler.sample(_bqm(), num_reads=1, runtime_budget_us=100.0, seed=0)
+        # next call through the same breaker fails fast without sampling
+        with pytest.raises(CircuitOpenError):
+            sampler.sample(_bqm(), num_reads=1, runtime_budget_us=100.0, seed=0)
+        assert inner.requests == []

@@ -1,0 +1,94 @@
+"""Unit tests for sampleset validation and quarantine."""
+
+import pytest
+
+from repro.annealing import BinaryQuadraticModel, Sample, SampleSet
+from repro.resilience import validate_sampleset
+
+
+def _bqm():
+    return BinaryQuadraticModel({"a": -1.0, "b": -1.0}, {("a", "b"): 2.0})
+
+
+def _set(samples):
+    return SampleSet(list(samples))
+
+
+class TestCleanPassthrough:
+    def test_clean_set_is_untouched(self):
+        bqm = _bqm()
+        ss = _set([Sample({"a": 1, "b": 0}, -1.0), Sample({"a": 0, "b": 0}, 0.0)])
+        clean, report = validate_sampleset(ss, bqm)
+        assert report.clean
+        assert report.kept_rows == 2
+        assert len(clean.samples) == 2
+        assert "validation" not in clean.info
+
+
+class TestEnergyRepair:
+    def test_inconsistent_energy_is_recomputed(self):
+        bqm = _bqm()
+        ss = _set([Sample({"a": 1, "b": 1}, -99.0)])
+        clean, report = validate_sampleset(ss, bqm)
+        assert report.repaired_energies == 1
+        assert clean.first.energy == pytest.approx(bqm.energy({"a": 1, "b": 1}))
+        assert report.reasons == {"inconsistent_energy": 1}
+
+    def test_nan_energy_is_recomputed(self):
+        bqm = _bqm()
+        ss = _set([Sample({"a": 1, "b": 0}, float("nan"))])
+        clean, report = validate_sampleset(ss, bqm)
+        assert report.repaired_energies == 1
+        assert clean.first.energy == pytest.approx(-1.0)
+        assert report.reasons == {"non_finite_energy": 1}
+
+
+class TestQuarantine:
+    def test_non_binary_value_quarantined(self):
+        clean, report = validate_sampleset(
+            _set([Sample({"a": 3, "b": 0}, 0.0)]), _bqm()
+        )
+        assert not clean.samples
+        assert report.quarantined_rows == 1
+        assert report.reasons == {"non_binary_value": 1}
+
+    def test_missing_variable_quarantined(self):
+        clean, report = validate_sampleset(_set([Sample({"a": 1}, 0.0)]), _bqm())
+        assert report.quarantined_rows == 1
+        assert report.reasons == {"missing_variable": 1}
+
+    def test_nan_value_quarantined(self):
+        clean, report = validate_sampleset(
+            _set([Sample({"a": float("nan"), "b": 0}, 0.0)]), _bqm()
+        )
+        assert report.quarantined_rows == 1
+        assert report.reasons == {"non_finite_value": 1}
+
+    def test_occurrence_counts_respected(self):
+        bqm = _bqm()
+        ss = _set(
+            [
+                Sample({"a": 1, "b": 0}, -1.0, num_occurrences=3),
+                Sample({"a": 7, "b": 0}, 0.0, num_occurrences=2),
+            ]
+        )
+        clean, report = validate_sampleset(ss, bqm)
+        assert report.total_rows == 5
+        assert report.kept_rows == 3
+        assert report.quarantined_rows == 2
+
+    def test_mixed_set_keeps_good_rows_and_records_report(self):
+        bqm = _bqm()
+        ss = _set(
+            [
+                Sample({"a": 1, "b": 0}, -1.0),
+                Sample({"a": 2, "b": 0}, 0.0),
+                Sample({"a": 0, "b": 1}, 5.0),  # wrong energy, repaired
+            ]
+        )
+        clean, report = validate_sampleset(ss, bqm)
+        assert len(clean.samples) == 2
+        assert clean.info["validation"]["quarantined_rows"] == 1
+        assert clean.info["validation"]["repaired_energies"] == 1
+        # sorted after repair: both survivors have energy -1
+        assert clean.lowest_energy == pytest.approx(-1.0)
