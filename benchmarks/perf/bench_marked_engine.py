@@ -1,0 +1,183 @@
+"""Perf harness for the bit-parallel marked-set engine.
+
+Measures end-to-end qMKP wall-clock on a generator instance three ways:
+
+* ``cached`` — the default path: one bit-parallel sweep per ``(graph,
+  k)`` shared across all binary-search thresholds
+  (:class:`repro.perf.MarkedSetCache`);
+* ``uncached`` — the same tree with the cache disabled, i.e. a full
+  predicate scan per threshold probe (the seed *structure*, with
+  whatever predicate speedups the tree has since gained);
+* optionally a ``--baseline-s`` figure measured on the seed commit
+  itself (run this script there via ``--legacy``), recorded verbatim so
+  the emitted JSON carries true before/after numbers.
+
+It also runs a predicate-agreement sweep — the bit-parallel enumerator
+against ``KCplexOracle.predicate`` over every ``(k, T)`` on randomized
+small graphs — and **exits non-zero on any mismatch or any divergence
+between cached and uncached qMKP results**, which is what the CI smoke
+job gates on.
+
+Emits ``BENCH_qmkp_n<n>_k<k>.json`` (override with ``--out``).  Run
+from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_marked_engine.py --n 18 --edges 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import qmkp
+from repro.core.oracle import KCplexOracle
+from repro.graphs import gnm_random_graph
+
+
+def _result_fingerprint(result) -> dict:
+    return {
+        "subset": sorted(result.subset),
+        "size": result.size,
+        "oracle_calls": result.oracle_calls,
+        "gate_units": result.gate_units,
+        "qtkp_calls": result.qtkp_calls,
+        "progression": [
+            [e.cumulative_oracle_calls, e.cumulative_gate_units, e.size, e.threshold]
+            for e in result.progression
+        ],
+    }
+
+
+def _time_qmkp(graph, k, rng_seed, repeat, **kwargs) -> tuple[float, dict]:
+    best = float("inf")
+    fingerprint = None
+    for _ in range(repeat):
+        rng = np.random.default_rng(rng_seed)
+        start = time.perf_counter()
+        result = qmkp(graph, k, rng=rng, **kwargs)
+        best = min(best, time.perf_counter() - start)
+        fp = _result_fingerprint(result)
+        if fingerprint is None:
+            fingerprint = fp
+        elif fingerprint != fp:
+            raise AssertionError("qmkp is not deterministic under a fixed seed")
+    return best, fingerprint
+
+
+def predicate_agreement_sweep(instances: int, max_n: int = 7) -> dict:
+    """Bit-parallel enumerator vs the oracle predicate, all (k, T)."""
+    from repro.perf import MarkedSetCache
+
+    checked = 0
+    mismatches = 0
+    for seed in range(instances):
+        n = 4 + seed % (max_n - 3)
+        m = min(n * (n - 1) // 2, n + 2 * seed % (2 * n))
+        graph = gnm_random_graph(n, m, seed=seed)
+        cache = MarkedSetCache()
+        for k in range(1, 4):
+            oracle = KCplexOracle(graph.complement(), k, 0)
+            expected = [mask for mask in range(1 << n) if oracle.predicate(mask)]
+            for threshold in range(n + 1):
+                want = [m_ for m_ in expected if m_.bit_count() >= threshold]
+                got = sorted(int(x) for x in cache.marked(graph, k, threshold))
+                checked += 1
+                if got != want:
+                    mismatches += 1
+    return {"instances": instances, "threshold_checks": checked, "mismatches": mismatches}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=18, help="vertices (default 18)")
+    parser.add_argument("--edges", type=int, default=None, help="edges (default ~n*6)")
+    parser.add_argument("-k", type=int, default=2, help="plex parameter")
+    parser.add_argument("--graph-seed", type=int, default=3)
+    parser.add_argument("--rng-seed", type=int, default=1)
+    parser.add_argument("--repeat", type=int, default=1, help="timing repeats (min taken)")
+    parser.add_argument("--workers", type=int, default=None, help="sweep process-pool width")
+    parser.add_argument(
+        "--sweep-instances", type=int, default=6,
+        help="random instances for the predicate-agreement sweep",
+    )
+    parser.add_argument(
+        "--baseline-s", type=float, default=None,
+        help="seed-commit wall-clock (measured there with --legacy), recorded as-is",
+    )
+    parser.add_argument(
+        "--legacy", action="store_true",
+        help="time plain qmkp(graph, k, rng) only and print it (for the seed tree)",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    edges = args.edges if args.edges is not None else args.n * 6
+    graph = gnm_random_graph(args.n, edges, seed=args.graph_seed)
+
+    if args.legacy:
+        elapsed, fingerprint = _time_qmkp(graph, args.k, args.rng_seed, args.repeat)
+        print(f"legacy qmkp n={args.n} m={edges} k={args.k}: {elapsed:.3f}s "
+              f"size={fingerprint['size']}")
+        return 0
+
+    cached_s, cached_fp = _time_qmkp(
+        graph, args.k, args.rng_seed, args.repeat, use_cache=True, workers=args.workers
+    )
+    uncached_s, uncached_fp = _time_qmkp(
+        graph, args.k, args.rng_seed, args.repeat, use_cache=False
+    )
+    identical = cached_fp == uncached_fp
+    sweep = predicate_agreement_sweep(args.sweep_instances)
+
+    report = {
+        "bench": "qmkp_marked_engine",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "instance": {
+            "generator": "gnm_random_graph",
+            "n": args.n,
+            "m": edges,
+            "k": args.k,
+            "graph_seed": args.graph_seed,
+            "rng_seed": args.rng_seed,
+        },
+        "timings_s": {
+            "cached": round(cached_s, 4),
+            "uncached_scan": round(uncached_s, 4),
+            "seed_baseline": args.baseline_s,
+        },
+        "speedup": {
+            "vs_uncached_scan": round(uncached_s / cached_s, 2),
+            "vs_seed_baseline": (
+                round(args.baseline_s / cached_s, 2) if args.baseline_s else None
+            ),
+        },
+        "result": cached_fp,
+        "identical_cached_vs_uncached": identical,
+        "predicate_agreement": sweep,
+    }
+
+    out = args.out or Path(__file__).parent / f"BENCH_qmkp_n{args.n}_k{args.k}.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["timings_s"] | report["speedup"], indent=2))
+    print(f"identical={identical} mismatches={sweep['mismatches']} -> {out}")
+
+    if not identical or sweep["mismatches"]:
+        print("FAIL: cached/uncached divergence or predicate mismatch", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--seed", type=int, default=None, help="random seed")
     solve.add_argument(
+        "--workers", type=int, default=None,
+        help="qmkp: process-pool width for the bit-parallel marked-set "
+        "sweep (worthwhile on large n)",
+    )
+    solve.add_argument(
+        "--no-cache", action="store_true",
+        help="qmkp: disable the cross-threshold marked-set cache "
+        "(forces the per-probe predicate scan)",
+    )
+    solve.add_argument(
         "--retries", type=int, default=0,
         help="qamkp-qpu: retries with backoff, debited from --runtime-us",
     )
@@ -129,13 +139,22 @@ def _translate(subset, labels) -> list[object]:
 def _cmd_solve(args, graph, labels) -> int:
     import numpy as np
 
+    if args.solver != "qmkp" and (args.workers is not None or args.no_cache):
+        print(
+            "error: --workers/--no-cache require --solver qmkp",
+            file=sys.stderr,
+        )
+        return 2
     if args.solver == "bruteforce":
         subset = maximum_kplex_bruteforce(graph, args.k)
     elif args.solver == "bs":
         subset = maximum_kplex(graph, args.k).subset
     elif args.solver == "qmkp":
         rng = np.random.default_rng(args.seed)
-        subset = qmkp(graph, args.k, rng=rng).subset
+        subset = qmkp(
+            graph, args.k, rng=rng,
+            use_cache=not args.no_cache, workers=args.workers,
+        ).subset
     else:
         from .annealing import EmbeddingError, QPURuntimeExceeded
         from .resilience import BudgetExhausted, CircuitOpenError

@@ -230,15 +230,25 @@ class KCplexOracle:
         return self._size_ok_qubit
 
     def predicate(self, mask: int) -> bool:
-        """Direct evaluation: is the subset a k-cplex of size >= T?"""
-        subset = self.complement.bitmask_to_subset(mask)
-        if len(subset) < self.threshold:
+        """Direct evaluation: is the subset a k-cplex of size >= T?
+
+        Works on the raw bitmask via :meth:`Graph.degree_in_mask` — no
+        per-call ``frozenset`` materialisation.
+        """
+        if mask < 0 or mask >> self.complement.num_vertices:
+            raise ValueError(
+                f"bitmask {mask} out of range for n={self.complement.num_vertices}"
+            )
+        if mask.bit_count() < self.threshold:
             return False
-        members = frozenset(subset)
         limit = self.k - 1
-        return all(
-            self.complement.degree_in(v, members) <= limit for v in members
-        )
+        remaining = mask
+        while remaining:
+            v = (remaining & -remaining).bit_length() - 1
+            if self.complement.degree_in_mask(v, mask) > limit:
+                return False
+            remaining &= remaining - 1
+        return True
 
     def classical_eval(self, mask: int) -> bool:
         """Run the actual ``U_check`` gate list on a basis state.
@@ -266,8 +276,7 @@ class KCplexOracle:
         width = self._u_check.num_qubits + 1
         oracle_qubit = width - 1
         qc = QuantumCircuit(width)
-        for name, reg in self._u_check.registers.items():
-            qc._registers[name] = reg  # noqa: SLF001 - mirror register map
+        qc.mirror_registers(self._u_check)
         qc.extend(self._u_check)
         qc.set_label(COMPONENT_MARK)
         qc.ccx(self._cplex_qubit, self._size_ok_qubit, oracle_qubit)

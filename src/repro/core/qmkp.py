@@ -21,6 +21,7 @@ import numpy as np
 
 from ..graphs import Graph, co_prune
 from ..kplex import best_upper_bound
+from ..perf import MarkedSetCache
 from .oracle import OracleCosts
 from .qtkp import QTKPResult, qtkp
 
@@ -75,6 +76,9 @@ def qmkp(
     reduce_first: bool = False,
     use_upper_bound: bool = True,
     rng: np.random.Generator | None = None,
+    use_cache: bool = True,
+    cache: MarkedSetCache | None = None,
+    workers: int | None = None,
 ) -> QMKPResult:
     """Find a maximum k-plex by binary search over qTKP.
 
@@ -91,8 +95,23 @@ def qmkp(
     use_upper_bound:
         Initialise the binary search's upper end from the polynomial
         bounds instead of ``n``.
+    use_cache:
+        Share one bit-parallel marked-set sweep across all threshold
+        probes (:class:`repro.perf.MarkedSetCache`) instead of
+        re-scanning ``2^n`` masks per probe.  Results are bit-identical
+        with or without the cache; ``False`` forces the seed path (for
+        benchmarking and equivalence tests).
+    cache:
+        An existing cache to reuse across qMKP runs; implies
+        ``use_cache``.  When None and ``use_cache`` is set, a run-local
+        cache is created.
+    workers:
+        Process-pool width for the bit-parallel sweep's chunks (only
+        worth it for large ``n``); forwarded to the run-local cache.
     """
     rng = rng or np.random.default_rng()
+    if cache is None and use_cache:
+        cache = MarkedSetCache(workers=workers)
     working = graph
     translate = None
     if reduce_first and graph.num_vertices:
@@ -116,7 +135,7 @@ def qmkp(
 
     while lo <= hi:
         mid = (lo + hi) // 2
-        probe = qtkp(working, k, mid, counting=counting, rng=rng)
+        probe = qtkp(working, k, mid, counting=counting, rng=rng, cache=cache)
         probes.append(probe)
         oracle_calls += probe.oracle_calls
         gate_units += probe.gate_units

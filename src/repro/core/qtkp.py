@@ -31,6 +31,7 @@ from ..grover import (
     optimal_iterations,
 )
 from ..kplex import is_kplex
+from ..perf import MarkedSetCache
 from ..quantum import quantum_count
 from .oracle import KCplexOracle, OracleCosts
 
@@ -81,6 +82,7 @@ def qtkp(
     counting: str = "exact",
     max_attempts: int = 8,
     rng: np.random.Generator | None = None,
+    cache: MarkedSetCache | None = None,
 ) -> QTKPResult:
     """Find a k-plex of size at least ``threshold``, or report failure.
 
@@ -101,6 +103,12 @@ def qtkp(
         Measure/verify retries before declaring failure.
     rng:
         Source of measurement randomness.
+    cache:
+        Optional :class:`repro.perf.MarkedSetCache`.  When given, the
+        marked set comes from the bit-parallel table for ``(graph, k)``
+        (one vectorized sweep, shared across thresholds) instead of a
+        fresh ``2^n`` Python predicate scan; results are bit-identical
+        either way.
     """
     if not (1 <= threshold <= max(graph.num_vertices, 1)):
         raise ValueError(
@@ -116,7 +124,10 @@ def qtkp(
     n = graph.num_vertices
     complement = graph.complement()
     oracle = KCplexOracle(complement, k, threshold)
-    engine = PhaseOracleGrover(n, oracle.predicate)
+    if cache is not None:
+        engine = PhaseOracleGrover(n, cache.marked(graph, k, threshold))
+    else:
+        engine = PhaseOracleGrover(n, oracle.predicate)
     exact_m = engine.num_marked
 
     if counting == "quantum" and exact_m:

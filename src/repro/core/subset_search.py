@@ -29,6 +29,7 @@ import numpy as np
 from ..graphs import Graph
 from ..grover import PhaseOracleGrover, best_iterations, diffusion_gate_count
 from ..kplex import is_nclan, is_nclub
+from ..perf import PredicateMaskCache
 
 __all__ = [
     "SubsetDecisionResult",
@@ -78,12 +79,15 @@ def grover_subset_decision(
     threshold: int,
     rng: np.random.Generator | None = None,
     max_attempts: int = 8,
+    cache: PredicateMaskCache | None = None,
 ) -> SubsetDecisionResult:
     """Find a subset with ``predicate`` true and size >= ``threshold``.
 
     The same structure as qTKP with the k-plex oracle swapped for a
     black-box predicate: uniform superposition, phase oracle, optimal
-    iteration schedule, measure, verify classically, retry.
+    iteration schedule, measure, verify classically, retry.  With a
+    :class:`repro.perf.PredicateMaskCache` the marked set is a size
+    slice of one precomputed sweep instead of a fresh ``2^n`` scan.
     """
     n = graph.num_vertices
     if n > _MAX_QUBITS:
@@ -98,7 +102,10 @@ def grover_subset_decision(
         subset = graph.bitmask_to_subset(mask)
         return len(subset) >= threshold and predicate(subset)
 
-    engine = PhaseOracleGrover(n, marked)
+    if cache is not None:
+        engine = PhaseOracleGrover(n, cache.marked(threshold))
+    else:
+        engine = PhaseOracleGrover(n, marked)
     m = engine.num_marked
     if m == 0:
         iterations = best_iterations(1 << n, 1)
@@ -128,17 +135,22 @@ def grover_maximum_subset(
     predicate: SubsetPredicate,
     rng: np.random.Generator | None = None,
     upper_bound: int | None = None,
+    use_cache: bool = True,
 ) -> SubsetSearchResult:
     """Binary search for the largest subset satisfying ``predicate``.
 
     The qMKP structure applied to an arbitrary property: each probe is
     a Grover decision at the midpoint threshold, successes raise the
-    lower end, failures lower the upper end.
+    lower end, failures lower the upper end.  Because the predicate is
+    threshold-independent, it is evaluated over the ``2^n`` subsets
+    once (``use_cache``, the default) and every probe reuses the
+    size-partitioned result; ``False`` re-scans per probe (seed path).
     """
     rng = rng or np.random.default_rng()
     n = graph.num_vertices
     if n == 0:
         return SubsetSearchResult(frozenset(), 0)
+    cache = PredicateMaskCache(graph, predicate) if use_cache else None
     lo, hi = 1, upper_bound if upper_bound is not None else n
     hi = max(1, min(hi, n))
     best: frozenset[int] = frozenset()
@@ -146,7 +158,7 @@ def grover_maximum_subset(
     oracle_calls = 0
     while lo <= hi:
         mid = (lo + hi) // 2
-        probe = grover_subset_decision(graph, predicate, mid, rng=rng)
+        probe = grover_subset_decision(graph, predicate, mid, rng=rng, cache=cache)
         probes.append(probe)
         oracle_calls += probe.oracle_calls
         if probe.found:

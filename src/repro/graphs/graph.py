@@ -41,7 +41,7 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_n", "_adj", "_edges", "_hash")
+    __slots__ = ("_n", "_adj", "_edges", "_hash", "_adj_masks")
 
     def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if num_vertices < 0:
@@ -63,6 +63,7 @@ class Graph:
         self._adj: tuple[frozenset[int], ...] = tuple(frozenset(s) for s in adj)
         self._edges: frozenset[tuple[int, int]] = frozenset(edge_set)
         self._hash: int | None = None
+        self._adj_masks: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -155,6 +156,45 @@ class Graph:
     def degree_in(self, v: int, subset: frozenset[int] | set[int]) -> int:
         """Degree of ``v`` counted only against vertices in ``subset``."""
         return len(self._adj[v] & subset)
+
+    def adjacency_masks(self) -> tuple[int, ...]:
+        """Per-vertex neighbour sets as integer bitmasks (bit ``i`` = vertex ``i``).
+
+        Computed once and cached; the tuple is shared, so callers must
+        not mutate it (they cannot — ints are immutable).  This is the
+        substrate for every bit-parallel fast path: membership and
+        intersection become single AND operations.
+        """
+        if self._adj_masks is None:
+            masks = []
+            for nbrs in self._adj:
+                m = 0
+                for w in nbrs:
+                    m |= 1 << w
+                masks.append(m)
+            self._adj_masks = tuple(masks)
+        return self._adj_masks
+
+    def complement_adjacency_masks(self) -> tuple[int, ...]:
+        """Per-vertex complement-neighbour bitmasks, without building the complement.
+
+        ``comp[v]`` has a bit for every vertex that is *not* adjacent to
+        ``v`` (and is not ``v`` itself).  Derived in O(n) from
+        :meth:`adjacency_masks`, versus the O(n^2) edge materialisation
+        of :meth:`complement`.
+        """
+        universe = (1 << self._n) - 1
+        return tuple(
+            universe ^ (1 << v) ^ m for v, m in enumerate(self.adjacency_masks())
+        )
+
+    def degree_in_mask(self, v: int, mask: int) -> int:
+        """Degree of ``v`` against the subset encoded as a bitmask.
+
+        The bit-parallel equivalent of :meth:`degree_in`: one AND plus a
+        popcount, with no set objects built per call.
+        """
+        return (self.adjacency_masks()[v] & mask).bit_count()
 
     def remove_vertices(self, drop: Iterable[int]) -> tuple["Graph", list[int]]:
         """Remove ``drop`` and return ``(subgraph, kept_vertex_ids)``.

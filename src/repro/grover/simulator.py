@@ -61,6 +61,13 @@ class GroverRun:
     history: list[float] = field(default_factory=list)
     amplitude_snapshots: dict[int, np.ndarray] = field(default_factory=dict)
 
+    #: Lazily computed normalized measurement distribution; qTKP's
+    #: retry loop measures the same run repeatedly, so the ``amp**2`` /
+    #: normalization pass is paid once, not per attempt.
+    _probabilities: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+
     @property
     def success_probability(self) -> float:
         """Probability that measurement yields a marked state."""
@@ -73,11 +80,17 @@ class GroverRun:
     def error_probability(self) -> float:
         return 1.0 - self.success_probability
 
+    def probabilities(self) -> np.ndarray:
+        """The normalized measurement distribution (memoized)."""
+        if self._probabilities is None:
+            probs = self.amplitudes ** 2
+            self._probabilities = probs / probs.sum()
+        return self._probabilities
+
     def measure(self, shots: int, rng: np.random.Generator | None = None) -> dict[int, int]:
         """Sample ``shots`` measurements; returns basis index -> count."""
         rng = rng or np.random.default_rng()
-        probs = self.amplitudes ** 2
-        probs = probs / probs.sum()
+        probs = self.probabilities()
         draws = rng.choice(len(probs), size=shots, p=probs)
         values, counts = np.unique(draws, return_counts=True)
         return {int(v): int(c) for v, c in zip(values, counts)}
@@ -85,8 +98,8 @@ class GroverRun:
     def measure_once(self, rng: np.random.Generator | None = None) -> int:
         """A single measurement outcome."""
         rng = rng or np.random.default_rng()
-        probs = self.amplitudes ** 2
-        return int(rng.choice(len(probs), p=probs / probs.sum()))
+        probs = self.probabilities()
+        return int(rng.choice(len(probs), p=probs))
 
 
 class PhaseOracleGrover:
@@ -97,8 +110,17 @@ class PhaseOracleGrover:
     num_qubits:
         Search register width ``n`` (``2^n`` basis states).
     oracle:
-        Either an iterable of marked basis indices or a predicate
-        ``mask -> bool`` evaluated over all ``2^n`` masks up front.
+        One of three oracle forms:
+
+        * a predicate ``mask -> bool``, evaluated over all ``2^n``
+          masks up front (the slow, always-available form);
+        * an iterable of marked basis indices;
+        * a NumPy integer array of marked indices — the fast path for
+          precomputed marked sets (:mod:`repro.perf`), which skips the
+          per-element Python conversion of the iterable form.
+
+        All three forms with the same marked set produce bit-identical
+        runs.
     """
 
     #: refuse absurd widths (2^26 floats ~ 0.5 GB)
@@ -107,7 +129,7 @@ class PhaseOracleGrover:
     def __init__(
         self,
         num_qubits: int,
-        oracle: Iterable[int] | Callable[[int], bool],
+        oracle: Iterable[int] | Callable[[int], bool] | np.ndarray,
     ) -> None:
         if not (1 <= num_qubits <= self.MAX_QUBITS):
             raise ValueError(
@@ -115,7 +137,16 @@ class PhaseOracleGrover:
             )
         self.num_qubits = num_qubits
         dim = 1 << num_qubits
-        if callable(oracle):
+        if isinstance(oracle, np.ndarray):
+            if oracle.size and not np.issubdtype(oracle.dtype, np.integer):
+                raise ValueError(
+                    f"marked array must have an integer dtype, got {oracle.dtype}"
+                )
+            arr = np.unique(oracle.astype(np.int64))
+            if arr.size and (int(arr[0]) < 0 or int(arr[-1]) >= dim):
+                raise ValueError("marked index out of range")
+            marked = arr.tolist()
+        elif callable(oracle):
             marked = [i for i in range(dim) if oracle(i)]
         else:
             marked = sorted(set(int(i) for i in oracle))
@@ -180,9 +211,7 @@ def grover_circuit(num_qubits: int, oracle_circuit: QuantumCircuit, iterations: 
     gate counting, not production search.
     """
     qc = QuantumCircuit(oracle_circuit.num_qubits)
-    for name, reg in oracle_circuit.registers.items():
-        # Mirror register metadata so downstream code can locate them.
-        qc._registers[name] = reg  # noqa: SLF001 - deliberate internal copy
+    qc.mirror_registers(oracle_circuit)
     for q in range(num_qubits):
         qc.h(q)
     diff = diffusion_circuit(num_qubits)

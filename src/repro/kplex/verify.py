@@ -33,7 +33,8 @@ def is_kplex(graph: Graph, subset: Iterable[int], k: int) -> bool:
     need = len(members) - k
     if need <= 0:
         return True
-    return all(graph.degree_in(v, members) >= need for v in members)
+    mask = graph.subset_to_bitmask(members)
+    return all(graph.degree_in_mask(v, mask) >= need for v in members)
 
 
 def is_kcplex(graph: Graph, subset: Iterable[int], k: int) -> bool:
@@ -47,7 +48,8 @@ def is_kcplex(graph: Graph, subset: Iterable[int], k: int) -> bool:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     members = frozenset(subset)
-    return all(graph.degree_in(v, members) <= k - 1 for v in members)
+    mask = graph.subset_to_bitmask(members)
+    return all(graph.degree_in_mask(v, mask) <= k - 1 for v in members)
 
 
 def kplex_deficiencies(graph: Graph, subset: Iterable[int]) -> dict[int, int]:

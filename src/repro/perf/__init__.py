@@ -1,0 +1,18 @@
+"""Performance engine: bit-parallel mask enumeration and marked-set caching.
+
+Substrate layer (like ``repro.graphs``): imported by ``repro.core`` and
+``repro.grover``, imports nothing above ``repro.graphs`` itself.
+"""
+
+from .bitparallel import MAX_VERTICES, kcplex_masks, kplex_masks, popcount_u64
+from .cache import MarkedSetCache, MarkedSetTable, PredicateMaskCache
+
+__all__ = [
+    "MAX_VERTICES",
+    "MarkedSetCache",
+    "MarkedSetTable",
+    "PredicateMaskCache",
+    "kcplex_masks",
+    "kplex_masks",
+    "popcount_u64",
+]

@@ -1,0 +1,172 @@
+"""Bit-parallel k-cplex / k-plex enumeration over all subset masks.
+
+The classical bottleneck of the simulated qTKP/qMKP pipeline is the
+oracle sweep: deciding, for every one of the ``2^n`` subset bitmasks,
+whether the subset is a k-cplex of the complement graph.  The
+pure-Python predicate costs a ``frozenset`` build plus ``n`` set
+intersections per mask; this module replaces the whole sweep with
+chunked NumPy:
+
+* each vertex contributes one complement-adjacency bitmask, so its
+  in-subset degree is ``popcount(mask & comp_adj[v])`` — a single AND
+  plus a vectorized popcount over a whole chunk of masks at once;
+* the k-cplex condition is the AND over vertices of
+  ``not selected(v) or degree(v) <= k - 1``, evaluated with boolean
+  array ops (the size-``T`` filter is deliberately *not* applied here —
+  it is the only threshold-dependent part of the oracle, and
+  :mod:`repro.perf.cache` handles it with a size partition);
+* masks are processed in memory-bounded chunks of ``np.arange`` blocks,
+  optionally fanned out over a process pool for large ``n``.
+
+Popcount uses ``np.bitwise_count`` when the installed NumPy has it
+(>= 2.0) and a SWAR bit-trick fallback otherwise, so the module runs on
+the declared ``numpy>=1.24`` floor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..graphs import Graph
+
+__all__ = [
+    "MAX_VERTICES",
+    "popcount_u64",
+    "kcplex_masks",
+    "kplex_masks",
+]
+
+#: Same ceiling as ``PhaseOracleGrover.MAX_QUBITS`` — beyond this the
+#: amplitude vector itself is unreasonable, so the enumerator refuses too.
+MAX_VERTICES = 26
+
+#: Default memory budget for one chunk's working arrays (~64 MB).
+_DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+
+#: Approximate bytes of temporaries per mask in :func:`_enumerate_chunk`
+#: (masks + sizes + keep flag + degree + selection scratch).
+_BYTES_PER_MASK = 34
+
+
+def popcount_u64(masks: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array.
+
+    Uses the native ufunc when available, else the classic SWAR
+    (SIMD-within-a-register) reduction: fold pairs of bits, nibbles,
+    bytes, then gather the byte sums with one multiply.
+    """
+    masks = np.asarray(masks, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(masks).astype(np.int64)
+    x = masks.copy()
+    x -= (x >> np.uint64(1)) & np.uint64(0x5555555555555555)
+    x = (x & np.uint64(0x3333333333333333)) + (
+        (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((x * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(np.int64)
+
+
+def _chunk_size(num_masks: int, chunk_masks: int | None) -> int:
+    if chunk_masks is not None:
+        if chunk_masks < 1:
+            raise ValueError(f"chunk_masks must be >= 1, got {chunk_masks}")
+        return min(chunk_masks, num_masks)
+    return max(1, min(num_masks, _DEFAULT_CHUNK_BYTES // _BYTES_PER_MASK))
+
+
+def _enumerate_chunk(
+    adj_masks: Sequence[int], limit: int, start: int, stop: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Masks in ``[start, stop)`` whose selected vertices all have
+    ``popcount(mask & adj_masks[v]) <= limit``, with their sizes."""
+    masks = np.arange(start, stop, dtype=np.uint64)
+    sizes = popcount_u64(masks)
+    keep = np.ones(masks.shape, dtype=bool)
+    for v, am in enumerate(adj_masks):
+        if am == 0 or am.bit_count() <= limit:
+            # Vertex degree can never exceed the limit: always passes.
+            continue
+        degree = popcount_u64(masks & np.uint64(am))
+        selected = (masks >> np.uint64(v)) & np.uint64(1)
+        keep &= (degree <= limit) | (selected == 0)
+    return masks[keep], sizes[keep]
+
+
+def _chunk_worker(args: tuple[tuple[int, ...], int, int, int]) -> tuple[np.ndarray, np.ndarray]:
+    adj_masks, limit, start, stop = args
+    return _enumerate_chunk(adj_masks, limit, start, stop)
+
+
+def _enumerate(
+    adj_masks: Sequence[int],
+    num_vertices: int,
+    k: int,
+    chunk_masks: int | None,
+    workers: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if num_vertices > MAX_VERTICES:
+        raise ValueError(
+            f"bit-parallel enumeration supports n <= {MAX_VERTICES}, got {num_vertices}"
+        )
+    num_masks = 1 << num_vertices
+    size = _chunk_size(num_masks, chunk_masks)
+    spans = [(s, min(s + size, num_masks)) for s in range(0, num_masks, size)]
+    limit = k - 1
+    if workers is not None and workers > 1 and len(spans) > 1:
+        import multiprocessing
+
+        jobs = [(tuple(adj_masks), limit, s, e) for s, e in spans]
+        with multiprocessing.Pool(min(workers, len(spans))) as pool:
+            parts = pool.map(_chunk_worker, jobs)
+    else:
+        parts = [_enumerate_chunk(adj_masks, limit, s, e) for s, e in spans]
+    masks = np.concatenate([p[0] for p in parts])
+    sizes = np.concatenate([p[1] for p in parts])
+    return masks.astype(np.int64), sizes
+
+
+def kcplex_masks(
+    graph: Graph,
+    k: int,
+    chunk_masks: int | None = None,
+    workers: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All bitmasks whose subsets are k-cplexes of ``graph``.
+
+    Returns ``(masks, sizes)`` with ``masks`` ascending — exactly the
+    order a Python scan ``[m for m in range(2**n) if predicate(m)]``
+    produces, so downstream marked sets are interchangeable.
+
+    Parameters
+    ----------
+    graph, k:
+        Every selected vertex may have at most ``k - 1`` selected
+        neighbours (Definition 4 of the paper).
+    chunk_masks:
+        Masks per chunk; default keeps chunk temporaries near 64 MB.
+    workers:
+        Process-pool width for chunk fan-out (None / 1 = in-process).
+    """
+    return _enumerate(graph.adjacency_masks(), graph.num_vertices, k, chunk_masks, workers)
+
+
+def kplex_masks(
+    graph: Graph,
+    k: int,
+    chunk_masks: int | None = None,
+    workers: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All bitmasks whose subsets are k-plexes of ``graph``.
+
+    Uses the complement-adjacency bitmasks directly (a k-plex of ``G``
+    is a k-cplex of ``G-bar``), skipping the O(n^2) complement-graph
+    construction the oracle path performs.
+    """
+    return _enumerate(
+        graph.complement_adjacency_masks(), graph.num_vertices, k, chunk_masks, workers
+    )

@@ -82,6 +82,30 @@ class QuantumCircuit:
         """Look up a register by name."""
         return self._registers[name]
 
+    def mirror_registers(self, source: "QuantumCircuit") -> None:
+        """Adopt ``source``'s register map without allocating qubits.
+
+        Used when a wider circuit (a phase oracle with its |O> qubit, a
+        full Grover layout) embeds an existing circuit verbatim and
+        downstream code must still locate the named registers.  Every
+        mirrored register must fit inside this circuit's qubit space;
+        a name collision is only allowed when it maps to the identical
+        register block.
+        """
+        for name, reg in source.registers.items():
+            existing = self._registers.get(name)
+            if existing is not None and existing != reg:
+                raise ValueError(
+                    f"register {name!r} already exists with a different layout"
+                )
+            if reg.offset + reg.size > self._num_qubits:
+                raise ValueError(
+                    f"register {name!r} spans qubits "
+                    f"[{reg.offset}, {reg.offset + reg.size}) but circuit has "
+                    f"{self._num_qubits} qubits"
+                )
+            self._registers[name] = reg
+
     # ------------------------------------------------------------------
     # Labelled sections (for component-wise gate accounting)
     # ------------------------------------------------------------------
@@ -161,7 +185,7 @@ class QuantumCircuit:
     def inverse(self) -> "QuantumCircuit":
         """The adjoint circuit (same registers, gates inverted, reversed)."""
         inv = QuantumCircuit(self._num_qubits)
-        inv._registers = dict(self._registers)
+        inv.mirror_registers(self)
         for gate, label in zip(reversed(self._gates), reversed(self._labels)):
             inv._current_label = label
             inv.append(gate.inverse())

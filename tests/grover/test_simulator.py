@@ -107,3 +107,21 @@ class TestFullCircuitAgreement:
         dense_probs = sv.probabilities()
         fast_probs = run.amplitudes ** 2
         assert np.allclose(dense_probs, fast_probs, atol=1e-9)
+
+
+class TestMeasurementMemoization:
+    def test_probabilities_cached_and_normalized(self):
+        engine = PhaseOracleGrover(4, [3, 9])
+        run = engine.run(2)
+        probs = run.probabilities()
+        assert probs is run.probabilities()  # same object: computed once
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.array_equal(probs, run.amplitudes ** 2 / (run.amplitudes ** 2).sum())
+
+    def test_measure_paths_share_distribution(self):
+        engine = PhaseOracleGrover(3, [5])
+        run = engine.run(1)
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        first = run.measure_once(rng_a)
+        counts = run.measure(1, rng_b)
+        assert counts == {first: 1}

@@ -39,6 +39,24 @@ class TestSolve:
         assert main(["solve", graph_file, "--solver", "qmkp", "--seed", "3"]) == 0
         assert "size: 4" in capsys.readouterr().out
 
+    def test_qmkp_no_cache_matches_cached(self, graph_file, capsys):
+        assert main([
+            "solve", graph_file, "--solver", "qmkp", "--seed", "3", "--no-cache",
+        ]) == 0
+        uncached = capsys.readouterr().out
+        assert main(["solve", graph_file, "--solver", "qmkp", "--seed", "3"]) == 0
+        assert capsys.readouterr().out == uncached
+
+    def test_qmkp_workers(self, graph_file, capsys):
+        assert main([
+            "solve", graph_file, "--solver", "qmkp", "--seed", "3", "--workers", "2",
+        ]) == 0
+        assert "size: 4" in capsys.readouterr().out
+
+    def test_workers_requires_qmkp(self, graph_file, capsys):
+        assert main(["solve", graph_file, "--workers", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
     def test_qamkp_sa(self, graph_file, capsys):
         code = main([
             "solve", graph_file, "--solver", "qamkp-sa",

@@ -134,3 +134,41 @@ class TestExtendAndDepth:
 
     def test_depth_empty(self):
         assert QuantumCircuit(3).depth() == 0
+
+
+class TestMirrorRegisters:
+    def test_mirrors_register_map(self):
+        src = QuantumCircuit()
+        reg = src.add_register("v", 3)
+        wide = QuantumCircuit(5)
+        wide.mirror_registers(src)
+        assert wide.register("v") == reg
+
+    def test_same_register_twice_is_idempotent(self):
+        src = QuantumCircuit()
+        src.add_register("v", 2)
+        dst = QuantumCircuit(2)
+        dst.mirror_registers(src)
+        dst.mirror_registers(src)
+        assert dst.register("v").size == 2
+
+    def test_conflicting_layout_rejected(self):
+        a = QuantumCircuit()
+        a.add_register("v", 2)
+        b = QuantumCircuit(4)
+        b.add_register("v", 3)
+        with pytest.raises(ValueError, match="different layout"):
+            b.mirror_registers(a)
+
+    def test_register_must_fit(self):
+        src = QuantumCircuit()
+        src.add_register("v", 4)
+        narrow = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="spans qubits"):
+            narrow.mirror_registers(src)
+
+    def test_inverse_keeps_registers(self):
+        qc = QuantumCircuit()
+        qc.add_register("v", 2)
+        qc.x(0)
+        assert qc.inverse().register("v") == qc.register("v")
