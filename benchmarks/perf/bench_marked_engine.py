@@ -55,20 +55,30 @@ def _result_fingerprint(result) -> dict:
     }
 
 
-def _time_qmkp(graph, k, rng_seed, repeat, **kwargs) -> tuple[float, dict]:
+def _time_qmkp(
+    graph, k, rng_seed, repeat, tracer_factory=None, **kwargs
+) -> tuple[float, dict, object]:
+    """Best-of-``repeat`` wall clock; returns (seconds, fingerprint, tracer).
+
+    ``tracer_factory`` builds a fresh tracer per repeat (so timings are
+    not polluted by a growing span tree); the returned tracer is the
+    last repeat's, for the ledger.
+    """
     best = float("inf")
     fingerprint = None
+    tracer = None
     for _ in range(repeat):
+        tracer = tracer_factory() if tracer_factory is not None else None
         rng = np.random.default_rng(rng_seed)
         start = time.perf_counter()
-        result = qmkp(graph, k, rng=rng, **kwargs)
+        result = qmkp(graph, k, rng=rng, tracer=tracer, **kwargs)
         best = min(best, time.perf_counter() - start)
         fp = _result_fingerprint(result)
         if fingerprint is None:
             fingerprint = fp
         elif fingerprint != fp:
             raise AssertionError("qmkp is not deterministic under a fixed seed")
-    return best, fingerprint
+    return best, fingerprint, tracer
 
 
 def predicate_agreement_sweep(instances: int, max_n: int = 7) -> dict:
@@ -115,6 +125,15 @@ def main(argv: list[str] | None = None) -> int:
         "--legacy", action="store_true",
         help="time plain qmkp(graph, k, rng) only and print it (for the seed tree)",
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="also time a traced run, write its run-ledger JSON to PATH, "
+        "and fail on ledger drift or excessive tracing overhead",
+    )
+    parser.add_argument(
+        "--trace-overhead-limit", type=float, default=0.10,
+        help="max allowed (traced - untraced) / untraced (default 0.10)",
+    )
     parser.add_argument("--out", type=Path, default=None, help="output JSON path")
     args = parser.parse_args(argv)
 
@@ -122,19 +141,57 @@ def main(argv: list[str] | None = None) -> int:
     graph = gnm_random_graph(args.n, edges, seed=args.graph_seed)
 
     if args.legacy:
-        elapsed, fingerprint = _time_qmkp(graph, args.k, args.rng_seed, args.repeat)
+        elapsed, fingerprint, _ = _time_qmkp(graph, args.k, args.rng_seed, args.repeat)
         print(f"legacy qmkp n={args.n} m={edges} k={args.k}: {elapsed:.3f}s "
               f"size={fingerprint['size']}")
         return 0
 
-    cached_s, cached_fp = _time_qmkp(
+    cached_s, cached_fp, _ = _time_qmkp(
         graph, args.k, args.rng_seed, args.repeat, use_cache=True, workers=args.workers
     )
-    uncached_s, uncached_fp = _time_qmkp(
+    uncached_s, uncached_fp, _ = _time_qmkp(
         graph, args.k, args.rng_seed, args.repeat, use_cache=False
     )
     identical = cached_fp == uncached_fp
     sweep = predicate_agreement_sweep(args.sweep_instances)
+
+    trace_block = None
+    trace_failures: list[str] = []
+    if args.trace is not None:
+        from repro.obs import RunLedger, Tracer
+
+        traced_s, traced_fp, tracer = _time_qmkp(
+            graph, args.k, args.rng_seed, args.repeat,
+            tracer_factory=Tracer, use_cache=True, workers=args.workers,
+        )
+        if traced_fp != cached_fp:
+            trace_failures.append("traced run diverged from untraced run")
+        ledger = RunLedger.from_tracer(
+            tracer,
+            meta={
+                "bench": "qmkp_marked_engine",
+                "n": args.n, "m": edges, "k": args.k,
+                "graph_seed": args.graph_seed, "rng_seed": args.rng_seed,
+            },
+        )
+        drift = ledger.verify(raise_on_drift=False)
+        for record in drift:
+            trace_failures.append(f"ledger drift: {record}")
+        ledger.to_json(args.trace)
+        overhead = traced_s / cached_s - 1.0
+        if overhead > args.trace_overhead_limit:
+            trace_failures.append(
+                f"tracing overhead {overhead:.1%} exceeds "
+                f"{args.trace_overhead_limit:.0%}"
+            )
+        trace_block = {
+            "ledger": str(args.trace),
+            "traced_s": round(traced_s, 4),
+            "overhead_fraction": round(overhead, 4),
+            "overhead_limit": args.trace_overhead_limit,
+            "drift_records": len(drift),
+            "verified": not drift,
+        }
 
     report = {
         "bench": "qmkp_marked_engine",
@@ -166,15 +223,26 @@ def main(argv: list[str] | None = None) -> int:
         "result": cached_fp,
         "identical_cached_vs_uncached": identical,
         "predicate_agreement": sweep,
+        "trace": trace_block,
     }
 
     out = args.out or Path(__file__).parent / f"BENCH_qmkp_n{args.n}_k{args.k}.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report["timings_s"] | report["speedup"], indent=2))
     print(f"identical={identical} mismatches={sweep['mismatches']} -> {out}")
+    if trace_block is not None:
+        print(
+            f"trace: verified={trace_block['verified']} "
+            f"overhead={trace_block['overhead_fraction']:.1%} "
+            f"-> {trace_block['ledger']}"
+        )
 
     if not identical or sweep["mismatches"]:
         print("FAIL: cached/uncached divergence or predicate mismatch", file=sys.stderr)
+        return 1
+    if trace_failures:
+        for failure in trace_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     return 0
 

@@ -81,6 +81,22 @@ class AnytimeCurve:
 
         1.0 means the optimum was available instantly; 0.0 means
         nothing was found within the horizon.
+
+        Step-function convention (pinned by exact-value tests in
+        ``tests/analysis/test_progression.py``):
+
+        * the curve is **left-closed**: an event at budget ``b`` counts
+          from ``b`` onwards, matching :meth:`quality_at` (which
+          includes ``budget == b``);
+        * before the first event the quality is 0 — a first event at
+          budget ``b > 0`` contributes a zero-area prefix ``[0, b)``;
+        * a horizon **strictly inside the last segment** truncates it:
+          the tail ``[last_budget, horizon)`` is charged at the final
+          quality;
+        * an event **exactly at** ``horizon`` changes
+          ``quality_at(horizon)`` but adds a zero-width segment, so it
+          contributes nothing to the area;
+        * events past the horizon are ignored entirely.
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
@@ -89,14 +105,16 @@ class AnytimeCurve:
                 f"best_possible must be positive, got {best_possible}"
             )
         area = 0.0
-        for i, (budget, quality) in enumerate(zip(self.budgets, self.qualities)):
-            if budget >= horizon:
-                break
-            end = min(
-                self.budgets[i + 1] if i + 1 < len(self.budgets) else horizon,
-                horizon,
-            )
-            area += (end - budget) * quality
+        for i, (start, quality) in enumerate(zip(self.budgets, self.qualities)):
+            if start >= horizon:
+                break  # budgets ascend: this and later events are outside
+            # Segment runs to the next event, or to the horizon for the
+            # last one; either way never past the horizon.
+            if i + 1 < len(self.budgets):
+                end = min(self.budgets[i + 1], horizon)
+            else:
+                end = horizon
+            area += (end - start) * quality
         return max(0.0, min(1.0, area / (horizon * best_possible)))
 
 

@@ -44,7 +44,14 @@ class SampleSet:
     info: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.samples.sort(key=lambda s: s.energy)
+        # Sort a copy — callers keep ownership of the list they passed
+        # in (fault-injection plans and test fixtures index into theirs).
+        # Ties break on descending num_occurrences, then input order
+        # (sorted() is stable), so equal-energy ordering is deterministic
+        # across platforms and sampler backends.
+        self.samples = sorted(
+            self.samples, key=lambda s: (s.energy, -s.num_occurrences)
+        )
 
     @property
     def first(self) -> Sample:

@@ -72,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-faults", metavar="SPEC", default=None,
         help="qamkp-qpu: inject faults, e.g. 'transient=2,storm=0.5,seed=7'",
     )
+    solve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="trace the solve and write the run-ledger JSON (span tree, "
+        "metrics, reconciled totals) to PATH; exits 3 on ledger drift",
+    )
+    solve.add_argument(
+        "--metrics", choices=["json", "prom"], default=None,
+        help="print the metric registry to stdout after the solve "
+        "(json, or Prometheus text exposition)",
+    )
 
     check = sub.add_parser("check", help="verify a k-plex")
     check.add_argument("graph", help="edge-list file")
@@ -145,6 +155,11 @@ def _cmd_solve(args, graph, labels) -> int:
             file=sys.stderr,
         )
         return 2
+    tracer = None
+    if args.trace or args.metrics:
+        from .obs import Tracer
+
+        tracer = Tracer()
     if args.solver == "bruteforce":
         subset = maximum_kplex_bruteforce(graph, args.k)
     elif args.solver == "bs":
@@ -154,6 +169,7 @@ def _cmd_solve(args, graph, labels) -> int:
         subset = qmkp(
             graph, args.k, rng=rng,
             use_cache=not args.no_cache, workers=args.workers,
+            tracer=tracer,
         ).subset
     else:
         from .annealing import EmbeddingError, QPURuntimeExceeded
@@ -172,6 +188,7 @@ def _cmd_solve(args, graph, labels) -> int:
                 solver=backend, seed=args.seed,
                 retries=args.retries, fallback=args.fallback,
                 fault_plan=args.inject_faults,
+                tracer=tracer,
             )
         except (
             EmbeddingError, QPURuntimeExceeded, BudgetExhausted, CircuitOpenError,
@@ -204,6 +221,41 @@ def _cmd_solve(args, graph, labels) -> int:
             )
     print(f"maximum {args.k}-plex size: {len(subset)}")
     print(f"vertices: {_translate(subset, labels)}")
+    if tracer is not None:
+        return _emit_observability(args, tracer)
+    return 0
+
+
+def _emit_observability(args, tracer) -> int:
+    """Write the ledger / print metrics for a traced solve; 3 on drift.
+
+    The drift check is intentionally not best-effort: a traced CLI run
+    that fails to reconcile exits nonzero so CI catches accounting bugs.
+    """
+    import json
+
+    from .obs import RunLedger
+
+    ledger = RunLedger.from_tracer(
+        tracer,
+        meta={
+            "command": "solve",
+            "solver": args.solver,
+            "graph": args.graph,
+            "k": args.k,
+        },
+    )
+    drift = ledger.verify(raise_on_drift=False)
+    if args.trace:
+        ledger.to_json(args.trace)
+    if args.metrics == "json":
+        print(json.dumps(tracer.registry.as_dict(), indent=2, sort_keys=True))
+    elif args.metrics == "prom":
+        print(tracer.registry.render_prometheus(), end="")
+    if drift:
+        for record in drift:
+            print(f"error: ledger drift: {record}", file=sys.stderr)
+        return 3
     return 0
 
 

@@ -30,6 +30,7 @@ from ..annealing import (
 from ..graphs import Graph
 from ..kplex import is_kplex, repair_to_kplex
 from ..milp import solve_qubo_milp
+from ..obs import NULL_TRACER
 from ..resilience import (
     CASCADE_ORDER,
     FallbackCascade,
@@ -106,6 +107,7 @@ def qamkp(
     retries: int = 0,
     fallback: bool = False,
     fault_plan: FaultPlan | str | None = None,
+    tracer=None,
 ) -> QAMKPResult:
     """Solve MKP through the QUBO objective with the chosen backend.
 
@@ -148,16 +150,49 @@ def qamkp(
     otherwise failures raise through unchanged.  Every sampler-backed
     solve validates its sample set (quarantining malformed rows) before
     the decode/repair step.
+
+    ``tracer`` (optional :class:`repro.obs.Tracer`) opens one ``qamkp``
+    root span; resilient solves nest the cascade/attempt spans under it
+    and the span's claims are checked against ``info["resilience"]`` by
+    the run ledger.
     """
     if solver not in _SOLVERS:
         raise ValueError(f"solver must be one of {_SOLVERS}, got {solver!r}")
     if runtime_us <= 0:
         raise ValueError(f"runtime_us must be > 0, got {runtime_us}")
-    model = qubo or build_mkp_qubo(graph, k, penalty)
-    info: dict[str, object] = {}
-
     if fault_plan is not None and solver != "qpu":
         raise ValueError("fault_plan is only supported for solver='qpu'")
+
+    tracer = tracer or NULL_TRACER
+    with tracer.span(
+        "qamkp", n=graph.num_vertices, k=k, solver=solver, runtime_us=runtime_us
+    ) as span:
+        result = _qamkp_body(
+            graph, k, penalty, runtime_us, delta_t_us, solver, qubo, qpu,
+            seed, sa_shot_cost_us, retries, fallback, fault_plan, tracer,
+        )
+        tracer.add("qamkp_solves", 1)
+        span.set("cost", result.cost)
+        span.set("feasible", result.feasible)
+        span.set("repaired_size", result.repaired_size)
+        res = result.info.get("resilience")
+        if isinstance(res, dict):
+            # The cascade already claimed these on its own span; claiming
+            # again here pins the same totals to what the *result* carries,
+            # so a divergence between report and info surfaces as drift.
+            span.claim("resilience_attempts", len(res["attempts"]))
+            span.claim("resilience_faults", len(res["faults"]))
+            span.claim("resilience_charged_us", res["charged_us"])
+            span.claim("resilience_fallback_hops", len(res["fallbacks"]))
+    return result
+
+
+def _qamkp_body(
+    graph, k, penalty, runtime_us, delta_t_us, solver, qubo, qpu,
+    seed, sa_shot_cost_us, retries, fallback, fault_plan, tracer,
+) -> QAMKPResult:
+    model = qubo or build_mkp_qubo(graph, k, penalty)
+    info: dict[str, object] = {}
 
     if solver == "qpu":
         sampler = qpu or SimulatedQPUSampler()
@@ -180,6 +215,7 @@ def qamkp(
                 runtime_us=runtime_us,
                 delta_t_us=delta_t_us,
                 seed=seed,
+                tracer=tracer,
             )
             cost = outcome.cost
             assignment = dict(outcome.assignment)
@@ -190,12 +226,18 @@ def qamkp(
             info["total_runtime_us"] = outcome.report.charged_us
         else:
             shots = max(1, int(round(runtime_us / delta_t_us)))
-            sampleset = sampler.sample(
-                model.bqm,
-                annealing_time_us=delta_t_us,
-                num_reads=shots,
-                seed=seed,
-            )
+            with tracer.span("qamkp.sample", backend="qpu", shots=shots):
+                sampleset = sampler.sample(
+                    model.bqm,
+                    annealing_time_us=delta_t_us,
+                    num_reads=shots,
+                    seed=seed,
+                )
+            if "chain_break_fraction" in sampleset.info:
+                tracer.observe(
+                    "chain_break_fraction",
+                    float(sampleset.info["chain_break_fraction"]),
+                )
             sampleset = _validated(sampleset, model)
             best = sampleset.first
             cost = best.energy
@@ -204,9 +246,10 @@ def qamkp(
     elif solver == "sa":
         sampler = SimulatedAnnealingSampler()
         shots = max(1, int(round(runtime_us / sa_shot_cost_us)))
-        sampleset = sampler.sample(
-            model.bqm, num_reads=shots, num_sweeps=2, seed=seed
-        )
+        with tracer.span("qamkp.sample", backend="sa", shots=shots):
+            sampleset = sampler.sample(
+                model.bqm, num_reads=shots, num_sweeps=2, seed=seed
+            )
         sampleset = _validated(sampleset, model)
         best = sampleset.first
         cost = best.energy
@@ -216,7 +259,10 @@ def qamkp(
     elif solver == "hybrid":
         # Portfolio stage (SA restarts + tabu + descent) ...
         sampler = HybridSampler()
-        sampleset = sampler.sample(model.bqm, time_limit_us=runtime_us, seed=seed)
+        with tracer.span("qamkp.sample", backend="hybrid"):
+            sampleset = sampler.sample(
+                model.bqm, time_limit_us=runtime_us, seed=seed
+            )
         sampleset = _validated(sampleset, model)
         best = sampleset.first
         cost = best.energy
@@ -274,11 +320,13 @@ def cost_versus_runtime(
     delta_t_us: float = 1.0,
     seed: int | None = None,
     qpu: SimulatedQPUSampler | None = None,
+    tracer=None,
 ) -> list[QAMKPResult]:
     """The cost-vs-runtime curves of Figs. 13-14: one solve per budget.
 
     The QUBO (and, for the QPU, the embedding) is built once and shared
-    so the sweep measures sampling budgets, not setup.
+    so the sweep measures sampling budgets, not setup.  With a tracer,
+    each budget's solve contributes its own ``qamkp`` root span.
     """
     model = build_mkp_qubo(graph, k, penalty)
     sampler = qpu or (SimulatedQPUSampler() if solver == "qpu" else None)
@@ -296,6 +344,7 @@ def cost_versus_runtime(
                 qubo=model,
                 qpu=sampler,
                 seed=int(rng.integers(0, 2**31)) if seed is not None else None,
+                tracer=tracer,
             )
         )
     return out

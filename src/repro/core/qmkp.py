@@ -21,6 +21,7 @@ import numpy as np
 
 from ..graphs import Graph, co_prune
 from ..kplex import best_upper_bound
+from ..obs import NULL_TRACER
 from ..perf import MarkedSetCache
 from .oracle import OracleCosts
 from .qtkp import QTKPResult, qtkp
@@ -79,6 +80,7 @@ def qmkp(
     use_cache: bool = True,
     cache: MarkedSetCache | None = None,
     workers: int | None = None,
+    tracer=None,
 ) -> QMKPResult:
     """Find a maximum k-plex by binary search over qTKP.
 
@@ -108,10 +110,63 @@ def qmkp(
     workers:
         Process-pool width for the bit-parallel sweep's chunks (only
         worth it for large ``n``); forwarded to the run-local cache.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Opens a ``qmkp`` root span
+        with one ``qtkp`` child per binary-search probe, routes the
+        marked-set cache's hit/miss accounting through the same span
+        tree, and claims the result's totals (oracle calls, gate units,
+        probe count, cache deltas) so
+        :meth:`repro.obs.RunLedger.verify` can prove them drift-free.
+        None = no-op tracer.
     """
     rng = rng or np.random.default_rng()
+    tracer = tracer or NULL_TRACER
     if cache is None and use_cache:
         cache = MarkedSetCache(workers=workers)
+    with tracer.span(
+        "qmkp", n=graph.num_vertices, k=k, counting=counting
+    ) as span:
+        # Route the cache's accounting through this run's tracer for the
+        # duration (restored after — the cache may be shared across runs).
+        cache_tracer_prev = None
+        stats_before = None
+        if cache is not None:
+            cache_tracer_prev = cache.tracer
+            cache.tracer = tracer
+            stats_before = cache.stats()
+        try:
+            result = _qmkp_body(
+                graph, k, counting, reduce_first, use_upper_bound, rng, cache, tracer
+            )
+        finally:
+            if cache is not None:
+                cache.tracer = cache_tracer_prev
+        span.set("size", result.size)
+        span.claim("oracle_calls", result.oracle_calls)
+        span.claim("gate_units", result.gate_units)
+        span.claim("qtkp_calls", result.qtkp_calls)
+        if stats_before is not None:
+            stats_after = cache.stats()
+            span.claim(
+                "marked_cache_hits", stats_after["hits"] - stats_before["hits"]
+            )
+            span.claim(
+                "marked_cache_misses",
+                stats_after["misses"] - stats_before["misses"],
+            )
+    return result
+
+
+def _qmkp_body(
+    graph: Graph,
+    k: int,
+    counting: str,
+    reduce_first: bool,
+    use_upper_bound: bool,
+    rng: np.random.Generator,
+    cache: MarkedSetCache | None,
+    tracer,
+) -> QMKPResult:
     working = graph
     translate = None
     if reduce_first and graph.num_vertices:
@@ -135,7 +190,9 @@ def qmkp(
 
     while lo <= hi:
         mid = (lo + hi) // 2
-        probe = qtkp(working, k, mid, counting=counting, rng=rng, cache=cache)
+        probe = qtkp(
+            working, k, mid, counting=counting, rng=rng, cache=cache, tracer=tracer
+        )
         probes.append(probe)
         oracle_calls += probe.oracle_calls
         gate_units += probe.gate_units
@@ -145,6 +202,14 @@ def qmkp(
                 best = probe.subset
                 progression.append(
                     ProgressEvent(oracle_calls, gate_units, len(best), mid)
+                )
+                tracer.set(
+                    "progression",
+                    [
+                        [e.cumulative_oracle_calls, e.cumulative_gate_units,
+                         e.size, e.threshold]
+                        for e in progression
+                    ],
                 )
             lo = max(mid, len(probe.subset)) + 1
         else:

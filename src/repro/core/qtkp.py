@@ -31,6 +31,7 @@ from ..grover import (
     optimal_iterations,
 )
 from ..kplex import is_kplex
+from ..obs import NULL_TRACER
 from ..perf import MarkedSetCache
 from ..quantum import quantum_count
 from .oracle import KCplexOracle, OracleCosts
@@ -83,6 +84,7 @@ def qtkp(
     max_attempts: int = 8,
     rng: np.random.Generator | None = None,
     cache: MarkedSetCache | None = None,
+    tracer=None,
 ) -> QTKPResult:
     """Find a k-plex of size at least ``threshold``, or report failure.
 
@@ -109,6 +111,11 @@ def qtkp(
         (one vectorized sweep, shared across thresholds) instead of a
         fresh ``2^n`` Python predicate scan; results are bit-identical
         either way.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Opens one ``qtkp`` span
+        with a child span per Grover execution; oracle calls and gate
+        units are charged at the leaves and the result's totals are
+        claimed for the run-ledger drift check.  None = no-op tracer.
     """
     if not (1 <= threshold <= max(graph.num_vertices, 1)):
         raise ValueError(
@@ -121,6 +128,30 @@ def qtkp(
             f"counting must be 'exact', 'quantum', or 'bbht', got {counting!r}"
         )
     rng = rng or np.random.default_rng()
+    tracer = tracer or NULL_TRACER
+    with tracer.span(
+        "qtkp", n=graph.num_vertices, k=k, threshold=threshold, counting=counting
+    ) as span:
+        result = _qtkp_body(graph, k, threshold, counting, max_attempts, rng, cache, tracer)
+        tracer.add("qtkp_calls", 1)
+        span.set("found", result.found)
+        span.set("size", len(result.subset))
+        span.claim("oracle_calls", result.oracle_calls)
+        span.claim("gate_units", result.gate_units)
+        span.claim("qtkp_attempts", result.attempts)
+    return result
+
+
+def _qtkp_body(
+    graph: Graph,
+    k: int,
+    threshold: int,
+    counting: str,
+    max_attempts: int,
+    rng: np.random.Generator,
+    cache: MarkedSetCache | None,
+    tracer,
+) -> QTKPResult:
     n = graph.num_vertices
     complement = graph.complement()
     oracle = KCplexOracle(complement, k, threshold)
@@ -140,7 +171,11 @@ def qtkp(
     per_round = per_call.total + diffusion_gate_count(n)
 
     if counting == "bbht":
-        result = bbht_search(engine, rng=rng)
+        with tracer.span("qtkp.bbht"):
+            result = bbht_search(engine, rng=rng)
+            tracer.add("oracle_calls", result.oracle_calls)
+            tracer.add("gate_units", result.oracle_calls * per_round)
+            tracer.add("qtkp_attempts", result.rounds)
         subset = (
             graph.bitmask_to_subset(result.mask) if result.found else frozenset()
         )
@@ -160,6 +195,10 @@ def qtkp(
         # The hardware would iterate on the M estimate, measure, and fail
         # verification; charge one full attempt at the smallest schedule.
         iterations = optimal_iterations(1 << n, 1)
+        with tracer.span("qtkp.attempt", attempt=1, empty_marked_set=True):
+            tracer.add("oracle_calls", iterations)
+            tracer.add("gate_units", iterations * per_round)
+            tracer.add("qtkp_attempts", 1)
         return QTKPResult(
             subset=frozenset(),
             found=False,
@@ -177,9 +216,15 @@ def qtkp(
     oracle_calls = 0
     for attempt in range(1, max_attempts + 1):
         oracle_calls += iterations
-        mask = run.measure_once(rng)
-        subset = graph.bitmask_to_subset(mask)
-        if len(subset) >= threshold and is_kplex(graph, subset, k):
+        with tracer.span("qtkp.attempt", attempt=attempt) as attempt_span:
+            tracer.add("oracle_calls", iterations)
+            tracer.add("gate_units", iterations * per_round)
+            tracer.add("qtkp_attempts", 1)
+            mask = run.measure_once(rng)
+            subset = graph.bitmask_to_subset(mask)
+            verified = len(subset) >= threshold and is_kplex(graph, subset, k)
+            attempt_span.set("verified", verified)
+        if verified:
             return QTKPResult(
                 subset=subset,
                 found=True,

@@ -29,6 +29,7 @@ import numpy as np
 from ..graphs import Graph
 from ..grover import PhaseOracleGrover, best_iterations, diffusion_gate_count
 from ..kplex import is_nclan, is_nclub
+from ..obs import NULL_TRACER
 from ..perf import PredicateMaskCache
 
 __all__ = [
@@ -80,6 +81,7 @@ def grover_subset_decision(
     rng: np.random.Generator | None = None,
     max_attempts: int = 8,
     cache: PredicateMaskCache | None = None,
+    tracer=None,
 ) -> SubsetDecisionResult:
     """Find a subset with ``predicate`` true and size >= ``threshold``.
 
@@ -88,6 +90,8 @@ def grover_subset_decision(
     iteration schedule, measure, verify classically, retry.  With a
     :class:`repro.perf.PredicateMaskCache` the marked set is a size
     slice of one precomputed sweep instead of a fresh ``2^n`` scan.
+    ``tracer`` records one ``subset.decision`` span claiming the
+    probe's ``oracle_calls``.
     """
     n = graph.num_vertices
     if n > _MAX_QUBITS:
@@ -97,37 +101,48 @@ def grover_subset_decision(
     if not (1 <= threshold <= max(n, 1)):
         raise ValueError(f"threshold must be in [1, {n}], got {threshold}")
     rng = rng or np.random.default_rng()
+    tracer = tracer or NULL_TRACER
 
     def marked(mask: int) -> bool:
         subset = graph.bitmask_to_subset(mask)
         return len(subset) >= threshold and predicate(subset)
 
-    if cache is not None:
-        engine = PhaseOracleGrover(n, cache.marked(threshold))
-    else:
-        engine = PhaseOracleGrover(n, marked)
-    m = engine.num_marked
-    if m == 0:
-        iterations = best_iterations(1 << n, 1)
-        return SubsetDecisionResult(
-            frozenset(), False, threshold, iterations, iterations, 0, 0.0
-        )
-    iterations = best_iterations(1 << n, m)
-    run = engine.run(iterations)
-    oracle_calls = 0
-    for _attempt in range(max_attempts):
-        oracle_calls += iterations
-        mask = run.measure_once(rng)
-        subset = graph.bitmask_to_subset(mask)
-        if len(subset) >= threshold and predicate(subset):
+    with tracer.span("subset.decision", n=n, threshold=threshold) as span:
+        if cache is not None:
+            engine = PhaseOracleGrover(n, cache.marked(threshold))
+        else:
+            engine = PhaseOracleGrover(n, marked)
+        m = engine.num_marked
+        span.set("num_marked", m)
+        if m == 0:
+            iterations = best_iterations(1 << n, 1)
+            tracer.add("oracle_calls", iterations)
+            span.set("found", False)
+            span.claim("oracle_calls", iterations)
             return SubsetDecisionResult(
-                subset, True, threshold, iterations, oracle_calls,
-                m, run.success_probability,
+                frozenset(), False, threshold, iterations, iterations, 0, 0.0
             )
-    return SubsetDecisionResult(
-        frozenset(), False, threshold, iterations, oracle_calls,
-        m, run.success_probability,
-    )
+        iterations = best_iterations(1 << n, m)
+        run = engine.run(iterations)
+        oracle_calls = 0
+        for _attempt in range(max_attempts):
+            oracle_calls += iterations
+            tracer.add("oracle_calls", iterations)
+            mask = run.measure_once(rng)
+            subset = graph.bitmask_to_subset(mask)
+            if len(subset) >= threshold and predicate(subset):
+                span.set("found", True)
+                span.claim("oracle_calls", oracle_calls)
+                return SubsetDecisionResult(
+                    subset, True, threshold, iterations, oracle_calls,
+                    m, run.success_probability,
+                )
+        span.set("found", False)
+        span.claim("oracle_calls", oracle_calls)
+        return SubsetDecisionResult(
+            frozenset(), False, threshold, iterations, oracle_calls,
+            m, run.success_probability,
+        )
 
 
 def grover_maximum_subset(
@@ -136,6 +151,7 @@ def grover_maximum_subset(
     rng: np.random.Generator | None = None,
     upper_bound: int | None = None,
     use_cache: bool = True,
+    tracer=None,
 ) -> SubsetSearchResult:
     """Binary search for the largest subset satisfying ``predicate``.
 
@@ -145,28 +161,38 @@ def grover_maximum_subset(
     threshold-independent, it is evaluated over the ``2^n`` subsets
     once (``use_cache``, the default) and every probe reuses the
     size-partitioned result; ``False`` re-scans per probe (seed path).
+    ``tracer`` opens one ``subset_search`` root span over the per-probe
+    ``subset.decision`` spans; its ``oracle_calls`` claim is the
+    result's total.
     """
     rng = rng or np.random.default_rng()
+    tracer = tracer or NULL_TRACER
     n = graph.num_vertices
     if n == 0:
         return SubsetSearchResult(frozenset(), 0)
-    cache = PredicateMaskCache(graph, predicate) if use_cache else None
-    lo, hi = 1, upper_bound if upper_bound is not None else n
-    hi = max(1, min(hi, n))
-    best: frozenset[int] = frozenset()
-    probes: list[SubsetDecisionResult] = []
-    oracle_calls = 0
-    while lo <= hi:
-        mid = (lo + hi) // 2
-        probe = grover_subset_decision(graph, predicate, mid, rng=rng, cache=cache)
-        probes.append(probe)
-        oracle_calls += probe.oracle_calls
-        if probe.found:
-            if len(probe.subset) > len(best):
-                best = probe.subset
-            lo = max(mid, len(probe.subset)) + 1
-        else:
-            hi = mid - 1
+    with tracer.span("subset_search", n=n) as span:
+        cache = PredicateMaskCache(graph, predicate) if use_cache else None
+        lo, hi = 1, upper_bound if upper_bound is not None else n
+        hi = max(1, min(hi, n))
+        best: frozenset[int] = frozenset()
+        probes: list[SubsetDecisionResult] = []
+        oracle_calls = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            probe = grover_subset_decision(
+                graph, predicate, mid, rng=rng, cache=cache, tracer=tracer
+            )
+            probes.append(probe)
+            oracle_calls += probe.oracle_calls
+            if probe.found:
+                if len(probe.subset) > len(best):
+                    best = probe.subset
+                lo = max(mid, len(probe.subset)) + 1
+            else:
+                hi = mid - 1
+        span.set("size", len(best))
+        span.set("probes", len(probes))
+        span.claim("oracle_calls", oracle_calls)
     return SubsetSearchResult(best, oracle_calls, probes)
 
 

@@ -11,6 +11,7 @@ share them freely without defensive copies.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator
 
 __all__ = ["Graph"]
@@ -195,6 +196,25 @@ class Graph:
         popcount, with no set objects built per call.
         """
         return (self.adjacency_masks()[v] & mask).bit_count()
+
+    def fingerprint(self) -> str:
+        """Structural digest: SHA-256 over ``n`` and the canonical edge set.
+
+        Two graphs have equal fingerprints iff they are structurally
+        identical (same ``n``, same edges), regardless of construction
+        history or object identity — the right cache key for anything
+        derived from the structure alone (e.g. the bit-parallel
+        marked-set tables).  Deliberately **not** cached on the
+        instance: it is recomputed from the live edge set on every
+        call, so even if internals are mutated behind the type's back
+        (the class is immutable by convention, but Python cannot
+        enforce it) a stale precomputed value can never be served.
+        """
+        h = hashlib.sha256()
+        h.update(b"n=%d;" % self._n)
+        for u, v in sorted(self._edges):
+            h.update(b"%d,%d;" % (u, v))
+        return h.hexdigest()
 
     def remove_vertices(self, drop: Iterable[int]) -> tuple["Graph", list[int]]:
         """Remove ``drop`` and return ``(subgraph, kept_vertex_ids)``.

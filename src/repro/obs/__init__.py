@@ -1,0 +1,32 @@
+"""Observability: span tracing, metrics, and the zero-drift run ledger.
+
+Substrate layer (like ``repro.graphs``): imported by every stack above
+it, imports nothing inside ``repro`` itself.  Three pieces:
+
+* :mod:`repro.obs.tracer` — nested spans with additive metric
+  contributions and claims; ``NULL_TRACER`` is the near-zero-overhead
+  default everywhere, so tracing is strictly opt-in;
+* :mod:`repro.obs.metrics` — a process-local counter/gauge/histogram
+  registry exportable as JSON or Prometheus text;
+* :mod:`repro.obs.ledger` — the run ledger assembled from a tracer,
+  whose ``verify()`` reconciles span totals against the numbers the
+  result objects report and fails loudly on any drift.
+"""
+
+from .ledger import DriftRecord, LedgerDriftError, RunLedger
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DriftRecord",
+    "Gauge",
+    "Histogram",
+    "LedgerDriftError",
+    "MetricRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunLedger",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,198 @@
+"""The run ledger: one JSON document, zero drift.
+
+A :class:`RunLedger` is assembled from a :class:`~repro.obs.tracer.Tracer`
+after a run.  It contains the span tree, the metric registry snapshot,
+and the aggregate totals — and, crucially, :meth:`RunLedger.verify`,
+which recomputes every **claim** (a total asserted by the instrumented
+code's own result objects: ``QMKPResult.oracle_calls``,
+``QTKPResult.gate_units``, ``ResilienceReport`` attempt counts,
+``MarkedSetCache.stats()`` deltas) from the span tree's additive
+contributions and fails loudly on any mismatch.
+
+Integral quantities must reconcile **bit-for-bit**; float quantities
+(budget microseconds) within 1e-9 relative tolerance, since their
+reference values are built by a different summation order.  The ledger
+also cross-checks the registry: every counter must equal the span
+tree's total for that name (contributions recorded outside any span are
+kept as ``orphan_metrics`` and included), so a stray
+``registry.counter(...).inc()`` that bypasses ``tracer.add`` is caught
+too.
+
+Turning the tracer on therefore *is* an accounting audit: any future
+change that makes a result object and the observed execution disagree
+breaks ``verify()`` in tests and CI instead of silently shipping wrong
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from .metrics import MetricRegistry
+from .tracer import Span, Tracer
+
+__all__ = ["DriftRecord", "LedgerDriftError", "RunLedger"]
+
+SCHEMA = "repro.obs/run-ledger/v1"
+
+#: Tolerance for float-valued claims (see module docstring).
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class DriftRecord:
+    """One reconciliation failure."""
+
+    where: str       # span path, e.g. "qmkp/qtkp[2]", or "registry"
+    metric: str
+    claimed: float   # what the result object / claim asserted
+    observed: float  # what the span tree actually accumulated
+
+    def __str__(self) -> str:
+        return (
+            f"{self.where}: {self.metric} claimed={self.claimed!r} "
+            f"observed={self.observed!r} (drift={self.observed - self.claimed!r})"
+        )
+
+
+class LedgerDriftError(RuntimeError):
+    """Raised by :meth:`RunLedger.verify` when any claim fails to reconcile."""
+
+    def __init__(self, drift: list[DriftRecord]) -> None:
+        self.drift = drift
+        lines = "\n  ".join(str(d) for d in drift)
+        super().__init__(
+            f"run ledger failed to reconcile ({len(drift)} drift record(s)):\n  {lines}"
+        )
+
+
+def _values_match(claimed: float, observed: float) -> bool:
+    cf, of = float(claimed), float(observed)
+    if cf.is_integer() and of.is_integer():
+        return cf == of
+    return math.isclose(cf, of, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+
+
+class RunLedger:
+    """Span tree + metrics + totals, reconciled into one document."""
+
+    def __init__(
+        self,
+        roots: list[Span],
+        registry: MetricRegistry | None = None,
+        orphan_metrics: dict[str, float] | None = None,
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        self.roots = list(roots)
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.orphan_metrics = dict(orphan_metrics or {})
+        self.meta = dict(meta or {})
+
+    @classmethod
+    def from_tracer(
+        cls, tracer: Tracer, meta: dict[str, object] | None = None
+    ) -> "RunLedger":
+        return cls(
+            roots=tracer.roots,
+            registry=tracer.registry,
+            orphan_metrics=tracer.orphan_metrics,
+            meta=meta,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def metric_names(self) -> set[str]:
+        names = set(self.orphan_metrics)
+        for root in self.roots:
+            names |= root.metric_names()
+        return names
+
+    def total(self, metric: str) -> float:
+        """Whole-document total for ``metric`` (all roots + orphans)."""
+        total = self.orphan_metrics.get(metric, 0)
+        for root in self.roots:
+            total += root.subtree_total(metric)
+        return total
+
+    def totals(self) -> dict[str, float]:
+        return {name: self.total(name) for name in sorted(self.metric_names())}
+
+    def find(self, name: str) -> Span | None:
+        """First span named ``name`` across the roots, pre-order."""
+        for root in self.roots:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self, raise_on_drift: bool = True) -> list[DriftRecord]:
+        """Reconcile every claim and the registry; return drift records.
+
+        With ``raise_on_drift`` (the default) a non-empty result raises
+        :class:`LedgerDriftError` instead — "fails loudly" is the whole
+        point of the ledger.
+        """
+        drift: list[DriftRecord] = []
+        for root in self.roots:
+            self._verify_span(root, root.name, drift)
+        self._verify_registry(drift)
+        if drift and raise_on_drift:
+            raise LedgerDriftError(drift)
+        return drift
+
+    def _verify_span(self, span: Span, path: str, drift: list[DriftRecord]) -> None:
+        for metric, claimed in span.claims.items():
+            observed = span.subtree_total(metric)
+            if not _values_match(claimed, observed):
+                drift.append(DriftRecord(path, metric, claimed, observed))
+        counts: dict[str, int] = {}
+        for child in span.children:
+            counts[child.name] = counts.get(child.name, 0) + 1
+            seq = counts[child.name] - 1
+            self._verify_span(child, f"{path}/{child.name}[{seq}]", drift)
+
+    def _verify_registry(self, drift: list[DriftRecord]) -> None:
+        """Every registry counter must equal the span-tree total."""
+        tree_names = self.metric_names()
+        for name, value in self.registry.counters().items():
+            observed = self.total(name) if name in tree_names else 0
+            if not _values_match(value, observed):
+                drift.append(DriftRecord("registry", name, value, observed))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        drift = self.verify(raise_on_drift=False)
+        return {
+            "schema": SCHEMA,
+            "meta": dict(self.meta),
+            "verified": not drift,
+            "drift": [
+                {
+                    "where": d.where,
+                    "metric": d.metric,
+                    "claimed": d.claimed,
+                    "observed": d.observed,
+                }
+                for d in drift
+            ],
+            "totals": self.totals(),
+            "orphan_metrics": dict(self.orphan_metrics),
+            "metrics": self.registry.as_dict(),
+            "spans": [root.as_dict() for root in self.roots],
+        }
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write the ledger document; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path

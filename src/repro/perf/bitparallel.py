@@ -30,6 +30,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..graphs import Graph
+from ..obs import NULL_TRACER
 
 __all__ = [
     "MAX_VERTICES",
@@ -106,6 +107,7 @@ def _enumerate(
     k: int,
     chunk_masks: int | None,
     workers: int | None,
+    tracer=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -113,6 +115,7 @@ def _enumerate(
         raise ValueError(
             f"bit-parallel enumeration supports n <= {MAX_VERTICES}, got {num_vertices}"
         )
+    tracer = tracer or NULL_TRACER
     num_masks = 1 << num_vertices
     size = _chunk_size(num_masks, chunk_masks)
     spans = [(s, min(s + size, num_masks)) for s in range(0, num_masks, size)]
@@ -123,8 +126,16 @@ def _enumerate(
         jobs = [(tuple(adj_masks), limit, s, e) for s, e in spans]
         with multiprocessing.Pool(min(workers, len(spans))) as pool:
             parts = pool.map(_chunk_worker, jobs)
+        # Pool workers are separate processes: charge their chunk scans
+        # in aggregate on this side of the fork.
+        tracer.add("perf_chunks_scanned", len(spans))
+        tracer.add("perf_masks_scanned", num_masks)
     else:
-        parts = [_enumerate_chunk(adj_masks, limit, s, e) for s, e in spans]
+        parts = []
+        for s, e in spans:
+            parts.append(_enumerate_chunk(adj_masks, limit, s, e))
+            tracer.add("perf_chunks_scanned", 1)
+            tracer.add("perf_masks_scanned", e - s)
     masks = np.concatenate([p[0] for p in parts])
     sizes = np.concatenate([p[1] for p in parts])
     return masks.astype(np.int64), sizes
@@ -135,6 +146,7 @@ def kcplex_masks(
     k: int,
     chunk_masks: int | None = None,
     workers: int | None = None,
+    tracer=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """All bitmasks whose subsets are k-cplexes of ``graph``.
 
@@ -151,8 +163,14 @@ def kcplex_masks(
         Masks per chunk; default keeps chunk temporaries near 64 MB.
     workers:
         Process-pool width for chunk fan-out (None / 1 = in-process).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; chunk/mask scan counts are
+        charged to the current span (``perf_chunks_scanned``,
+        ``perf_masks_scanned``).
     """
-    return _enumerate(graph.adjacency_masks(), graph.num_vertices, k, chunk_masks, workers)
+    return _enumerate(
+        graph.adjacency_masks(), graph.num_vertices, k, chunk_masks, workers, tracer
+    )
 
 
 def kplex_masks(
@@ -160,6 +178,7 @@ def kplex_masks(
     k: int,
     chunk_masks: int | None = None,
     workers: int | None = None,
+    tracer=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """All bitmasks whose subsets are k-plexes of ``graph``.
 
@@ -168,5 +187,6 @@ def kplex_masks(
     construction the oracle path performs.
     """
     return _enumerate(
-        graph.complement_adjacency_masks(), graph.num_vertices, k, chunk_masks, workers
+        graph.complement_adjacency_masks(), graph.num_vertices, k,
+        chunk_masks, workers, tracer,
     )

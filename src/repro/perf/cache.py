@@ -13,9 +13,10 @@ answers every threshold probe with a suffix lookup:
 * :class:`MarkedSetTable` — the masks sorted by size with per-size
   offsets, so "all marked masks of size >= T" is an O(1) array slice
   and "how many" is a suffix-sum read;
-* :class:`MarkedSetCache` — a small LRU over tables keyed on
-  ``(graph, k)``, shared across the probes of one qMKP run (and across
-  runs, if the caller keeps the cache);
+* :class:`MarkedSetCache` — a small LRU over tables keyed on the
+  graph's **structural fingerprint** and ``k``, shared across the
+  probes of one qMKP run (and across runs, if the caller keeps the
+  cache);
 * :class:`PredicateMaskCache` — the same size partition for black-box
   subset predicates (``subset_search``), where the predicate itself
   cannot be vectorized but *can* be evaluated once instead of once per
@@ -30,6 +31,7 @@ from collections.abc import Callable
 import numpy as np
 
 from ..graphs import Graph
+from ..obs import NULL_TRACER
 from .bitparallel import kplex_masks
 
 __all__ = ["MarkedSetTable", "MarkedSetCache", "PredicateMaskCache"]
@@ -92,12 +94,21 @@ class MarkedSetTable:
 
 
 class MarkedSetCache:
-    """LRU cache of :class:`MarkedSetTable` keyed on ``(graph, k)``.
+    """LRU cache of :class:`MarkedSetTable` keyed on graph structure.
 
     One instance is typically created per qMKP run (the default) so the
     O(log n) threshold probes share a single bit-parallel sweep; a
     longer-lived instance additionally shares tables across runs on the
     same graph.
+
+    Keys are ``(graph.fingerprint(), k)`` — an immutable structural
+    digest, not the graph object.  Two consequences, both deliberate:
+    a structurally identical graph built twice (or round-tripped
+    through IO) hits the same table, and a graph whose internals are
+    mutated after insertion recomputes instead of serving a stale
+    marked set, because the fingerprint is re-derived from the live
+    edge set at every lookup.  The cache also holds no reference to
+    the graph, so it never extends graph lifetimes.
 
     Parameters
     ----------
@@ -105,6 +116,11 @@ class MarkedSetCache:
         Tables kept before least-recently-used eviction.
     chunk_masks, workers:
         Forwarded to :func:`repro.perf.bitparallel.kplex_masks`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; hit/miss accounting and the
+        sweep span are recorded through it.  ``qmkp`` re-points this at
+        its own tracer for the duration of a traced run, so a shared
+        cache's activity lands in the right ledger.
     """
 
     def __init__(
@@ -112,31 +128,38 @@ class MarkedSetCache:
         max_entries: int = 8,
         chunk_masks: int | None = None,
         workers: int | None = None,
+        tracer=None,
     ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.chunk_masks = chunk_masks
         self.workers = workers
+        self.tracer = tracer or NULL_TRACER
         self.hits = 0
         self.misses = 0
-        self._tables: OrderedDict[tuple[Graph, int], MarkedSetTable] = OrderedDict()
+        self._tables: OrderedDict[tuple[str, int], MarkedSetTable] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._tables)
 
     def table(self, graph: Graph, k: int) -> MarkedSetTable:
         """The k-plex mask table for ``(graph, k)``, computing it on miss."""
-        key = (graph, k)
+        key = (graph.fingerprint(), k)
         table = self._tables.get(key)
         if table is not None:
             self.hits += 1
+            self.tracer.add("marked_cache_hits", 1)
             self._tables.move_to_end(key)
             return table
         self.misses += 1
-        masks, sizes = kplex_masks(
-            graph, k, chunk_masks=self.chunk_masks, workers=self.workers
-        )
+        self.tracer.add("marked_cache_misses", 1)
+        with self.tracer.span("perf.sweep", n=graph.num_vertices, k=k) as span:
+            masks, sizes = kplex_masks(
+                graph, k, chunk_masks=self.chunk_masks, workers=self.workers,
+                tracer=self.tracer,
+            )
+            span.set("num_marked", int(masks.size))
         table = MarkedSetTable(graph.num_vertices, masks, sizes)
         self._tables[key] = table
         while len(self._tables) > self.max_entries:

@@ -29,12 +29,14 @@ from ..annealing.sampleset import SampleSet
 from ..annealing.tabu import tabu_search
 from ..graphs import Graph
 from ..kplex import greedy_kplex
+from ..obs import NULL_TRACER
 from .retry import (
     AttemptRecord,
     CircuitBreaker,
     ResilienceReport,
     ResilientSampler,
     RetryPolicy,
+    _attempt_accounting,
 )
 
 __all__ = ["CascadeOutcome", "FallbackCascade", "CASCADE_ORDER"]
@@ -107,27 +109,63 @@ class FallbackCascade:
         runtime_us: float,
         delta_t_us: float = 1.0,
         seed: int | None = None,
+        tracer=None,
     ) -> CascadeOutcome:
         """Solve ``model`` (an ``MkpQubo``-shaped object) down the ladder.
 
         ``model`` needs ``bqm``, ``decode`` and ``optimal_slack`` — the
         cascade never imports :mod:`repro.core`, keeping the dependency
-        arrows pointing down.
+        arrows pointing down.  ``tracer`` (optional
+        :class:`repro.obs.Tracer`) wraps the walk in one
+        ``resilience.cascade`` span whose claims are checked against the
+        final :class:`ResilienceReport` — including on the re-raise
+        path, so failed cascades still reconcile.
         """
+        tracer = tracer or NULL_TRACER
         report = ResilienceReport(budget_us=float(runtime_us))
+        with tracer.span(
+            "resilience.cascade", backends=list(self.backends)
+        ) as cascade_span:
+            try:
+                return self._walk(
+                    model, graph, k, delta_t_us, seed, report, tracer
+                )
+            finally:
+                cascade_span.set("final_backend", report.final_backend)
+                cascade_span.set("breaker_state", report.breaker_state)
+                cascade_span.claim("resilience_attempts", len(report.attempts))
+                cascade_span.claim(
+                    "resilience_retries",
+                    sum(1 for a in report.attempts if a.attempt > 0),
+                )
+                cascade_span.claim("resilience_faults", len(report.faults))
+                cascade_span.claim("resilience_charged_us", report.charged_us)
+                cascade_span.claim(
+                    "resilience_fallback_hops", len(report.fallbacks)
+                )
+
+    def _walk(
+        self, model, graph, k, delta_t_us, seed, report, tracer
+    ) -> CascadeOutcome:
         last_error: Exception | None = None
         for rung, backend in enumerate(self.backends):
             if rung > 0:
                 report.fallbacks.append(backend)
+                tracer.add("resilience_fallback_hops", 1)
             try:
-                if backend == "qpu":
-                    result = self._qpu_rung(model.bqm, delta_t_us, seed, report)
-                elif backend == "sa":
-                    result = self._sa_rung(model.bqm, seed, report)
-                elif backend == "tabu":
-                    result = self._tabu_rung(model, graph, k, seed, report)
-                else:
-                    result = self._greedy_rung(model, graph, k, report)
+                with tracer.span("resilience.rung", backend=backend, rung=rung):
+                    if backend == "qpu":
+                        result = self._qpu_rung(
+                            model.bqm, delta_t_us, seed, report, tracer
+                        )
+                    elif backend == "sa":
+                        result = self._sa_rung(model.bqm, seed, report, tracer)
+                    elif backend == "tabu":
+                        result = self._tabu_rung(
+                            model, graph, k, seed, report, tracer
+                        )
+                    else:
+                        result = self._greedy_rung(model, graph, k, report, tracer)
             except Exception as exc:  # every rung failure cascades down
                 last_error = exc
                 continue
@@ -143,7 +181,7 @@ class FallbackCascade:
     # ------------------------------------------------------------------
     # Rungs
     # ------------------------------------------------------------------
-    def _qpu_rung(self, bqm, delta_t_us, seed, report):
+    def _qpu_rung(self, bqm, delta_t_us, seed, report, tracer):
         if self.qpu_sampler is None:
             raise RuntimeError("no qpu sampler configured")
         reads = max(1, int(round(report.remaining_us / delta_t_us)))
@@ -157,11 +195,12 @@ class FallbackCascade:
             runtime_budget_us=report.remaining_us,
             seed=seed,
             report=report,
+            tracer=tracer,
         )
         best = sampleset.first
         return dict(best.assignment), float(best.energy), sampleset
 
-    def _sa_rung(self, bqm, seed, report):
+    def _sa_rung(self, bqm, seed, report, tracer):
         shots = int(report.remaining_us // self.sa_shot_cost_us)
         record = AttemptRecord(
             backend="sa",
@@ -171,25 +210,28 @@ class FallbackCascade:
             outcome="rejected",
         )
         report.attempts.append(record)
-        if shots < 1:
-            record.fault = "budget_exhausted"
-            raise RuntimeError("no budget left for the sa rung")
-        try:
-            sampleset = SimulatedAnnealingSampler().sample(
-                bqm, num_reads=shots, num_sweeps=self.sa_sweeps, seed=seed
-            )
-        except Exception:
-            record.outcome = "fault"
-            record.fault = "sa_error"
-            raise
-        charged = min(shots * self.sa_shot_cost_us, report.remaining_us)
-        record.charged_us = charged
-        report.charge(charged)
-        record.outcome = "ok"
-        best = sampleset.first
-        return dict(best.assignment), float(best.energy), sampleset
+        with tracer.span(
+            "resilience.attempt", backend="sa", attempt=0
+        ) as span, _attempt_accounting(tracer, span, record):
+            if shots < 1:
+                record.fault = "budget_exhausted"
+                raise RuntimeError("no budget left for the sa rung")
+            try:
+                sampleset = SimulatedAnnealingSampler().sample(
+                    bqm, num_reads=shots, num_sweeps=self.sa_sweeps, seed=seed
+                )
+            except Exception:
+                record.outcome = "fault"
+                record.fault = "sa_error"
+                raise
+            charged = min(shots * self.sa_shot_cost_us, report.remaining_us)
+            record.charged_us = charged
+            report.charge(charged)
+            record.outcome = "ok"
+            best = sampleset.first
+            return dict(best.assignment), float(best.energy), sampleset
 
-    def _tabu_rung(self, model, graph, k, seed, report):
+    def _tabu_rung(self, model, graph, k, seed, report, tracer):
         record = AttemptRecord(
             backend="tabu",
             attempt=0,
@@ -198,24 +240,27 @@ class FallbackCascade:
             outcome="rejected",
         )
         report.attempts.append(record)
-        try:
-            # Warm-start from the greedy k-plex: tabu then only ever
-            # improves on the rung below it, keeping the ladder monotone.
-            initial = model.optimal_slack(greedy_kplex(graph, k))
-            assignment, energy = tabu_search(
-                model.bqm,
-                initial=initial,
-                iterations=self.tabu_iterations,
-                seed=seed,
-            )
-        except Exception:
-            record.outcome = "fault"
-            record.fault = "tabu_error"
-            raise
-        record.outcome = "ok"
-        return assignment, float(energy), None
+        with tracer.span(
+            "resilience.attempt", backend="tabu", attempt=0
+        ) as span, _attempt_accounting(tracer, span, record):
+            try:
+                # Warm-start from the greedy k-plex: tabu then only ever
+                # improves on the rung below it, keeping the ladder monotone.
+                initial = model.optimal_slack(greedy_kplex(graph, k))
+                assignment, energy = tabu_search(
+                    model.bqm,
+                    initial=initial,
+                    iterations=self.tabu_iterations,
+                    seed=seed,
+                )
+            except Exception:
+                record.outcome = "fault"
+                record.fault = "tabu_error"
+                raise
+            record.outcome = "ok"
+            return assignment, float(energy), None
 
-    def _greedy_rung(self, model, graph, k, report):
+    def _greedy_rung(self, model, graph, k, report, tracer):
         record = AttemptRecord(
             backend="greedy",
             attempt=0,
@@ -224,6 +269,9 @@ class FallbackCascade:
             outcome="ok",
         )
         report.attempts.append(record)
-        subset = greedy_kplex(graph, k)
-        assignment = model.optimal_slack(subset)
-        return dict(assignment), float(model.bqm.energy(assignment)), None
+        with tracer.span(
+            "resilience.attempt", backend="greedy", attempt=0
+        ) as span, _attempt_accounting(tracer, span, record):
+            subset = greedy_kplex(graph, k)
+            assignment = model.optimal_slack(subset)
+            return dict(assignment), float(model.bqm.energy(assignment)), None

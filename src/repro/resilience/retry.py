@@ -28,6 +28,7 @@ transitions — is recorded in a :class:`ResilienceReport`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +36,7 @@ import numpy as np
 from ..annealing.embedding import EmbeddingError
 from ..annealing.qpu import QPURuntimeExceeded
 from ..annealing.sampleset import SampleSet
+from ..obs import NULL_TRACER
 from .faults import TransientSamplerError
 from .validation import validate_sampleset
 
@@ -191,6 +193,39 @@ class ResilienceReport:
         }
 
 
+@contextmanager
+def _attempt_accounting(tracer, span, record: AttemptRecord):
+    """Charge one attempt's record to its span on *every* exit path.
+
+    Entered alongside the ``resilience.attempt`` span (and exited
+    before it, so the span is still current), this guarantees the
+    accounting below runs whether the attempt succeeds, ``continue``s
+    into a retry, ``break``s on budget exhaustion, or raises — the
+    one-record-one-span invariant :meth:`repro.obs.RunLedger.verify`
+    reconciles against :class:`ResilienceReport`.
+    """
+    try:
+        yield
+    finally:
+        _charge_attempt_span(tracer, span, record)
+
+
+def _charge_attempt_span(tracer, span, record: AttemptRecord) -> None:
+    """Mirror one finished :class:`AttemptRecord` into its span."""
+    span.set("outcome", record.outcome)
+    if record.fault:
+        span.set("fault", record.fault)
+        tracer.add("resilience_faults", 1)
+    tracer.add("resilience_attempts", 1)
+    if record.attempt > 0:
+        tracer.add("resilience_retries", 1)
+    charged = record.charged_us + record.backoff_us
+    if charged:
+        tracer.add("resilience_charged_us", charged)
+    if record.quarantined_rows:
+        tracer.add("resilience_quarantined_rows", record.quarantined_rows)
+
+
 class ResilientSampler:
     """Budgeted retry loop around a QPU-style sampler.
 
@@ -231,6 +266,7 @@ class ResilientSampler:
         seed: int | None = None,
         report: ResilienceReport | None = None,
         backend: str = "qpu",
+        tracer=None,
         **kwargs,
     ) -> tuple[SampleSet, ResilienceReport]:
         """Sample under a total runtime budget; returns (result, report).
@@ -239,7 +275,12 @@ class ResilientSampler:
         num_reads`` (the single-call budget).  On unrecoverable failure
         the last exception is re-raised — with the report attached as
         ``exc.resilience_report`` — so cascades can keep the history.
+        ``tracer`` (optional :class:`repro.obs.Tracer`) records one
+        ``resilience.attempt`` span per :class:`AttemptRecord`, with the
+        attempt/retry/fault counts and budget charges as additive
+        metrics the run ledger reconciles against this report.
         """
+        tracer = tracer or NULL_TRACER
         if report is None:
             report = ResilienceReport(
                 budget_us=(
@@ -274,113 +315,118 @@ class ResilientSampler:
             )
             report.attempts.append(record)
 
-            if reads < 1:
-                record.fault = "budget_exhausted"
-                last_error = BudgetExhausted(
-                    f"runtime budget {report.budget_us} us exhausted after "
-                    f"{report.charged_us:.1f} us across {attempt} attempt(s)"
-                )
-                break
-            if not self.breaker.allow():
-                record.fault = "circuit_open"
-                last_error = CircuitOpenError(
-                    f"circuit open after {self.breaker.consecutive_failures} "
-                    "consecutive failures"
-                )
-                continue
-
-            attempt_seed = None if seed is None else seed + 1009 * attempt
-            try:
-                result = self.inner.sample(
-                    bqm,
-                    annealing_time_us=annealing_time_us,
-                    num_reads=reads,
-                    seed=attempt_seed,
-                    **kwargs,
-                )
-            except TransientSamplerError as exc:
-                # The submission never reached the anneal stage, so no
-                # QPU time is charged — the backoff waits before the
-                # retries are what this fault costs the budget.
-                record.outcome = "fault"
-                record.fault = "transient"
-                self.breaker.record_failure()
-                last_error = exc
-                continue
-            except QPURuntimeExceeded as exc:
-                # Rejected before running — nothing charged; retry with
-                # the cap re-read in case the wrapper misreported it.
-                record.outcome = "fault"
-                record.fault = "runtime_exceeded"
-                self.breaker.record_failure()
-                last_error = exc
-                cap = (
-                    getattr(exc, "cap_us", None)
-                    or getattr(self.inner, "max_call_time_us", None)
-                    or reads * annealing_time_us / 2.0
-                )
-                continue
-            except EmbeddingError as exc:
-                # Permanent for this (problem, chip) pair: retrying the
-                # identical embed cannot succeed.  Surface immediately.
-                record.outcome = "fault"
-                record.fault = "embedding"
-                self.breaker.record_failure()
-                report.breaker_state = self.breaker.state
-                exc.resilience_report = report
-                raise
-
-            # The per-call deadline cuts execution at the budget
-            # boundary, so a latency spike can cost at most what is
-            # left in the pool.
-            charged = min(
-                float(result.info.get("total_runtime_us", reads * annealing_time_us)),
-                report.remaining_us,
-            )
-            record.charged_us = charged
-            report.charge(charged)
-
-            if self.validate:
-                result, vreport = validate_sampleset(result, bqm)
-                record.quarantined_rows = vreport.quarantined_rows
-                if not result.samples:
-                    record.outcome = "fault"
-                    record.fault = "all_quarantined"
-                    self.breaker.record_failure()
-                    last_error = ValueError(
-                        "every sample row was quarantined by validation"
+            with tracer.span(
+                "resilience.attempt", backend=backend, attempt=attempt
+            ) as attempt_span, _attempt_accounting(tracer, attempt_span, record):
+                if reads < 1:
+                    record.fault = "budget_exhausted"
+                    last_error = BudgetExhausted(
+                        f"runtime budget {report.budget_us} us exhausted after "
+                        f"{report.charged_us:.1f} us across {attempt} attempt(s)"
+                    )
+                    break
+                if not self.breaker.allow():
+                    record.fault = "circuit_open"
+                    last_error = CircuitOpenError(
+                        f"circuit open after {self.breaker.consecutive_failures} "
+                        "consecutive failures"
                     )
                     continue
 
-            cbf = float(result.info.get("chain_break_fraction", 0.0))
-            if cbf > self.policy.chain_break_retry_threshold:
-                # A storm: the samples are noise-dominated.  Keep the
-                # best-so-far in case every retry storms too, but retry.
-                record.outcome = "degraded"
-                record.fault = "chain_break_storm"
-                if (
-                    degraded_best is None
-                    or result.lowest_energy < degraded_best.lowest_energy
-                ):
-                    degraded_best = result
-                self.breaker.record_failure()
-                last_error = RuntimeError(
-                    f"chain break fraction {cbf:.2f} exceeds "
-                    f"{self.policy.chain_break_retry_threshold}"
-                )
-                continue
+                attempt_seed = None if seed is None else seed + 1009 * attempt
+                try:
+                    result = self.inner.sample(
+                        bqm,
+                        annealing_time_us=annealing_time_us,
+                        num_reads=reads,
+                        seed=attempt_seed,
+                        **kwargs,
+                    )
+                except TransientSamplerError as exc:
+                    # The submission never reached the anneal stage, so no
+                    # QPU time is charged — the backoff waits before the
+                    # retries are what this fault costs the budget.
+                    record.outcome = "fault"
+                    record.fault = "transient"
+                    self.breaker.record_failure()
+                    last_error = exc
+                    continue
+                except QPURuntimeExceeded as exc:
+                    # Rejected before running — nothing charged; retry with
+                    # the cap re-read in case the wrapper misreported it.
+                    record.outcome = "fault"
+                    record.fault = "runtime_exceeded"
+                    self.breaker.record_failure()
+                    last_error = exc
+                    cap = (
+                        getattr(exc, "cap_us", None)
+                        or getattr(self.inner, "max_call_time_us", None)
+                        or reads * annealing_time_us / 2.0
+                    )
+                    continue
+                except EmbeddingError as exc:
+                    # Permanent for this (problem, chip) pair: retrying the
+                    # identical embed cannot succeed.  Surface immediately.
+                    record.outcome = "fault"
+                    record.fault = "embedding"
+                    self.breaker.record_failure()
+                    report.breaker_state = self.breaker.state
+                    exc.resilience_report = report
+                    raise
 
-            record.outcome = "ok"
-            self.breaker.record_success()
-            report.final_backend = backend
-            report.breaker_state = self.breaker.state
-            return result, report
+                # The per-call deadline cuts execution at the budget
+                # boundary, so a latency spike can cost at most what is
+                # left in the pool.
+                charged = min(
+                    float(result.info.get("total_runtime_us", reads * annealing_time_us)),
+                    report.remaining_us,
+                )
+                record.charged_us = charged
+                report.charge(charged)
+
+                if self.validate:
+                    result, vreport = validate_sampleset(result, bqm)
+                    record.quarantined_rows = vreport.quarantined_rows
+                    if not result.samples:
+                        record.outcome = "fault"
+                        record.fault = "all_quarantined"
+                        self.breaker.record_failure()
+                        last_error = ValueError(
+                            "every sample row was quarantined by validation"
+                        )
+                        continue
+
+                cbf = float(result.info.get("chain_break_fraction", 0.0))
+                tracer.observe("chain_break_fraction", cbf)
+                if cbf > self.policy.chain_break_retry_threshold:
+                    # A storm: the samples are noise-dominated.  Keep the
+                    # best-so-far in case every retry storms too, but retry.
+                    record.outcome = "degraded"
+                    record.fault = "chain_break_storm"
+                    if (
+                        degraded_best is None
+                        or result.lowest_energy < degraded_best.lowest_energy
+                    ):
+                        degraded_best = result
+                    self.breaker.record_failure()
+                    last_error = RuntimeError(
+                        f"chain break fraction {cbf:.2f} exceeds "
+                        f"{self.policy.chain_break_retry_threshold}"
+                    )
+                    continue
+
+                record.outcome = "ok"
+                self.breaker.record_success()
+                report.final_backend = backend
+                report.breaker_state = self.breaker.state
+                return result, report
 
         report.breaker_state = self.breaker.state
         if degraded_best is not None:
             # Every attempt stormed; a noisy answer beats none.
             report.final_backend = backend
             report.fallbacks.append("degraded_accept")
+            tracer.add("resilience_fallback_hops", 1)
             return degraded_best, report
         assert last_error is not None
         last_error.resilience_report = report

@@ -71,6 +71,46 @@ class TestAuc:
         with pytest.raises(ValueError):
             curve.normalized_auc(10, 0.0)
 
+    # The exact-value cases below pin the left-closed step convention
+    # documented on normalized_auc; each expected area is computed by
+    # hand from the segment geometry.
+
+    def test_first_event_after_zero_contributes_zero_prefix(self):
+        curve = AnytimeCurve((2.0, 6.0), (1.0, 3.0))
+        # [0,2): 0;  [2,6): 4*1;  [6,10): 4*3  =>  16 / (10*4)
+        assert curve.normalized_auc(10, 4.0) == 16.0 / 40.0
+
+    def test_first_event_exactly_at_zero(self):
+        curve = AnytimeCurve((0.0, 5.0), (1.0, 2.0))
+        # [0,5): 5*1;  [5,10): 5*2  =>  15 / (10*2)
+        assert curve.normalized_auc(10, 2.0) == 15.0 / 20.0
+
+    def test_horizon_strictly_inside_last_segment_truncates(self):
+        curve = AnytimeCurve((0.0, 4.0), (1.0, 3.0))
+        # horizon 6 cuts the last segment: [0,4): 4*1;  [4,6): 2*3
+        assert curve.normalized_auc(6, 3.0) == 10.0 / 18.0
+
+    def test_horizon_inside_a_middle_segment_ignores_later_events(self):
+        curve = AnytimeCurve((0.0, 4.0, 8.0), (1.0, 2.0, 5.0))
+        # horizon 6: [0,4): 4*1;  [4,6): 2*2;  the 8.0 event is outside
+        assert curve.normalized_auc(6, 5.0) == 8.0 / 30.0
+
+    def test_event_exactly_at_horizon_adds_zero_width_segment(self):
+        curve = AnytimeCurve((0.0, 10.0), (1.0, 4.0))
+        # The event AT the horizon changes quality_at(10) but not the
+        # area: [0,10) is all that is integrated.
+        assert curve.quality_at(10) == 4.0
+        assert curve.normalized_auc(10, 4.0) == 10.0 / 40.0
+
+    def test_all_events_past_horizon_is_zero(self):
+        curve = AnytimeCurve((20.0,), (4.0,))
+        assert curve.normalized_auc(10, 4.0) == 0.0
+
+    def test_result_is_clamped_to_unit_interval(self):
+        # best_possible below the achieved quality would push past 1.
+        curve = AnytimeCurve((0.0,), (10.0,))
+        assert curve.normalized_auc(5, 1.0) == 1.0
+
 
 class TestAdapters:
     def test_qmkp_adapter(self, fig1):

@@ -45,3 +45,21 @@ class TestSampleSet:
     def test_iteration(self):
         ss = SampleSet([Sample({"a": 0}, 0.0)])
         assert [s.energy for s in ss] == [0.0]
+
+    def test_constructor_does_not_mutate_callers_list(self):
+        # Regression: __post_init__ used to list.sort() the caller's
+        # list in place, corrupting fixtures that index into it.
+        mine = [Sample({"a": 0}, 5.0), Sample({"a": 1}, -1.0)]
+        ss = SampleSet(mine)
+        assert [s.energy for s in mine] == [5.0, -1.0]
+        assert [s.energy for s in ss.samples] == [-1.0, 5.0]
+        assert ss.samples is not mine
+
+    def test_equal_energy_ties_break_on_occurrences_then_input_order(self):
+        rare = Sample({"a": 0}, 1.0, num_occurrences=1)
+        common = Sample({"a": 1}, 1.0, num_occurrences=5)
+        also_rare = Sample({"a": 2}, 1.0, num_occurrences=1)
+        ss = SampleSet([rare, common, also_rare])
+        # Descending multiplicity first, then stable input order.
+        assert ss.samples == [common, rare, also_rare]
+        assert ss.first is common

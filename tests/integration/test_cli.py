@@ -175,6 +175,74 @@ class TestRobustness:
         assert "unknown fault class" in capsys.readouterr().err
 
 
+class TestTracedSolve:
+    def test_trace_writes_verified_ledger(self, graph_file, tmp_path, capsys):
+        import json
+
+        ledger_path = tmp_path / "ledger.json"
+        code = main([
+            "solve", graph_file, "--solver", "qmkp", "--seed", "3",
+            "--trace", str(ledger_path),
+        ])
+        assert code == 0
+        doc = json.loads(ledger_path.read_text())
+        assert doc["schema"] == "repro.obs/run-ledger/v1"
+        assert doc["verified"] is True
+        assert doc["drift"] == []
+        assert doc["meta"]["solver"] == "qmkp"
+        assert doc["spans"][0]["name"] == "qmkp"
+        assert doc["totals"]["oracle_calls"] > 0
+
+    def test_trace_does_not_change_the_answer(self, graph_file, tmp_path, capsys):
+        assert main(["solve", graph_file, "--solver", "qmkp", "--seed", "3"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "solve", graph_file, "--solver", "qmkp", "--seed", "3",
+            "--trace", str(tmp_path / "l.json"),
+        ]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_metrics_json(self, graph_file, capsys):
+        import json
+
+        code = main([
+            "solve", graph_file, "--solver", "qmkp", "--seed", "3",
+            "--metrics", "json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["counters"]["qtkp_calls"] > 0
+
+    def test_metrics_prometheus(self, graph_file, capsys):
+        code = main([
+            "solve", graph_file, "--solver", "qamkp-qpu",
+            "--runtime-us", "500", "--seed", "0",
+            "--retries", "2", "--inject-faults", "transient=1,seed=1",
+            "--metrics", "prom",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_resilience_attempts counter" in out
+        assert "repro_qamkp_solves_total 1" in out
+
+    def test_traced_resilient_solve_reconciles(self, graph_file, tmp_path, capsys):
+        import json
+
+        ledger_path = tmp_path / "ledger.json"
+        code = main([
+            "solve", graph_file, "--solver", "qamkp-qpu",
+            "--runtime-us", "500", "--seed", "0",
+            "--retries", "3", "--fallback",
+            "--inject-faults", "transient=2,seed=1",
+            "--trace", str(ledger_path),
+        ])
+        assert code == 0
+        doc = json.loads(ledger_path.read_text())
+        assert doc["verified"] is True
+        assert doc["totals"]["resilience_attempts"] >= 1
+
+
 class TestResilientSolve:
     def test_retries_and_fallback_flags(self, graph_file, capsys):
         code = main([

@@ -1,0 +1,112 @@
+"""Unit tests for run-ledger assembly, verification, and export."""
+
+import json
+
+import pytest
+
+from repro.obs import LedgerDriftError, RunLedger, Tracer
+
+
+def _traced_run(claim_ok=True):
+    t = Tracer()
+    with t.span("qmkp", k=2) as root:
+        with t.span("qtkp", threshold=3):
+            t.add("oracle_calls", 5)
+        with t.span("qtkp", threshold=4):
+            t.add("oracle_calls", 7)
+        root.claim("oracle_calls", 12 if claim_ok else 13)
+    return t
+
+
+class TestVerification:
+    def test_matching_claims_verify_clean(self):
+        ledger = RunLedger.from_tracer(_traced_run())
+        assert ledger.verify() == []
+        assert ledger.total("oracle_calls") == 12
+
+    def test_integral_drift_fails_bit_for_bit(self):
+        ledger = RunLedger.from_tracer(_traced_run(claim_ok=False))
+        with pytest.raises(LedgerDriftError) as exc:
+            ledger.verify()
+        (drift,) = exc.value.drift
+        assert drift.where == "qmkp"
+        assert drift.metric == "oracle_calls"
+        assert drift.claimed == 13 and drift.observed == 12
+
+    def test_raise_on_drift_false_returns_records(self):
+        ledger = RunLedger.from_tracer(_traced_run(claim_ok=False))
+        drift = ledger.verify(raise_on_drift=False)
+        assert len(drift) == 1
+
+    def test_drift_paths_disambiguate_repeated_names(self):
+        t = Tracer()
+        with t.span("qmkp"):
+            with t.span("qtkp") as first:
+                t.add("oracle_calls", 1)
+                first.claim("oracle_calls", 1)
+            with t.span("qtkp") as second:
+                t.add("oracle_calls", 1)
+                second.claim("oracle_calls", 99)
+        drift = RunLedger.from_tracer(t).verify(raise_on_drift=False)
+        assert [d.where for d in drift] == ["qmkp/qtkp[1]"]
+
+    def test_float_claims_tolerate_summation_order(self):
+        t = Tracer()
+        parts = [0.1] * 10  # sum != 1.0 exactly in binary
+        with t.span("cascade") as root:
+            for p in parts:
+                t.add("charged_us", p)
+            root.claim("charged_us", 1.0)
+        assert RunLedger.from_tracer(t).verify() == []
+
+    def test_registry_cross_check_catches_bypass_increment(self):
+        t = _traced_run()
+        # A stray increment that never went through tracer.add:
+        t.registry.counter("oracle_calls").inc(1)
+        drift = RunLedger.from_tracer(t).verify(raise_on_drift=False)
+        assert [(d.where, d.metric) for d in drift] == [
+            ("registry", "oracle_calls")
+        ]
+
+    def test_orphan_contributions_reconcile(self):
+        t = Tracer()
+        t.add("oracle_calls", 3)  # outside any span
+        ledger = RunLedger.from_tracer(t)
+        assert ledger.verify() == []
+        assert ledger.total("oracle_calls") == 3
+        assert ledger.orphan_metrics == {"oracle_calls": 3}
+
+
+class TestExport:
+    def test_as_dict_shape(self):
+        ledger = RunLedger.from_tracer(_traced_run(), meta={"solver": "qmkp"})
+        doc = ledger.as_dict()
+        assert doc["schema"] == "repro.obs/run-ledger/v1"
+        assert doc["verified"] is True
+        assert doc["drift"] == []
+        assert doc["meta"] == {"solver": "qmkp"}
+        assert doc["totals"]["oracle_calls"] == 12
+        assert doc["spans"][0]["name"] == "qmkp"
+
+    def test_as_dict_records_drift_without_raising(self):
+        doc = RunLedger.from_tracer(_traced_run(claim_ok=False)).as_dict()
+        assert doc["verified"] is False
+        assert doc["drift"][0]["metric"] == "oracle_calls"
+
+    def test_to_json_writes_valid_document(self, tmp_path):
+        path = RunLedger.from_tracer(_traced_run()).to_json(
+            tmp_path / "ledger.json"
+        )
+        doc = json.loads(path.read_text())
+        assert doc["verified"] is True
+
+    def test_find_searches_across_roots(self):
+        t = Tracer()
+        with t.span("first"):
+            pass
+        with t.span("second"):
+            with t.span("inner"):
+                pass
+        ledger = RunLedger.from_tracer(t)
+        assert ledger.find("inner").name == "inner"
+        assert ledger.find("absent") is None

@@ -1,0 +1,138 @@
+"""Property test: traced runs reconcile, span totals match result fields.
+
+The run ledger's whole contract is zero drift: whatever a traced solver
+reports in its result object must equal, bit for bit, what the span
+tree actually accumulated.  These tests run the real qMKP and qaMKP
+stacks on random small graphs under a recording tracer and check both
+``ledger.verify()`` and the total-vs-result-field equalities directly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import grover_maximum_subset, qamkp, qmkp
+from repro.kplex import is_kplex
+from repro.graphs import Graph
+from repro.obs import RunLedger, Tracer
+from repro.perf import MarkedSetCache
+
+
+@st.composite
+def graph_instances(draw, max_n=6):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pairs), unique=True)) if pairs else []
+    k = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return Graph(n, edges), k, seed
+
+
+class TestQmkpReconciliation:
+    @given(graph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_traced_qmkp_reconciles_bit_for_bit(self, instance):
+        graph, k, seed = instance
+        tracer = Tracer()
+        result = qmkp(
+            graph, k, rng=np.random.default_rng(seed), tracer=tracer
+        )
+        ledger = RunLedger.from_tracer(tracer)
+        assert ledger.verify() == []
+        assert ledger.total("oracle_calls") == result.oracle_calls
+        assert ledger.total("gate_units") == result.gate_units
+        assert ledger.total("qtkp_calls") == result.qtkp_calls
+        # One qtkp child span per binary-search probe.
+        root = ledger.find("qmkp")
+        assert sum(1 for s in root.walk() if s.name == "qtkp") == result.qtkp_calls
+
+    @given(graph_instances(max_n=5))
+    @settings(max_examples=10, deadline=None)
+    def test_shared_cache_claims_are_deltas_not_absolutes(self, instance):
+        graph, k, seed = instance
+        cache = MarkedSetCache()
+        # Warm the cache with an untraced run first: the traced run's
+        # hit/miss claims must cover only its own probes.
+        qmkp(graph, k, rng=np.random.default_rng(seed), cache=cache)
+        stats_before = cache.stats()
+        tracer = Tracer()
+        qmkp(graph, k, rng=np.random.default_rng(seed), cache=cache, tracer=tracer)
+        ledger = RunLedger.from_tracer(tracer)
+        assert ledger.verify() == []
+        stats_after = cache.stats()
+        assert ledger.total("marked_cache_hits") == (
+            stats_after["hits"] - stats_before["hits"]
+        )
+        assert ledger.total("marked_cache_misses") == (
+            stats_after["misses"] - stats_before["misses"]
+        )
+        # The warmed table serves every probe: no misses, no new sweep.
+        assert ledger.total("marked_cache_misses") == 0
+        assert ledger.total("perf_masks_scanned") == 0
+        # The tracer handed to qmkp is detached again afterwards.
+        assert cache.tracer.is_recording is False
+
+
+class TestQamkpReconciliation:
+    @given(
+        graph_instances(max_n=5),
+        st.sampled_from([None, "transient=1,seed=5", "transient=2,storm=0.6,seed=9"]),
+        st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_traced_resilient_qamkp_reconciles(self, instance, plan, fallback):
+        graph, k, seed = instance
+        tracer = Tracer()
+        result = qamkp(
+            graph, k, runtime_us=300.0, solver="qpu", seed=seed,
+            retries=2, fallback=fallback, fault_plan=plan, tracer=tracer,
+        )
+        ledger = RunLedger.from_tracer(tracer)
+        assert ledger.verify() == []
+        report = result.info["resilience"]
+        assert ledger.total("resilience_attempts") == len(report["attempts"])
+        assert ledger.total("resilience_faults") == len(report["faults"])
+        assert ledger.total("resilience_fallback_hops") == len(report["fallbacks"])
+        assert ledger.total("resilience_retries") == sum(
+            1 for a in report["attempts"] if a["attempt"] > 0
+        )
+        # Budget microseconds agree to float tolerance (summation order
+        # differs); the ledger's verify() already enforced 1e-9.
+        assert ledger.total("resilience_charged_us") == pytest.approx(
+            report["charged_us"], rel=1e-9
+        )
+        # One attempt span per AttemptRecord, across retry and rung paths.
+        spans = [
+            s
+            for root in ledger.roots
+            for s in root.walk()
+            if s.name == "resilience.attempt"
+        ]
+        assert len(spans) == len(report["attempts"])
+
+    def test_plain_solver_paths_trace_clean(self, fig1):
+        for solver in ("sa", "hybrid"):
+            tracer = Tracer()
+            qamkp(fig1, 2, runtime_us=500.0, solver=solver, seed=1, tracer=tracer)
+            ledger = RunLedger.from_tracer(tracer)
+            assert ledger.verify() == []
+            assert ledger.total("qamkp_solves") == 1
+            assert ledger.find("qamkp.sample").attributes["backend"] == solver
+
+
+class TestSubsetSearchReconciliation:
+    @given(graph_instances(max_n=5))
+    @settings(max_examples=10, deadline=None)
+    def test_traced_subset_search_reconciles(self, instance):
+        graph, k, seed = instance
+        tracer = Tracer()
+        result = grover_maximum_subset(
+            graph,
+            lambda s: is_kplex(graph, s, k),
+            rng=np.random.default_rng(seed),
+            tracer=tracer,
+        )
+        ledger = RunLedger.from_tracer(tracer)
+        assert ledger.verify() == []
+        assert ledger.total("oracle_calls") == result.oracle_calls

@@ -1,0 +1,105 @@
+"""Unit tests for the metric registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs import MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricRegistry()
+        c = reg.counter("oracle_calls")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        c = MetricRegistry().counter("oracle_calls")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert len(reg) == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricRegistry().gauge("depth")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_observations_land_in_le_buckets(self):
+        h = MetricRegistry().histogram("cbf", buckets=(0.1, 0.5, 1.0))
+        for v in (0.05, 0.3, 0.3, 0.9, 7.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 2, 1, 1]  # last = +inf
+        assert h.count == 5
+        assert h.min == 0.05 and h.max == 7.0
+        assert h.mean() == pytest.approx(8.55 / 5)
+
+    def test_empty_histogram_has_no_mean(self):
+        h = MetricRegistry().histogram("cbf")
+        assert h.mean() is None
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="ascending"):
+            MetricRegistry().histogram("bad", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_kind_mismatch_is_an_error(self):
+        reg = MetricRegistry()
+        reg.counter("n")
+        with pytest.raises(TypeError, match="not a Gauge"):
+            reg.gauge("n")
+
+    def test_counters_slice_excludes_other_kinds(self):
+        reg = MetricRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(9)
+        reg.histogram("c").observe(1.0)
+        assert reg.counters() == {"a": 2}
+
+    def test_as_dict_roundtrips_through_json(self):
+        import json
+
+        reg = MetricRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(-1.5)
+        reg.histogram("c", buckets=(1.0,)).observe(0.5)
+        doc = json.loads(json.dumps(reg.as_dict()))
+        assert doc["counters"] == {"a": 3}
+        assert doc["gauges"] == {"b": -1.5}
+        assert doc["histograms"]["c"]["count"] == 1
+        assert doc["histograms"]["c"]["buckets"] == {"1": 1, "+Inf": 0}
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_blocks(self):
+        reg = MetricRegistry()
+        reg.counter("oracle_calls", help="oracle invocations").inc(7)
+        reg.gauge("depth").set(2.5)
+        h = reg.histogram("cbf", buckets=(0.5, 1.0))
+        h.observe(0.25)
+        h.observe(0.75)
+        text = reg.render_prometheus()
+        assert "# HELP repro_oracle_calls oracle invocations" in text
+        assert "# TYPE repro_oracle_calls counter" in text
+        assert "repro_oracle_calls_total 7" in text
+        assert "repro_depth 2.5" in text
+        # Buckets are cumulative and +Inf equals the total count.
+        assert 'repro_cbf_bucket{le="0.5"} 1' in text
+        assert 'repro_cbf_bucket{le="1"} 2' in text
+        assert 'repro_cbf_bucket{le="+Inf"} 2' in text
+        assert "repro_cbf_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricRegistry().render_prometheus() == ""

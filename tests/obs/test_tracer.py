@@ -1,0 +1,106 @@
+"""Unit tests for the span tracer and its no-op twin."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        t = Tracer()
+        with t.span("qmkp", k=2) as root:
+            with t.span("qtkp", threshold=3):
+                with t.span("qtkp.attempt", attempt=0):
+                    pass
+            with t.span("qtkp", threshold=4):
+                pass
+        assert t.roots == [root]
+        assert [c.name for c in root.children] == ["qtkp", "qtkp"]
+        assert root.children[0].children[0].name == "qtkp.attempt"
+        assert root.attributes == {"k": 2}
+        assert t.current is None
+
+    def test_add_charges_current_span_and_registry(self):
+        t = Tracer()
+        with t.span("a") as a:
+            t.add("oracle_calls", 3)
+            with t.span("b") as b:
+                t.add("oracle_calls", 4)
+        assert a.metrics == {"oracle_calls": 3}
+        assert b.metrics == {"oracle_calls": 4}
+        assert a.subtree_total("oracle_calls") == 7
+        assert t.registry.counter("oracle_calls").value == 7
+
+    def test_add_outside_any_span_goes_to_orphans(self):
+        t = Tracer()
+        t.add("oracle_calls", 2)
+        assert t.orphan_metrics == {"oracle_calls": 2}
+        assert t.registry.counter("oracle_calls").value == 2
+
+    def test_span_closes_on_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("a"):
+                raise RuntimeError("boom")
+        assert t.current is None
+        assert t.roots[0].duration_s is not None
+
+    def test_durations_are_recorded_and_nested(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        assert inner.duration_s is not None
+        assert outer.duration_s >= inner.duration_s
+
+    def test_claim_and_observe(self):
+        t = Tracer()
+        with t.span("a") as a:
+            a.claim("oracle_calls", 10)
+            t.observe("chain_break_fraction", 0.25)
+        assert a.claims == {"oracle_calls": 10}
+        assert t.registry.histogram("chain_break_fraction").count == 1
+
+    def test_walk_and_find(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+            with t.span("c"):
+                pass
+        root = t.roots[0]
+        assert [s.name for s in root.walk()] == ["a", "b", "c"]
+        assert root.find("c").name == "c"
+        assert root.find("missing") is None
+
+    def test_as_dict_omits_empty_fields(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        doc = t.roots[0].as_dict()
+        assert doc["name"] == "a"
+        assert "attributes" not in doc and "metrics" not in doc
+
+
+class TestNullTracer:
+    def test_is_a_shared_inert_singleton(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.is_recording is False
+        # The same pre-built span object every time: no per-call state.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", k=2)
+
+    def test_all_operations_are_noops(self):
+        with NULL_TRACER.span("a", k=1) as span:
+            span.set("x", 1)
+            span.add("m", 2)
+            span.claim("m", 3)
+            NULL_TRACER.add("m", 4)
+            NULL_TRACER.set("x", 5)
+            NULL_TRACER.observe("h", 0.5)
+        assert NULL_TRACER.registry is None
+
+    def test_null_span_swallows_nothing(self):
+        # __exit__ must not suppress exceptions.
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("a"):
+                raise ValueError("propagates")

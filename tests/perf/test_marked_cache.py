@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import qmkp, qtkp
 from repro.core.subset_search import grover_maximum_subset, maximum_clique_quantum
-from repro.graphs import gnm_random_graph
+from repro.graphs import Graph, gnm_random_graph
 from repro.grover import PhaseOracleGrover
 from repro.perf import MarkedSetCache, MarkedSetTable, PredicateMaskCache, kplex_masks
 
@@ -73,6 +73,43 @@ class TestMarkedSetCache:
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
             MarkedSetCache(max_entries=0)
+
+    def test_structurally_equal_graphs_share_one_table(self):
+        # Keying on the structural fingerprint (not the object) means a
+        # graph rebuilt from the same edge list — or round-tripped
+        # through IO — hits the first graph's table.
+        cache = MarkedSetCache()
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]
+        first = Graph(5, edges)
+        rebuilt = Graph(5, list(reversed(edges)))
+        a = cache.table(first, 2)
+        b = cache.table(rebuilt, 2)
+        assert b is a
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_mutated_graph_does_not_serve_stale_table(self):
+        # Regression: keying on the graph object let a graph whose
+        # internals changed after insertion keep serving the marked set
+        # of its *old* structure.  The fingerprint is recomputed from
+        # the live edge set at every lookup, so mutation forces a fresh
+        # sweep.
+        cache = MarkedSetCache()
+        graph = gnm_random_graph(6, 8, seed=11)
+        stale = cache.table(graph, 2)
+        # Simulate in-place structural mutation (the class is immutable
+        # by convention only): overwrite every slot with the state of a
+        # graph missing two edges.
+        mutated = Graph(6, sorted(graph.edges)[:-2])
+        for slot in ("_n", "_adj", "_edges", "_hash", "_adj_masks"):
+            object.__setattr__(graph, slot, getattr(mutated, slot))
+        fresh = cache.table(graph, 2)
+        assert fresh is not stale
+        assert cache.misses == 2
+        # And the fresh table really reflects the mutated edge set.
+        want_masks, _ = kplex_masks(mutated, 2)
+        assert np.array_equal(
+            np.sort(fresh.masks_at_least(0)), np.sort(want_masks)
+        )
 
 
 class TestQmkpEquivalence:
