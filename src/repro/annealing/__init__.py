@@ -12,28 +12,31 @@ from .embedding import (
 from .hybrid import MIN_RUNTIME_US, HybridSampler, steepest_descent
 from .qpu import QPURuntimeExceeded, SimulatedQPUSampler
 from .sa import SimulatedAnnealingSampler
-from .sampleset import Sample, SampleSet
+from .sampleset import RowAssignment, Sample, SampleSet
 from .schedule import (
     geometric_schedule,
     linear_schedule,
     paused_schedule,
     quench_schedule,
 )
-from .tabu import tabu_search
+from .tabu import BatchedTabuResult, batched_tabu, tabu_search
 from .topology import HardwareGraph, chimera_graph, pegasus_like_graph
 
 __all__ = [
     "MIN_RUNTIME_US",
+    "BatchedTabuResult",
     "BinaryQuadraticModel",
     "Embedding",
     "EmbeddingError",
     "HardwareGraph",
     "HybridSampler",
     "QPURuntimeExceeded",
+    "RowAssignment",
     "Sample",
     "SampleSet",
     "SimulatedAnnealingSampler",
     "SimulatedQPUSampler",
+    "batched_tabu",
     "chimera_graph",
     "clique_embedding",
     "clique_embedding_auto",

@@ -9,9 +9,12 @@ Ising spin form for hardware-style samplers.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Hashable, Iterable, Mapping
 
 import numpy as np
+
+from ..perf.anneal import CSRQuadratic
 
 __all__ = ["BinaryQuadraticModel"]
 
@@ -36,6 +39,7 @@ class BinaryQuadraticModel:
         self.quadratic: dict[tuple[Variable, Variable], float] = {}
         self.offset = float(offset)
         self._index: dict[Variable, int] = {}
+        self._csr: CSRQuadratic | None = None
         for v, bias in (linear or {}).items():
             self.add_linear(v, bias)
         for (u, v), bias in (quadratic or {}).items():
@@ -49,11 +53,13 @@ class BinaryQuadraticModel:
         if v not in self.linear:
             self._index[v] = len(self.linear)
             self.linear[v] = 0.0
+            self._csr = None
 
     def add_linear(self, v: Variable, bias: float) -> None:
         """Accumulate a linear coefficient."""
         self.add_variable(v)
         self.linear[v] += float(bias)
+        self._csr = None
 
     def add_quadratic(self, u: Variable, v: Variable, bias: float) -> None:
         """Accumulate a quadratic coefficient (u != v; key order-free)."""
@@ -65,6 +71,7 @@ class BinaryQuadraticModel:
         self.add_variable(v)
         key = self._key(u, v)
         self.quadratic[key] = self.quadratic.get(key, 0.0) + float(bias)
+        self._csr = None
 
     def add_offset(self, value: float) -> None:
         self.offset += float(value)
@@ -99,9 +106,17 @@ class BinaryQuadraticModel:
         every energy and acceptance probability downstream, and failing
         at submission (as real solver APIs do) is the only point where
         the culprit coefficient can still be named.
-        """
-        import math
 
+        The happy path is one vectorised ``isfinite`` over the cached
+        CSR arrays; the per-coefficient Python loop runs only on
+        failure, where naming the culprit is worth the walk.
+        """
+        if math.isfinite(self.offset):
+            csr = self.to_csr()
+            if bool(np.isfinite(csr.h).all()) and bool(
+                np.isfinite(csr.pair_vals).all()
+            ):
+                return
         if not math.isfinite(self.offset):
             raise ValueError(f"non-finite offset {self.offset}")
         for v, bias in self.linear.items():
@@ -115,19 +130,32 @@ class BinaryQuadraticModel:
     # Energy
     # ------------------------------------------------------------------
     def energy(self, sample: Mapping[Variable, int]) -> float:
-        """Objective value of one assignment."""
-        total = self.offset
-        for v, bias in self.linear.items():
-            total += bias * sample[v]
-        for (u, v), bias in self.quadratic.items():
-            total += bias * sample[u] * sample[v]
-        return float(total)
+        """Objective value of one assignment.
+
+        Routed through the same cached CSR arrays as :meth:`energies`,
+        so scalar and vectorised evaluation are exactly — bitwise —
+        equal on the same assignment.
+        """
+        csr = self.to_csr()
+        x = np.fromiter(
+            (sample[v] for v in csr.order),
+            dtype=np.float64,
+            count=csr.num_variables,
+        )
+        return float(csr.energies(x[None, :], self.offset)[0])
 
     def energies(self, states: np.ndarray, order: list[Variable] | None = None) -> np.ndarray:
-        """Vectorised energies for a ``(num_samples, num_vars)`` 0/1 array."""
-        order = order or self.variables
-        index = {v: i for i, v in enumerate(order)}
+        """Vectorised energies for a ``(num_samples, num_vars)`` 0/1 array.
+
+        The default (insertion-order) layout reuses the cached CSR
+        arrays — one ``states @ h`` plus one gather-multiply over the
+        coupling pairs.  A caller-supplied permuted ``order`` falls back
+        to the per-term path.
+        """
         states = np.asarray(states, dtype=float)
+        if order is None or list(order) == self.variables:
+            return self.to_csr().energies(states, self.offset)
+        index = {v: i for i, v in enumerate(order)}
         h = np.zeros(len(order))
         for v, bias in self.linear.items():
             h[index[v]] = bias
@@ -139,6 +167,40 @@ class BinaryQuadraticModel:
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
+    def to_csr(self) -> CSRQuadratic:
+        """The cached sparse view every sampler runs on.
+
+        Returns the symmetric coupling matrix in CSR form plus the
+        ``h`` vector, variable ``order``, and upper-triangular pairs
+        (see :class:`repro.perf.anneal.CSRQuadratic`).  Built lazily on
+        first use and invalidated by any coefficient mutation
+        (``add_variable`` / ``add_linear`` / ``add_quadratic``); the
+        offset is read live from the model, so ``add_offset`` does not
+        invalidate.
+        """
+        if self._csr is None:
+            order = self.variables
+            index = self._index
+            n = len(order)
+            h = np.fromiter(
+                (self.linear[v] for v in order), dtype=np.float64, count=n
+            )
+            m = len(self.quadratic)
+            rows = np.empty(m, dtype=np.int64)
+            cols = np.empty(m, dtype=np.int64)
+            vals = np.empty(m, dtype=np.float64)
+            for pos, ((u, v), bias) in enumerate(self.quadratic.items()):
+                a, b = index[u], index[v]
+                if a > b:
+                    a, b = b, a
+                rows[pos] = a
+                cols[pos] = b
+                vals[pos] = bias
+            self._csr = CSRQuadratic.from_pairs(
+                n, h, rows, cols, vals, order=tuple(order)
+            )
+        return self._csr
+
     def to_numpy(self) -> tuple[np.ndarray, np.ndarray, float, list[Variable]]:
         """``(h, J, offset, order)`` with J strictly upper triangular."""
         order = self.variables

@@ -2,8 +2,15 @@
 
 Single-spin-flip Metropolis over a QUBO with a geometric inverse-
 temperature schedule, vectorised across reads: all ``num_reads``
-replicas advance together, so one sweep costs ``num_vars``
-matrix-vector products over the replica matrix.
+replicas advance together on the sparse incremental engine
+(:mod:`repro.perf.anneal`).  Sweeps walk a chunked schedule over the
+CSR couplings — each chunk's local fields ``h + states @ J_sym`` are
+built in one compiled sparse product and accepted flips scatter only
+to intra-chunk neighbours — so a sweep costs ``O(num_reads * nnz)``
+work instead of ``num_vars`` dense matrix-vector products, while
+consuming the RNG stream exactly as the seed dense sampler did, so
+fixed-seed runs are flip-for-flip (and sampleset-for-sampleset)
+identical.
 
 The paper's SA baseline controls runtime exactly like the annealer: a
 fixed small number of sweeps per read and a shot count ``s`` that scales
@@ -14,8 +21,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import NULL_TRACER
+from ..perf.anneal import (
+    fields_energies,
+    fields_energies_t,
+    refresh_fields_t,
+    sa_shard_reads,
+    sa_sweep,
+)
 from .bqm import BinaryQuadraticModel
-from .sampleset import SampleSet
+from .sampleset import RowAssignment, SampleSet
 
 __all__ = ["SimulatedAnnealingSampler"]
 
@@ -42,6 +57,8 @@ class SimulatedAnnealingSampler:
         seed: int | None = None,
         initial_states: np.ndarray | None = None,
         beta_schedule: np.ndarray | None = None,
+        workers: int | None = None,
+        tracer=None,
     ) -> SampleSet:
         """Run ``num_reads`` independent anneals of ``num_sweeps`` sweeps.
 
@@ -49,6 +66,19 @@ class SimulatedAnnealingSampler:
         explicit per-sweep beta sequence (see
         :mod:`repro.annealing.schedule`); its length supersedes
         ``num_sweeps``.
+
+        ``workers`` (> 1) shards the replica batch over a process pool.
+        All uniform draws are made up front on this side of the fork, so
+        sharded results stay byte-identical to in-process ones — at the
+        cost of materialising the full ``(sweeps, vars, reads)`` draw
+        tensor, which is what bounds sensible shard sizes.
+
+        ``tracer`` (optional :class:`repro.obs.Tracer`) opens one
+        ``anneal.sa`` span with an ``anneal.sweep`` child per sweep
+        (sharded runs charge the pool's sweeps in aggregate, like the
+        perf engine's chunk workers); the span claims the exact sweep
+        and accepted-flip totals also reported in ``info``, so the run
+        ledger reconciles them bit-for-bit.
         """
         if num_reads < 1:
             raise ValueError(f"num_reads must be >= 1, got {num_reads}")
@@ -60,53 +90,122 @@ class SimulatedAnnealingSampler:
                 raise ValueError("beta_schedule must be a non-empty 1-D array")
             num_sweeps = int(beta_schedule.size)
         bqm.require_finite()
+        tracer = tracer or NULL_TRACER
         rng = np.random.default_rng(seed)
-        h, j, offset, order = bqm.to_numpy()
-        n = len(order)
+        csr = bqm.to_csr()
+        order = list(csr.order)
+        n = csr.num_variables
         if n == 0:
-            return SampleSet.from_states([{}] * num_reads, [offset] * num_reads)
-        jsym = j + j.T
+            # One independent dict per read: a shared literal here would
+            # alias every sample onto the same mutable assignment.
+            result = SampleSet.from_states(
+                [{} for _ in range(num_reads)], [bqm.offset] * num_reads
+            )
+            result.info.update(
+                {
+                    "num_reads": num_reads,
+                    "sweeps_per_read": num_sweeps,
+                    "num_flips": 0,
+                }
+            )
+            return result
         if initial_states is not None:
-            states = np.array(initial_states, dtype=float)
-            if states.shape != (num_reads, n):
+            init = np.asarray(initial_states, dtype=float)
+            if init.shape != (num_reads, n):
                 raise ValueError(
-                    f"initial_states must be ({num_reads}, {n}), got {states.shape}"
+                    f"initial_states must be ({num_reads}, {n}), got {init.shape}"
                 )
+            init = init.astype(np.int8)
         else:
-            states = rng.integers(0, 2, size=(num_reads, n)).astype(float)
+            init = rng.integers(0, 2, size=(num_reads, n)).astype(np.int8)
         betas = (
             beta_schedule
             if beta_schedule is not None
-            else self._schedule(h, jsym, num_sweeps)
+            else self._schedule(csr, num_sweeps)
         )
-        for beta in betas:
-            for i in range(n):
-                field = h[i] + states @ jsym[:, i]
-                delta = (1.0 - 2.0 * states[:, i]) * field
-                accept = (delta <= 0) | (
-                    rng.random(num_reads) < np.exp(-beta * np.clip(delta, 0, 700))
+        row_sums = csr.row_sums
+        spmat = csr.spmatrix
+        with tracer.span(
+            "anneal.sa", num_reads=num_reads, num_sweeps=num_sweeps, num_variables=n
+        ) as span:
+            if workers is not None and workers > 1 and num_reads > 1:
+                uniforms = rng.random((num_sweeps, n, num_reads))
+                states, fields, per_sweep = sa_shard_reads(
+                    csr.h, csr.indptr, csr.indices, csr.data, row_sums,
+                    init, betas, uniforms, workers,
                 )
-                states[accept, i] = 1.0 - states[accept, i]
-        energies = bqm.energies(states, order)
-        assignments = [
-            {v: int(states[r, c]) for c, v in enumerate(order)}
-            for r in range(num_reads)
-        ]
-        result = SampleSet.from_states(assignments, energies.tolist())
+                # Energies come straight from the returned fields —
+                # O(reads*n), no per-pair gather; row-wise reductions
+                # keep every replica's value shard-independent.
+                energies = fields_energies(
+                    states.astype(np.float64), fields, csr.h, float(bqm.offset)
+                )
+                total_flips = int(per_sweep.sum())
+                tracer.add("anneal_sweeps", num_sweeps)
+                tracer.add("anneal_flips", total_flips)
+            else:
+                plan = csr.sweep_plan
+                spins_t = np.ascontiguousarray(init.T, dtype=np.float64)
+                spins_t *= -2.0
+                spins_t += 1.0                       # ±1 view: t = 1 - 2s
+                total_flips = 0
+                for t, beta in enumerate(betas):
+                    with tracer.span("anneal.sweep", sweep=t):
+                        uniforms = rng.random((n, num_reads))
+                        flips = sa_sweep(plan, spins_t, float(beta), uniforms)
+                        tracer.add("anneal_sweeps", 1)
+                        tracer.add("anneal_flips", flips)
+                        total_flips += flips
+                # The sweep's chunk-local fields are transient; energies
+                # want full fields, priced in the transposed layout
+                # directly — no batch transposes.
+                fields_t = refresh_fields_t(
+                    csr.h, csr.indptr, csr.indices, csr.data, row_sums,
+                    spins_t, spmat,
+                )
+                states = spins_t.T.astype(np.int8, order="C")
+                np.subtract(1, states, out=states)
+                states >>= 1                         # back to 0/1, exactly
+                energies = fields_energies_t(
+                    spins_t, fields_t, csr.h, float(bqm.offset)
+                )
+            span.claim("anneal_sweeps", num_sweeps)
+            span.claim("anneal_flips", total_flips)
+        # Merge duplicate replicas *before* building any Python dicts:
+        # unique-by-row-bytes is a faithful dedup key (every row shares
+        # ``order``), matching ``from_states``' grouping at a fraction
+        # of its cost — restoring first-seen order and keeping first-row
+        # energies preserves the resulting set exactly.
+        row_bytes = states.view(np.dtype((np.void, states.shape[1]))).ravel()
+        _, first_idx, counts = np.unique(
+            row_bytes, return_index=True, return_counts=True
+        )
+        perm = np.argsort(first_idx, kind="stable")
+        firsts = first_idx[perm]
+        assignments = [RowAssignment(order, row) for row in states[firsts]]
+        result = SampleSet.from_counts(
+            assignments, energies[firsts].tolist(), counts[perm].tolist()
+        )
         result.info.update(
-            {"num_reads": num_reads, "sweeps_per_read": num_sweeps}
+            {
+                "num_reads": num_reads,
+                "sweeps_per_read": num_sweeps,
+                "num_flips": total_flips,
+            }
         )
         return result
 
-    def _schedule(self, h: np.ndarray, jsym: np.ndarray, num_sweeps: int) -> np.ndarray:
+    def _schedule(self, csr, num_sweeps: int) -> np.ndarray:
         """Geometric beta ramp sized to the model's energy scale."""
         if self.beta_range is not None:
             hot, cold = self.beta_range
         else:
             # Largest possible single-flip |delta E| bounds the hot end;
             # the smallest non-zero coefficient sets the cold end.
-            max_delta = float(np.max(np.abs(h) + np.sum(np.abs(jsym), axis=0)))
-            coeffs = np.concatenate([np.abs(h[h != 0]), np.abs(jsym[jsym != 0])])
+            max_delta = float(np.max(np.abs(csr.h) + csr.abs_row_sums()))
+            coeffs = np.concatenate(
+                [np.abs(csr.h[csr.h != 0]), np.abs(csr.data[csr.data != 0])]
+            )
             min_coeff = float(coeffs.min()) if coeffs.size else 1.0
             max_delta = max(max_delta, 1e-9)
             hot = np.log(2.0) / max_delta

@@ -11,7 +11,62 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
-__all__ = ["Sample", "SampleSet"]
+__all__ = ["RowAssignment", "Sample", "SampleSet"]
+
+
+class RowAssignment(Mapping):
+    """Lazy variable->value mapping over one raw sampler state row.
+
+    Samplers that advance replicas as a matrix produce thousands of
+    samples whose assignments are mostly never read individually;
+    building a real dict per replica dominates their result
+    construction.  This view holds the shared variable order plus the
+    row's values and materialises an actual dict only on first access,
+    so constructing a sample set is O(1) per sample while every Mapping
+    operation (and equality with plain dicts) behaves exactly as the
+    eager dict did.
+    """
+
+    __slots__ = ("_order", "_row", "_dict")
+
+    def __init__(self, order: Sequence[object], row: Sequence[int]) -> None:
+        self._order = order
+        self._row = row
+        self._dict: dict | None = None
+
+    def _materialise(self) -> dict:
+        d = self._dict
+        if d is None:
+            row = self._row
+            # Sampler rows arrive as int8 ndarray views; tolist() both
+            # converts to Python ints and is deferred to first access.
+            if hasattr(row, "tolist"):
+                row = row.tolist()
+            d = self._dict = dict(zip(self._order, row))
+        return d
+
+    def __getitem__(self, variable: object) -> int:
+        return self._materialise()[variable]
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RowAssignment):
+            return self._materialise() == other._materialise()
+        if isinstance(other, dict):
+            return self._materialise() == other
+        if isinstance(other, Mapping):
+            return self._materialise() == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable-adjacent, like the dicts it replaces
+
+    def __repr__(self) -> str:
+        return repr(self._materialise())
 
 
 @dataclass(frozen=True)
@@ -87,6 +142,31 @@ class SampleSet:
             else:
                 seen[key] = Sample(dict(assignment), float(energy))
         return cls(list(seen.values()), info or {})
+
+    @classmethod
+    def from_counts(
+        cls,
+        assignments: Sequence[Mapping[object, int]],
+        energies: Sequence[float],
+        counts: Sequence[int],
+        info: dict[str, object] | None = None,
+    ) -> "SampleSet":
+        """Build from **already-deduplicated** assignments with counts.
+
+        The fast path for samplers that hold their replicas as a state
+        matrix: merging duplicate rows by raw bytes before any Python
+        dict exists is far cheaper than :meth:`from_states`' per-sample
+        key sort, and yields the same sample set when the caller's
+        grouping matches dict equality (same variables, same order in
+        every row).  Assignments are stored as given — callers pass
+        freshly built dicts (or :class:`RowAssignment` views) the
+        sample can own.
+        """
+        samples = [
+            Sample(assignment, float(energy), int(count))
+            for assignment, energy, count in zip(assignments, energies, counts)
+        ]
+        return cls(samples, info or {})
 
     def truncate(self, count: int) -> "SampleSet":
         """The ``count`` lowest-energy samples as a new set."""

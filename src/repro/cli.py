@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(forces the per-probe predicate scan)",
     )
     solve.add_argument(
+        "--anneal-workers", type=int, default=None,
+        help="qamkp-sa: process-pool width for sharding SA reads "
+        "(byte-identical to the single-process run)",
+    )
+    solve.add_argument(
         "--retries", type=int, default=0,
         help="qamkp-qpu: retries with backoff, debited from --runtime-us",
     )
@@ -155,6 +160,12 @@ def _cmd_solve(args, graph, labels) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.anneal_workers is not None and args.solver != "qamkp-sa":
+        print(
+            "error: --anneal-workers requires --solver qamkp-sa",
+            file=sys.stderr,
+        )
+        return 2
     tracer = None
     if args.trace or args.metrics:
         from .obs import Tracer
@@ -188,6 +199,7 @@ def _cmd_solve(args, graph, labels) -> int:
                 solver=backend, seed=args.seed,
                 retries=args.retries, fallback=args.fallback,
                 fault_plan=args.inject_faults,
+                sa_workers=args.anneal_workers,
                 tracer=tracer,
             )
         except (

@@ -107,6 +107,7 @@ def qamkp(
     retries: int = 0,
     fallback: bool = False,
     fault_plan: FaultPlan | str | None = None,
+    sa_workers: int | None = None,
     tracer=None,
 ) -> QAMKPResult:
     """Solve MKP through the QUBO objective with the chosen backend.
@@ -151,10 +152,17 @@ def qamkp(
     solve validates its sample set (quarantining malformed rows) before
     the decode/repair step.
 
+    ``sa_workers`` (SA solves only) shards the SA replica batch over a
+    process pool (see
+    :meth:`repro.annealing.SimulatedAnnealingSampler.sample`); results
+    stay byte-identical to single-process runs.
+
     ``tracer`` (optional :class:`repro.obs.Tracer`) opens one ``qamkp``
     root span; resilient solves nest the cascade/attempt spans under it
     and the span's claims are checked against ``info["resilience"]`` by
-    the run ledger.
+    the run ledger.  Annealing-backed solves additionally contribute
+    ``anneal.sa`` / ``anneal.tabu`` spans whose sweep and flip counters
+    the ledger reconciles exactly.
     """
     if solver not in _SOLVERS:
         raise ValueError(f"solver must be one of {_SOLVERS}, got {solver!r}")
@@ -162,6 +170,8 @@ def qamkp(
         raise ValueError(f"runtime_us must be > 0, got {runtime_us}")
     if fault_plan is not None and solver != "qpu":
         raise ValueError("fault_plan is only supported for solver='qpu'")
+    if sa_workers is not None and solver != "sa":
+        raise ValueError("sa_workers is only supported for solver='sa'")
 
     tracer = tracer or NULL_TRACER
     with tracer.span(
@@ -169,7 +179,8 @@ def qamkp(
     ) as span:
         result = _qamkp_body(
             graph, k, penalty, runtime_us, delta_t_us, solver, qubo, qpu,
-            seed, sa_shot_cost_us, retries, fallback, fault_plan, tracer,
+            seed, sa_shot_cost_us, retries, fallback, fault_plan, sa_workers,
+            tracer,
         )
         tracer.add("qamkp_solves", 1)
         span.set("cost", result.cost)
@@ -189,7 +200,8 @@ def qamkp(
 
 def _qamkp_body(
     graph, k, penalty, runtime_us, delta_t_us, solver, qubo, qpu,
-    seed, sa_shot_cost_us, retries, fallback, fault_plan, tracer,
+    seed, sa_shot_cost_us, retries, fallback, fault_plan, sa_workers,
+    tracer,
 ) -> QAMKPResult:
     model = qubo or build_mkp_qubo(graph, k, penalty)
     info: dict[str, object] = {}
@@ -248,7 +260,12 @@ def _qamkp_body(
         shots = max(1, int(round(runtime_us / sa_shot_cost_us)))
         with tracer.span("qamkp.sample", backend="sa", shots=shots):
             sampleset = sampler.sample(
-                model.bqm, num_reads=shots, num_sweeps=2, seed=seed
+                model.bqm,
+                num_reads=shots,
+                num_sweeps=2,
+                seed=seed,
+                workers=sa_workers,
+                tracer=tracer,
             )
         sampleset = _validated(sampleset, model)
         best = sampleset.first
@@ -261,7 +278,7 @@ def _qamkp_body(
         sampler = HybridSampler()
         with tracer.span("qamkp.sample", backend="hybrid"):
             sampleset = sampler.sample(
-                model.bqm, time_limit_us=runtime_us, seed=seed
+                model.bqm, time_limit_us=runtime_us, seed=seed, tracer=tracer
             )
         sampleset = _validated(sampleset, model)
         best = sampleset.first

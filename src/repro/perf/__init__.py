@@ -1,18 +1,40 @@
-"""Performance engine: bit-parallel mask enumeration and marked-set caching.
+"""Performance engine: bit-parallel mask enumeration, marked-set caching,
+and the sparse incremental annealing kernels.
 
-Substrate layer (like ``repro.graphs``): imported by ``repro.core`` and
-``repro.grover``, imports nothing above ``repro.graphs`` itself.
+Substrate layer (like ``repro.graphs``): imported by ``repro.core``,
+``repro.grover``, and ``repro.annealing``; imports nothing above
+``repro.graphs`` itself.
 """
 
+from .anneal import (
+    CSRQuadratic,
+    build_sweep_plan,
+    fields_energies,
+    fields_energies_t,
+    local_fields,
+    refresh_fields_t,
+    sa_shard_reads,
+    sa_sweep,
+    tabu_descend,
+)
 from .bitparallel import MAX_VERTICES, kcplex_masks, kplex_masks, popcount_u64
 from .cache import MarkedSetCache, MarkedSetTable, PredicateMaskCache
 
 __all__ = [
     "MAX_VERTICES",
+    "CSRQuadratic",
     "MarkedSetCache",
     "MarkedSetTable",
     "PredicateMaskCache",
+    "build_sweep_plan",
+    "fields_energies",
+    "fields_energies_t",
     "kcplex_masks",
     "kplex_masks",
+    "local_fields",
     "popcount_u64",
+    "refresh_fields_t",
+    "sa_shard_reads",
+    "sa_sweep",
+    "tabu_descend",
 ]

@@ -218,7 +218,11 @@ class FallbackCascade:
                 raise RuntimeError("no budget left for the sa rung")
             try:
                 sampleset = SimulatedAnnealingSampler().sample(
-                    bqm, num_reads=shots, num_sweeps=self.sa_sweeps, seed=seed
+                    bqm,
+                    num_reads=shots,
+                    num_sweeps=self.sa_sweeps,
+                    seed=seed,
+                    tracer=tracer,
                 )
             except Exception:
                 record.outcome = "fault"
@@ -252,6 +256,7 @@ class FallbackCascade:
                     initial=initial,
                     iterations=self.tabu_iterations,
                     seed=seed,
+                    tracer=tracer,
                 )
             except Exception:
                 record.outcome = "fault"

@@ -71,6 +71,78 @@ class TestEnergy:
         assert toy.energies(states)[0] == pytest.approx(5.0)
 
 
+class TestCSR:
+    def test_matches_dense_view(self, toy):
+        csr = toy.to_csr()
+        h, j, _offset, order = toy.to_numpy()
+        assert list(csr.order) == order
+        assert np.array_equal(csr.h, h)
+        assert np.array_equal(csr.dense(), j)
+
+    def test_symmetric_rows_cover_both_directions(self, toy):
+        csr = toy.to_csr()
+        cols_x, vals_x = csr.neighbours(0)
+        cols_y, vals_y = csr.neighbours(1)
+        assert cols_x.tolist() == [1] and vals_x.tolist() == [3.0]
+        assert cols_y.tolist() == [0] and vals_y.tolist() == [3.0]
+
+    def test_cached_until_mutation(self, toy):
+        first = toy.to_csr()
+        assert toy.to_csr() is first
+        toy.add_linear("x", 1.0)
+        second = toy.to_csr()
+        assert second is not first
+        assert second.h[0] == 0.0
+
+    def test_invalidated_by_new_variable(self, toy):
+        first = toy.to_csr()
+        toy.add_variable("z")
+        assert toy.to_csr() is not first
+        assert toy.to_csr().num_variables == 3
+
+    def test_offset_read_live(self, toy):
+        assert toy.to_csr() is not None
+        toy.add_offset(2.0)
+        assert toy.energy({"x": 0, "y": 0}) == pytest.approx(3.0)
+
+    def test_energy_bitwise_equals_energies_row(self):
+        rng = np.random.default_rng(0)
+        bqm = BinaryQuadraticModel(offset=float(rng.normal()))
+        for v in range(15):
+            bqm.add_linear(v, float(rng.normal()))
+        for _ in range(30):
+            u, v = rng.choice(15, size=2, replace=False)
+            bqm.add_quadratic(int(u), int(v), float(rng.normal()))
+        states = rng.integers(0, 2, size=(9, 15))
+        energies = bqm.energies(states)
+        for r in range(9):
+            sample = {v: int(states[r, c]) for c, v in enumerate(bqm.variables)}
+            assert bqm.energy(sample) == energies[r]  # exact, not approx
+
+    def test_abs_row_sums(self, toy):
+        assert toy.to_csr().abs_row_sums().tolist() == [3.0, 3.0]
+
+
+class TestRequireFinite:
+    def test_clean_model_passes(self, toy):
+        toy.require_finite()
+
+    def test_names_nonfinite_linear(self, toy):
+        toy.add_linear("x", float("nan"))
+        with pytest.raises(ValueError, match="linear bias.*'x'"):
+            toy.require_finite()
+
+    def test_names_nonfinite_quadratic(self, toy):
+        toy.add_quadratic("x", "y", float("inf"))
+        with pytest.raises(ValueError, match="quadratic bias"):
+            toy.require_finite()
+
+    def test_names_nonfinite_offset(self, toy):
+        toy.add_offset(float("nan"))
+        with pytest.raises(ValueError, match="offset"):
+            toy.require_finite()
+
+
 class TestConversions:
     def test_to_numpy_shapes(self, toy):
         h, j, offset, order = toy.to_numpy()

@@ -41,6 +41,17 @@ class TestSampling:
         ss = SimulatedAnnealingSampler().sample(bqm, num_reads=3)
         assert ss.lowest_energy == 4.0
 
+    def test_empty_model_samples_are_independent_dicts(self):
+        # Regression: the n==0 path once built its sample list as
+        # ``[{}] * num_reads``, aliasing one shared dict across reads.
+        bqm = BinaryQuadraticModel(offset=1.0)
+        ss = SimulatedAnnealingSampler().sample(bqm, num_reads=3)
+        ss.samples[0].assignment["ghost"] = 1
+        again = SimulatedAnnealingSampler().sample(bqm, num_reads=3)
+        for sample in again.samples:
+            assert sample.assignment == {}
+        assert ss.info["num_flips"] == 0
+
     def test_energies_match_assignments(self):
         bqm = _random_bqm(6, 1)
         ss = SimulatedAnnealingSampler().sample(bqm, num_reads=8, seed=0)

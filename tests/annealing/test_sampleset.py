@@ -63,3 +63,65 @@ class TestSampleSet:
         # Descending multiplicity first, then stable input order.
         assert ss.samples == [common, rare, also_rare]
         assert ss.first is common
+
+
+class TestRowAssignment:
+    def _ra(self):
+        import numpy as np
+
+        from repro.annealing import RowAssignment
+
+        row = np.array([1, 0, 1], dtype=np.int8)
+        return RowAssignment(("a", "b", "c"), row)
+
+    def test_mapping_protocol(self):
+        ra = self._ra()
+        assert len(ra) == 3
+        assert list(ra) == ["a", "b", "c"]
+        assert ra["a"] == 1 and ra["b"] == 0
+        assert dict(ra) == {"a": 1, "b": 0, "c": 1}
+
+    def test_values_are_python_ints(self):
+        # Downstream code (JSON encoding, dict equality against plain
+        # int dicts) relies on native ints, not numpy scalars.
+        ra = self._ra()
+        assert all(type(v) is int for v in ra.values())
+
+    def test_equality_with_dict_and_peer(self):
+        ra = self._ra()
+        assert ra == {"a": 1, "b": 0, "c": 1}
+        assert {"a": 1, "b": 0, "c": 1} == ra
+        assert ra == self._ra()
+        assert ra != {"a": 0, "b": 0, "c": 1}
+        assert ra != "not a mapping"
+
+    def test_lazy_materialisation(self):
+        ra = self._ra()
+        assert ra._dict is None
+        _ = ra["a"]
+        assert ra._dict is not None
+
+    def test_works_inside_sample(self):
+        s = Sample(self._ra(), -1.5)
+        assert s.value("c") == 1
+        assert s.assignment == {"a": 1, "b": 0, "c": 1}
+
+
+class TestFromCounts:
+    def test_matches_from_states_on_deduped_input(self):
+        states = [{"a": 0, "b": 1}, {"a": 1, "b": 1}, {"a": 0, "b": 1}]
+        energies = [2.0, -1.0, 2.0]
+        via_states = SampleSet.from_states(states, energies)
+        via_counts = SampleSet.from_counts(
+            [{"a": 0, "b": 1}, {"a": 1, "b": 1}], [2.0, -1.0], [2, 1]
+        )
+        assert [
+            (s.assignment, s.energy, s.num_occurrences) for s in via_states.samples
+        ] == [
+            (s.assignment, s.energy, s.num_occurrences) for s in via_counts.samples
+        ]
+
+    def test_counts_and_info(self):
+        ss = SampleSet.from_counts([{"a": 1}], [0.5], [7], info={"k": 2})
+        assert len(ss) == 7
+        assert ss.info == {"k": 2}

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.annealing import BinaryQuadraticModel, tabu_search
+from repro.annealing import BinaryQuadraticModel, batched_tabu, tabu_search
 from repro.milp import solve_branch_bound
 
 
@@ -64,3 +64,37 @@ class TestTabuSearch:
         _x1, short = tabu_search(bqm, iterations=50, seed=5)
         _x2, long = tabu_search(bqm, iterations=5000, seed=5)
         assert long <= short + 1e-9
+
+
+class TestBatchedTabu:
+    def test_multi_restart_never_worse_than_single(self):
+        bqm = _random_bqm(12, 1, density=0.6)
+        single = batched_tabu(bqm, num_restarts=1, iterations=300, seed=9)
+        multi = batched_tabu(bqm, num_restarts=8, iterations=300, seed=9)
+        assert multi.best_energy <= single.best_energy + 1e-9
+
+    def test_initial_states_as_array(self):
+        bqm = BinaryQuadraticModel({0: 10.0, 1: 10.0})
+        res = batched_tabu(
+            bqm, num_restarts=2, initial_states=np.zeros((2, 2)), iterations=30
+        )
+        assert res.best_energy == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self):
+        bqm = _random_bqm(10, 4, density=0.5)
+        a = batched_tabu(bqm, num_restarts=4, iterations=200, seed=21)
+        b = batched_tabu(bqm, num_restarts=4, iterations=200, seed=21)
+        assert a.assignments == b.assignments
+        assert np.array_equal(a.energies, b.energies)
+
+    def test_finds_optimum_with_restarts(self):
+        bqm = _random_bqm(10, 6)
+        opt = solve_branch_bound(bqm).energy
+        res = batched_tabu(bqm, num_restarts=6, iterations=1500, seed=0)
+        assert res.best_energy == pytest.approx(opt, abs=1e-9)
+
+    def test_info_counts_flip_budget(self):
+        bqm = _random_bqm(8, 2)
+        res = batched_tabu(bqm, num_restarts=3, iterations=50, seed=1)
+        assert res.info["num_flips"] == 150
+        assert res.info["num_restarts"] == 3

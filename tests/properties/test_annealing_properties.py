@@ -65,6 +65,22 @@ class TestSamplerInvariants:
         _assignment, energy = tabu_search(bqm, iterations=200, seed=seed)
         assert energy >= exact - 1e-8
 
+    @given(bqms(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_energies_bitwise_equal_scalar_energy(self, bqm, seed):
+        """The CSR-routed batch path and scalar path are exactly equal.
+
+        Not approx: ``energy()`` evaluates through the same cached CSR
+        arrays with row-independent reductions, so the equality is
+        bitwise on arbitrary float coefficients.
+        """
+        rng = np.random.default_rng(seed)
+        states = rng.integers(0, 2, size=(5, bqm.num_variables))
+        energies = bqm.energies(states)
+        for r in range(5):
+            sample = {v: int(states[r, c]) for c, v in enumerate(bqm.variables)}
+            assert bqm.energy(sample) == energies[r]
+
     @given(bqms())
     @settings(max_examples=20, deadline=None)
     def test_ising_and_numpy_views_agree(self, bqm):
