@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke check for the qMKP checkpoint journal.
+
+The CI scenario, end to end through the real CLI:
+
+1. run ``qmkp`` uninterrupted to establish the reference answer;
+2. run it again with ``--checkpoint`` and ``QMKP_CRASH_AFTER_PROBES=1``
+   so the process SIGKILLs itself right after the first probe record is
+   fsynced — a deterministic mid-search crash;
+3. resume from the same journal and require the **bit-identical** final
+   answer plus a reconciled run ledger (the CLI exits 3 on drift).
+
+Exits nonzero with a diagnostic on any deviation.  No arguments; the
+work happens in a temporary directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = str(REPO / "src")
+
+SOLVE = ["-k", "2", "--solver", "qmkp", "--seed", "7"]
+
+
+def run_cli(args: list[str], cwd: str, crash_after: int | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if crash_after is not None:
+        env["QMKP_CRASH_AFTER_PROBES"] = str(crash_after)
+    else:
+        env.pop("QMKP_CRASH_AFTER_PROBES", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=300,
+    )
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="kill-resume-")
+    graph = Path(tmp) / "graph.txt"
+    # gnm(7, 10, seed=1): its qMKP binary search takes three probes, so
+    # crashing after the first genuinely lands mid-search.
+    sys.path.insert(0, SRC)
+    from repro.graphs import gnm_random_graph, write_edge_list
+
+    write_edge_list(gnm_random_graph(7, 10, seed=1), graph)
+
+    reference = run_cli(["solve", str(graph), *SOLVE], tmp)
+    if reference.returncode != 0:
+        fail(f"reference run failed: {reference.stderr}")
+    print("reference answer:")
+    print(reference.stdout, end="")
+
+    checkpoint = Path(tmp) / "probe.wal"
+    crashed = run_cli(
+        ["solve", str(graph), *SOLVE, "--checkpoint", str(checkpoint)],
+        tmp,
+        crash_after=1,
+    )
+    if crashed.returncode != -signal.SIGKILL:
+        fail(
+            f"crash run exited {crashed.returncode}, expected SIGKILL "
+            f"({-signal.SIGKILL}): {crashed.stderr}"
+        )
+    if not checkpoint.exists():
+        fail("crash run left no checkpoint journal")
+    lines = checkpoint.read_text().splitlines()
+    if len(lines) != 2:
+        fail(f"journal holds {len(lines)} lines, expected header + 1 probe")
+    print(f"crash run SIGKILLed after 1 journaled probe ({checkpoint})")
+
+    ledger_path = Path(tmp) / "ledger.json"
+    resumed = run_cli(
+        [
+            "solve", str(graph), *SOLVE,
+            "--checkpoint", str(checkpoint),
+            "--trace", str(ledger_path),
+        ],
+        tmp,
+    )
+    if resumed.returncode != 0:
+        fail(f"resume run exited {resumed.returncode}: {resumed.stderr}")
+    if "resumed 1 probe(s)" not in resumed.stdout:
+        fail(f"resume run did not report replayed probes:\n{resumed.stdout}")
+    if resumed.stdout.splitlines()[-2:] != reference.stdout.splitlines()[-2:]:
+        fail(
+            "resumed answer differs from the uninterrupted reference:\n"
+            f"--- reference ---\n{reference.stdout}"
+            f"--- resumed ---\n{resumed.stdout}"
+        )
+    ledger = json.loads(ledger_path.read_text())
+    if not ledger["verified"] or ledger["drift"]:
+        fail(f"resumed ledger did not reconcile: {ledger['drift']}")
+    print("resume run: bit-identical answer, ledger reconciled")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

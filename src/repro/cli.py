@@ -78,6 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="qamkp-qpu: inject faults, e.g. 'transient=2,storm=0.5,seed=7'",
     )
     solve.add_argument(
+        "--deadline", type=float, default=None, metavar="GATE_UNITS",
+        help="qmkp: gate-unit budget shared across all threshold probes; "
+        "on expiry the search degrades to the classical branch search",
+    )
+    solve.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="qmkp: write-ahead probe journal; if PATH already exists the "
+        "run resumes from it (bit-identical to the uninterrupted run)",
+    )
+    solve.add_argument(
+        "--inject-gate-faults", metavar="SPEC", default=None,
+        help="qmkp: inject gate-stack faults, e.g. "
+        "'transient=2,readout=0.5,depolarize=0.05,seed=7'; corrupted "
+        "samples are rejected by the self-verifying measurement loop",
+    )
+    solve.add_argument(
         "--trace", metavar="PATH", default=None,
         help="trace the solve and write the run-ledger JSON (span tree, "
         "metrics, reconciled totals) to PATH; exits 3 on ledger drift",
@@ -160,6 +176,17 @@ def _cmd_solve(args, graph, labels) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.solver != "qmkp" and (
+        args.deadline is not None
+        or args.checkpoint is not None
+        or args.inject_gate_faults is not None
+    ):
+        print(
+            "error: --deadline/--checkpoint/--inject-gate-faults require "
+            "--solver qmkp",
+            file=sys.stderr,
+        )
+        return 2
     if args.anneal_workers is not None and args.solver != "qamkp-sa":
         print(
             "error: --anneal-workers requires --solver qamkp-sa",
@@ -176,12 +203,57 @@ def _cmd_solve(args, graph, labels) -> int:
     elif args.solver == "bs":
         subset = maximum_kplex(graph, args.k).subset
     elif args.solver == "qmkp":
+        import os
+
+        from .resilience import CheckpointError, GateFaultPlan
+
         rng = np.random.default_rng(args.seed)
-        subset = qmkp(
-            graph, args.k, rng=rng,
-            use_cache=not args.no_cache, workers=args.workers,
-            tracer=tracer,
-        ).subset
+        resume = (
+            args.checkpoint
+            if args.checkpoint is not None and os.path.exists(args.checkpoint)
+            else None
+        )
+        try:
+            gate_plan = (
+                GateFaultPlan.parse(args.inject_gate_faults)
+                if args.inject_gate_faults
+                else None
+            )
+        except ValueError as exc:
+            print(f"error: --inject-gate-faults: {exc}", file=sys.stderr)
+            return 2
+        try:
+            result = qmkp(
+                graph, args.k, rng=rng,
+                use_cache=not args.no_cache, workers=args.workers,
+                tracer=tracer,
+                deadline=args.deadline,
+                checkpoint=args.checkpoint,
+                resume=resume,
+                gate_faults=gate_plan,
+            )
+        except CheckpointError as exc:
+            print(f"error: checkpoint: {exc}", file=sys.stderr)
+            return 2
+        subset = result.subset
+        if result.resumed_probes:
+            print(
+                f"resumed {result.resumed_probes} probe(s) from "
+                f"{args.checkpoint}"
+            )
+        if result.degraded_to:
+            print(
+                f"deadline expired after {result.gate_units} gate units; "
+                f"degraded to {result.degraded_to}"
+            )
+        if result.verification is not None:
+            v = result.verification
+            print(
+                f"gate faults injected: {len(v['faults'])} | "
+                f"measurements verified: {v['verified']}/{v['measurements']} | "
+                f"false positives rejected: {v['false_positives']} | "
+                f"transient retries: {v['transient_retries']}"
+            )
     else:
         from .annealing import EmbeddingError, QPURuntimeExceeded
         from .resilience import BudgetExhausted, CircuitOpenError

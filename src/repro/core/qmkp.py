@@ -11,18 +11,40 @@ explicitly:
 * **orthogonality** — graph reduction (core-truss co-pruning) and the
   polynomial upper bounds can shrink the instance / search interval
   before the quantum search runs; both hooks are built in.
+
+On top of the paper's algorithm sits the gate-stack resilience layer
+(PR 5): a qMKP run can carry a :class:`~repro.resilience.DeadlineBudget`
+of gate units shared across all probes (degrading to the classical
+branch search when it expires), journal every completed probe into a
+write-ahead checkpoint (so a killed run resumes **bit-identically** via
+``qmkp(..., resume=PATH)``), and route every Grover execution through a
+:class:`~repro.resilience.GateFaultInjector` whose corrupted samples
+are caught by qTKP's self-verifying measurement loop.  All of it is
+opt-in: with every knob at its default the run is byte-identical to the
+pre-resilience implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..graphs import Graph, co_prune
-from ..kplex import best_upper_bound
+from ..kplex import best_upper_bound, is_kplex, maximum_kplex
 from ..obs import NULL_TRACER
 from ..perf import MarkedSetCache
+from ..resilience.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+    restore_rng_state,
+    rng_state,
+    validate_header,
+)
+from ..resilience.deadline import DeadlineBudget
+from ..resilience.gate import GateFaultInjector, GateFaultPlan, GateVerification
 from .oracle import OracleCosts
 from .qtkp import QTKPResult, qtkp
 
@@ -44,7 +66,12 @@ class QMKPResult:
     """Outcome of a qMKP run.
 
     ``progression`` lists feasible solutions in discovery order; its
-    first entry is the paper's "first result".
+    first entry is the paper's "first result".  The resilience fields
+    keep their defaults on a clean, feature-off run: ``degraded_to``
+    names the classical fallback that finished the search when the
+    gate-unit deadline expired, ``resumed_probes`` counts probes
+    replayed from a checkpoint journal, and ``verification`` is the
+    aggregated sample-verification ledger of a fault-injected run.
     """
 
     subset: frozenset[int]
@@ -54,6 +81,12 @@ class QMKPResult:
     progression: list[ProgressEvent] = field(default_factory=list)
     probes: list[QTKPResult] = field(default_factory=list, repr=False)
     oracle_costs_total: dict[str, int] = field(default_factory=dict)
+    degraded_to: str | None = None
+    deadline_expired: bool = False
+    resumed_probes: int = 0
+    verification: dict[str, object] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def size(self) -> int:
@@ -76,11 +109,15 @@ def qmkp(
     counting: str = "exact",
     reduce_first: bool = False,
     use_upper_bound: bool = True,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     use_cache: bool = True,
     cache: MarkedSetCache | None = None,
     workers: int | None = None,
     tracer=None,
+    deadline: DeadlineBudget | float | None = None,
+    checkpoint: str | Path | None = None,
+    resume: str | Path | None = None,
+    gate_faults: GateFaultPlan | str | None = None,
 ) -> QMKPResult:
     """Find a maximum k-plex by binary search over qTKP.
 
@@ -97,6 +134,11 @@ def qmkp(
     use_upper_bound:
         Initialise the binary search's upper end from the polynomial
         bounds instead of ``n``.
+    rng:
+        One seeded :class:`numpy.random.Generator` (or an int seed)
+        threaded end-to-end through every qTKP probe, BBHT round, and
+        Grover measurement — no layer below creates its own generator,
+        so a fixed seed pins the whole run.
     use_cache:
         Share one bit-parallel marked-set sweep across all threshold
         probes (:class:`repro.perf.MarkedSetCache`) instead of
@@ -118,11 +160,45 @@ def qmkp(
         probe count, cache deltas) so
         :meth:`repro.obs.RunLedger.verify` can prove them drift-free.
         None = no-op tracer.
+    deadline:
+        Gate-unit budget shared across all probes (a
+        :class:`~repro.resilience.DeadlineBudget` or a plain float).
+        Checked between probes; on expiry the remaining interval is
+        finished by the classical :func:`repro.kplex.maximum_kplex`
+        branch search and the result records ``degraded_to``.
+    checkpoint:
+        Path of a write-ahead probe journal
+        (:class:`~repro.resilience.CheckpointJournal`): every completed
+        probe — threshold, verified witness, cost accounting, RNG state
+        — is fsynced before the search advances, so a SIGKILL loses at
+        most the probe in flight.
+    resume:
+        Path of an existing journal to resume from.  Completed probes
+        are replayed (witnesses re-verified classically), the RNG state
+        is restored, and the search continues live — bit-identical to
+        the uninterrupted run.  Pass the same path as ``checkpoint`` to
+        keep extending the journal across kills.
+    gate_faults:
+        A :class:`~repro.resilience.GateFaultPlan` (or its string form,
+        e.g. ``"transient=2,readout=0.5,seed=7"``) injected into every
+        probe's Grover executions and measurements; the self-verifying
+        loop in qTKP rejects corrupted samples against the classical
+        certificate and the aggregated accounting lands on
+        ``result.verification``.
     """
-    rng = rng or np.random.default_rng()
+    rng = np.random.default_rng(rng)
     tracer = tracer or NULL_TRACER
     if cache is None and use_cache:
         cache = MarkedSetCache(workers=workers)
+    if isinstance(gate_faults, str):
+        gate_faults = GateFaultPlan.parse(gate_faults)
+    injector = (
+        GateFaultInjector(gate_faults)
+        if gate_faults is not None and not gate_faults.is_noop
+        else None
+    )
+    if deadline is not None and not isinstance(deadline, DeadlineBudget):
+        deadline = DeadlineBudget(deadline)
     with tracer.span(
         "qmkp", n=graph.num_vertices, k=k, counting=counting
     ) as span:
@@ -136,7 +212,8 @@ def qmkp(
             stats_before = cache.stats()
         try:
             result = _qmkp_body(
-                graph, k, counting, reduce_first, use_upper_bound, rng, cache, tracer
+                graph, k, counting, reduce_first, use_upper_bound, rng,
+                cache, tracer, injector, deadline, checkpoint, resume,
             )
         finally:
             if cache is not None:
@@ -145,6 +222,10 @@ def qmkp(
         span.claim("oracle_calls", result.oracle_calls)
         span.claim("gate_units", result.gate_units)
         span.claim("qtkp_calls", result.qtkp_calls)
+        if result.resumed_probes:
+            span.set("resumed_probes", result.resumed_probes)
+        if result.degraded_to:
+            span.set("degraded_to", result.degraded_to)
         if stats_before is not None:
             stats_after = cache.stats()
             span.claim(
@@ -157,6 +238,87 @@ def qmkp(
     return result
 
 
+def _journal_header(
+    graph: Graph,
+    working: Graph,
+    k: int,
+    counting: str,
+    reduce_first: bool,
+    use_upper_bound: bool,
+    rng: np.random.Generator,
+) -> dict[str, object]:
+    """The instance-binding fields a checkpoint must match to be replayed."""
+    return {
+        "graph": graph.fingerprint(),
+        "working": working.fingerprint(),
+        "n": working.num_vertices,
+        "k": k,
+        "counting": counting,
+        "reduce_first": reduce_first,
+        "use_upper_bound": use_upper_bound,
+        "rng": type(rng.bit_generator).__name__,
+    }
+
+
+def _probe_record(
+    probe: QTKPResult, rng: np.random.Generator
+) -> dict[str, object]:
+    """One completed probe as a JSON-safe WAL record (RNG state *after*)."""
+    record: dict[str, object] = {
+        "threshold": None,  # filled by caller (the binary-search mid)
+        "found": probe.found,
+        "subset": sorted(probe.subset),
+        "iterations": probe.iterations,
+        "oracle_calls": probe.oracle_calls,
+        "num_marked": probe.num_marked,
+        "success_probability": probe.success_probability,
+        "attempts": probe.attempts,
+        "gate_units": probe.gate_units,
+        "oracle_costs": {
+            "encode": probe.oracle_costs.encode,
+            "degree_count": probe.oracle_costs.degree_count,
+            "degree_compare": probe.oracle_costs.degree_compare,
+            "size_check": probe.oracle_costs.size_check,
+            "mark": probe.oracle_costs.mark,
+        },
+        "rng_state": rng_state(rng),
+    }
+    if probe.verification is not None:
+        record["verification"] = probe.verification.as_dict()
+    return record
+
+
+def _probe_from_record(record: dict[str, object]) -> QTKPResult:
+    """Rebuild the :class:`QTKPResult` a journal record describes."""
+    verification = None
+    if record.get("verification") is not None:
+        v = dict(record["verification"])
+        verification = GateVerification(
+            measurements=int(v.get("measurements", 0)),
+            verified=int(v.get("verified", 0)),
+            false_positives=int(v.get("false_positives", 0)),
+            false_negative=bool(v.get("false_negative", False)),
+            transient_retries=int(v.get("transient_retries", 0)),
+            bbht_restarts=int(v.get("bbht_restarts", 0)),
+            faults=[tuple(f) for f in v.get("faults", [])],
+        )
+    return QTKPResult(
+        subset=frozenset(int(v) for v in record["subset"]),
+        found=bool(record["found"]),
+        iterations=int(record["iterations"]),
+        oracle_calls=int(record["oracle_calls"]),
+        num_marked=int(record["num_marked"]),
+        success_probability=float(record["success_probability"]),
+        attempts=int(record["attempts"]),
+        gate_units=int(record["gate_units"]),
+        oracle_costs=OracleCosts(**{
+            key: int(value)
+            for key, value in record["oracle_costs"].items()
+        }),
+        verification=verification,
+    )
+
+
 def _qmkp_body(
     graph: Graph,
     k: int,
@@ -166,6 +328,10 @@ def _qmkp_body(
     rng: np.random.Generator,
     cache: MarkedSetCache | None,
     tracer,
+    injector: GateFaultInjector | None,
+    deadline: DeadlineBudget | None,
+    checkpoint: str | Path | None,
+    resume: str | Path | None,
 ) -> QMKPResult:
     working = graph
     translate = None
@@ -188,11 +354,9 @@ def _qmkp_body(
     gate_units = 0
     totals = {"encode": 0, "degree_count": 0, "degree_compare": 0, "size_check": 0}
 
-    while lo <= hi:
-        mid = (lo + hi) // 2
-        probe = qtkp(
-            working, k, mid, counting=counting, rng=rng, cache=cache, tracer=tracer
-        )
+    def apply_probe(probe: QTKPResult, mid: int) -> None:
+        """The binary-search update rule, shared by replay and live probes."""
+        nonlocal lo, hi, best, oracle_calls, gate_units
         probes.append(probe)
         oracle_calls += probe.oracle_calls
         gate_units += probe.gate_units
@@ -215,6 +379,115 @@ def _qmkp_body(
         else:
             hi = mid - 1
 
+    header = _journal_header(
+        graph, working, k, counting, reduce_first, use_upper_bound, rng
+    )
+
+    # ------------------------------------------------------------------
+    # Resume: replay the journal's completed probes through the same
+    # update rule, re-verify every witness, restore the RNG state.
+    # ------------------------------------------------------------------
+    resumed = 0
+    if resume is not None:
+        loaded_header, records = CheckpointJournal.load(resume)
+        validate_header(header, loaded_header, str(resume))
+        if records:
+            with tracer.span(
+                "checkpoint.replay", path=str(resume), probes=len(records)
+            ) as rspan:
+                replay_oracle = 0
+                replay_gate = 0
+                replay_attempts = 0
+                for record in records:
+                    if lo > hi:
+                        raise CheckpointCorruptError(
+                            f"{resume}: journal holds more probes than the "
+                            "search interval admits"
+                        )
+                    mid = (lo + hi) // 2
+                    if int(record["threshold"]) != mid:
+                        raise CheckpointMismatchError(
+                            f"{resume}: journal probe at threshold "
+                            f"{record['threshold']} but the search "
+                            f"sequence expects {mid}"
+                        )
+                    probe = _probe_from_record(record)
+                    if probe.found and not (
+                        len(probe.subset) >= mid
+                        and is_kplex(working, probe.subset, k)
+                    ):
+                        raise CheckpointCorruptError(
+                            f"{resume}: journal witness for threshold {mid} "
+                            "failed classical re-verification"
+                        )
+                    replay_oracle += probe.oracle_calls
+                    replay_gate += probe.gate_units
+                    replay_attempts += probe.attempts
+                    apply_probe(probe, mid)
+                    if deadline is not None:
+                        deadline.charge(probe.gate_units)
+                # Replayed work is charged inside this span so the qmkp
+                # root's claims still reconcile — the ledger proves the
+                # journal's totals and the result object agree.
+                tracer.add("oracle_calls", replay_oracle)
+                tracer.add("gate_units", replay_gate)
+                tracer.add("qtkp_calls", len(records))
+                tracer.add("qtkp_attempts", replay_attempts)
+                rspan.claim("oracle_calls", replay_oracle)
+                rspan.claim("gate_units", replay_gate)
+                rspan.claim("qtkp_calls", len(records))
+                rspan.claim("qtkp_attempts", replay_attempts)
+            restore_rng_state(rng, records[-1]["rng_state"])
+            resumed = len(records)
+
+    journal = None
+    if checkpoint is not None:
+        keep = resume is not None and Path(resume) == Path(checkpoint)
+        journal = CheckpointJournal(checkpoint, header, resume=keep)
+
+    degraded_to: str | None = None
+    deadline_expired = False
+    try:
+        while lo <= hi:
+            if deadline is not None and deadline.expired:
+                deadline_expired = True
+                break
+            mid = (lo + hi) // 2
+            probe = qtkp(
+                working, k, mid, counting=counting, rng=rng, cache=cache,
+                tracer=tracer, injector=injector,
+            )
+            if deadline is not None:
+                deadline.charge(probe.gate_units)
+            apply_probe(probe, mid)
+            if journal is not None:
+                record = _probe_record(probe, rng)
+                record["threshold"] = mid
+                journal.append_probe(record)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if deadline_expired:
+        # Documented degradation: the gate budget is spent, so the
+        # remaining interval is decided by the exact classical branch
+        # search — never a silent "best so far".
+        with tracer.span("qmkp.fallback", reason="deadline", lo=lo, hi=hi):
+            tracer.add("deadline_fallbacks", 1)
+            classical = maximum_kplex(working, k).subset
+        degraded_to = "kplex.branch_search"
+        if len(classical) > len(best):
+            best = classical
+
+    verification = None
+    if injector is not None:
+        agg = GateVerification()
+        for probe in probes:
+            if probe.verification is not None:
+                agg.merge(probe.verification)
+        verification = agg.as_dict()
+        verification["executions"] = injector.executions
+
     if translate is not None:
         best = translate.translate_back(best)
     return QMKPResult(
@@ -225,6 +498,10 @@ def _qmkp_body(
         progression=progression,
         probes=probes,
         oracle_costs_total=totals,
+        degraded_to=degraded_to,
+        deadline_expired=deadline_expired,
+        resumed_probes=resumed,
+        verification=verification,
     )
 
 

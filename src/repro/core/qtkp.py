@@ -34,9 +34,19 @@ from ..kplex import is_kplex
 from ..obs import NULL_TRACER
 from ..perf import MarkedSetCache
 from ..quantum import quantum_count
+from ..resilience.gate import (
+    GateFaultInjector,
+    GateVerification,
+    execute_with_retries,
+)
 from .oracle import KCplexOracle, OracleCosts
 
 __all__ = ["QTKPResult", "qtkp"]
+
+#: Schedule restarts granted to BBHT when gate faults are injected —
+#: noise can defeat a whole exponential schedule, so a noisy run gets a
+#: bounded number of fresh ceilings before declaring infeasibility.
+_BBHT_FAULT_RESTARTS = 2
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,13 @@ class QTKPResult:
         Total gates executed (oracle + diffusion, all iterations).
     oracle_costs:
         Per-component gate counts of a single oracle call.
+    verification:
+        Sample-verification ledger
+        (:class:`repro.resilience.GateVerification`) — measurements
+        taken, certificates passed, false positives rejected, transient
+        retries, and whether the outcome is a known false negative.
+        ``None`` unless a fault injector was active (the clean path
+        stays byte-identical to the un-instrumented run).
     """
 
     subset: frozenset[int]
@@ -74,6 +91,9 @@ class QTKPResult:
     attempts: int
     gate_units: int
     oracle_costs: OracleCosts = field(repr=False, default=None)  # type: ignore[assignment]
+    verification: GateVerification | None = field(
+        default=None, repr=False, compare=False
+    )
 
 
 def qtkp(
@@ -82,9 +102,10 @@ def qtkp(
     threshold: int,
     counting: str = "exact",
     max_attempts: int = 8,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     cache: MarkedSetCache | None = None,
     tracer=None,
+    injector: GateFaultInjector | None = None,
 ) -> QTKPResult:
     """Find a k-plex of size at least ``threshold``, or report failure.
 
@@ -116,6 +137,17 @@ def qtkp(
         with a child span per Grover execution; oracle calls and gate
         units are charged at the leaves and the result's totals are
         claimed for the run-ledger drift check.  None = no-op tracer.
+    injector:
+        Optional :class:`repro.resilience.GateFaultInjector`.  Routes
+        every Grover execution and measurement through the gate-stack
+        fault model: transient simulator errors are retried (with
+        ``gate.retry`` spans), depolarizing dampening is forwarded into
+        the engine, readout bit-flips corrupt measured masks — and the
+        self-verifying loop checks each sample against the classical
+        certificate (``gate.verify`` spans) before trusting it, so an
+        injected corruption costs a retry, never a wrong answer.  With
+        ``None`` the clean path runs byte-identically to a build
+        without this feature.
     """
     if not (1 <= threshold <= max(graph.num_vertices, 1)):
         raise ValueError(
@@ -127,18 +159,27 @@ def qtkp(
         raise ValueError(
             f"counting must be 'exact', 'quantum', or 'bbht', got {counting!r}"
         )
-    rng = rng or np.random.default_rng()
+    rng = np.random.default_rng(rng)
     tracer = tracer or NULL_TRACER
+    if injector is not None and injector.plan.is_noop:
+        injector = None
     with tracer.span(
         "qtkp", n=graph.num_vertices, k=k, threshold=threshold, counting=counting
     ) as span:
-        result = _qtkp_body(graph, k, threshold, counting, max_attempts, rng, cache, tracer)
+        result = _qtkp_body(
+            graph, k, threshold, counting, max_attempts, rng, cache, tracer, injector
+        )
         tracer.add("qtkp_calls", 1)
         span.set("found", result.found)
         span.set("size", len(result.subset))
         span.claim("oracle_calls", result.oracle_calls)
         span.claim("gate_units", result.gate_units)
         span.claim("qtkp_attempts", result.attempts)
+        if result.verification is not None:
+            v = result.verification
+            span.claim("gate_retries", v.transient_retries + v.bbht_restarts)
+            if counting != "bbht":
+                span.claim("gate_verifications", v.measurements)
     return result
 
 
@@ -151,6 +192,7 @@ def _qtkp_body(
     rng: np.random.Generator,
     cache: MarkedSetCache | None,
     tracer,
+    injector: GateFaultInjector | None,
 ) -> QTKPResult:
     n = graph.num_vertices
     complement = graph.complement()
@@ -160,6 +202,9 @@ def _qtkp_body(
     else:
         engine = PhaseOracleGrover(n, oracle.predicate)
     exact_m = engine.num_marked
+
+    stats = GateVerification() if injector is not None else None
+    fault_log_start = len(injector.fault_log) if injector is not None else 0
 
     if counting == "quantum" and exact_m:
         estimate = quantum_count(n, exact_m, rng=rng).rounded
@@ -172,7 +217,25 @@ def _qtkp_body(
 
     if counting == "bbht":
         with tracer.span("qtkp.bbht"):
-            result = bbht_search(engine, rng=rng)
+            if injector is None:
+                result = bbht_search(engine, rng=rng)
+            else:
+                result = bbht_search(
+                    engine,
+                    rng=rng,
+                    restarts=_BBHT_FAULT_RESTARTS,
+                    execute=lambda eng, iters: execute_with_retries(
+                        eng, iters, injector, stats, tracer, max_attempts
+                    ),
+                    corrupt=lambda mask: injector.corrupt_measurement(mask, n),
+                    tracer=tracer,
+                )
+                stats.measurements = result.rounds
+                stats.verified = int(result.found)
+                stats.false_positives = result.rejected
+                stats.bbht_restarts = result.restarts_used
+                stats.false_negative = not result.found and exact_m > 0
+                stats.faults = list(injector.fault_log[fault_log_start:])
             tracer.add("oracle_calls", result.oracle_calls)
             tracer.add("gate_units", result.oracle_calls * per_round)
             tracer.add("qtkp_attempts", result.rounds)
@@ -189,6 +252,7 @@ def _qtkp_body(
             attempts=result.rounds,
             gate_units=result.oracle_calls * per_round,
             oracle_costs=per_call,
+            verification=stats,
         )
 
     if exact_m == 0:
@@ -209,10 +273,16 @@ def _qtkp_body(
             attempts=1,
             gate_units=iterations * per_round,
             oracle_costs=per_call,
+            verification=stats,
         )
 
     iterations = best_iterations(1 << n, num_marked)
-    run = engine.run(iterations)
+    if injector is None:
+        run = engine.run(iterations)
+    else:
+        run = execute_with_retries(
+            engine, iterations, injector, stats, tracer, max_attempts
+        )
     oracle_calls = 0
     for attempt in range(1, max_attempts + 1):
         oracle_calls += iterations
@@ -221,10 +291,31 @@ def _qtkp_body(
             tracer.add("gate_units", iterations * per_round)
             tracer.add("qtkp_attempts", 1)
             mask = run.measure_once(rng)
-            subset = graph.bitmask_to_subset(mask)
-            verified = len(subset) >= threshold and is_kplex(graph, subset, k)
+            if injector is None:
+                subset = graph.bitmask_to_subset(mask)
+                verified = len(subset) >= threshold and is_kplex(graph, subset, k)
+            else:
+                # Self-verifying sampling: the measured candidate is
+                # checked against the classical certificate before it
+                # is trusted, so injected readout/depolarizing noise
+                # costs a retry, never a wrong answer.
+                with tracer.span("gate.verify", attempt=attempt) as vspan:
+                    tracer.add("gate_verifications", 1)
+                    mask = injector.corrupt_measurement(mask, n)
+                    subset = graph.bitmask_to_subset(mask)
+                    verified = (
+                        len(subset) >= threshold and is_kplex(graph, subset, k)
+                    )
+                    stats.measurements += 1
+                    if verified:
+                        stats.verified += 1
+                    else:
+                        stats.false_positives += 1
+                    vspan.set("verified", verified)
             attempt_span.set("verified", verified)
         if verified:
+            if stats is not None:
+                stats.faults = list(injector.fault_log[fault_log_start:])
             return QTKPResult(
                 subset=subset,
                 found=True,
@@ -235,7 +326,11 @@ def _qtkp_body(
                 attempts=attempt,
                 gate_units=oracle_calls * per_round,
                 oracle_costs=per_call,
+                verification=stats,
             )
+    if stats is not None:
+        stats.false_negative = exact_m > 0
+        stats.faults = list(injector.fault_log[fault_log_start:])
     return QTKPResult(
         subset=frozenset(),
         found=False,
@@ -246,4 +341,5 @@ def _qtkp_body(
         attempts=max_attempts,
         gate_units=oracle_calls * per_round,
         oracle_costs=per_call,
+        verification=stats,
     )

@@ -52,6 +52,12 @@ class GroverRun:
     amplitude_snapshots:
         Amplitude vectors recorded after requested iterations
         (``{iteration: vector}``), for Fig. 12-style plots.
+    depolarization:
+        Accumulated depolarizing weight (0 = noiseless).  With weight
+        ``d`` the measurement distribution is ``(1-d) * |amp|^2 + d/N``
+        — the register's state after a depolarizing channel — so the
+        success probability is dampened toward ``M/N`` exactly as NISQ
+        noise dampens it.
     """
 
     num_qubits: int
@@ -60,6 +66,7 @@ class GroverRun:
     amplitudes: np.ndarray
     history: list[float] = field(default_factory=list)
     amplitude_snapshots: dict[int, np.ndarray] = field(default_factory=dict)
+    depolarization: float = 0.0
 
     #: Lazily computed normalized measurement distribution; qTKP's
     #: retry loop measures the same run repeatedly, so the ``amp**2`` /
@@ -74,7 +81,11 @@ class GroverRun:
         if not self.marked:
             return 0.0
         idx = np.fromiter(self.marked, dtype=np.int64)
-        return float(np.sum(self.amplitudes[idx] ** 2))
+        clean = float(np.sum(self.amplitudes[idx] ** 2))
+        if not self.depolarization:
+            return clean
+        uniform = len(self.marked) / (1 << self.num_qubits)
+        return (1.0 - self.depolarization) * clean + self.depolarization * uniform
 
     @property
     def error_probability(self) -> float:
@@ -84,7 +95,13 @@ class GroverRun:
         """The normalized measurement distribution (memoized)."""
         if self._probabilities is None:
             probs = self.amplitudes ** 2
-            self._probabilities = probs / probs.sum()
+            probs = probs / probs.sum()
+            if self.depolarization:
+                probs = (
+                    (1.0 - self.depolarization) * probs
+                    + self.depolarization / probs.size
+                )
+            self._probabilities = probs
         return self._probabilities
 
     def measure(self, shots: int, rng: np.random.Generator | None = None) -> dict[int, int]:
@@ -169,16 +186,31 @@ class PhaseOracleGrover:
         self,
         iterations: int | None = None,
         snapshot_at: Iterable[int] = (),
+        depolarize: float = 0.0,
     ) -> GroverRun:
-        """Execute Grover for ``iterations`` rounds (optimal if None)."""
+        """Execute Grover for ``iterations`` rounds (optimal if None).
+
+        ``depolarize`` is a per-iteration depolarizing rate: each round
+        leaves the register untouched with probability ``1 - p`` and
+        scrambles it to the maximally mixed state with probability
+        ``p``.  The accumulated weight ``1 - (1-p)^iterations`` lands
+        on :attr:`GroverRun.depolarization` and dampens the measurement
+        distribution; the amplitude trace itself (the noiseless branch)
+        is unchanged, so ``depolarize=0.0`` is byte-identical to the
+        noiseless path.
+        """
         if iterations is None:
             iterations = self.optimal_iterations()
         if iterations < 0:
             raise ValueError(f"iterations must be >= 0, got {iterations}")
+        if not 0.0 <= depolarize < 1.0:
+            raise ValueError(f"depolarize must be in [0, 1), got {depolarize}")
         dim = 1 << self.num_qubits
         amp = np.full(dim, 1.0 / np.sqrt(dim))
         snapshots = {int(i) for i in snapshot_at}
         run = GroverRun(self.num_qubits, self.marked, iterations, amp)
+        if depolarize:
+            run.depolarization = 1.0 - (1.0 - depolarize) ** iterations
         if 0 in snapshots:
             run.amplitude_snapshots[0] = amp.copy()
         run.history.append(self._success(amp))

@@ -23,7 +23,7 @@ from .qft import (
     qft_circuit,
     qft_matrix,
 )
-from .mps import MatrixProductState, simulate_mps
+from .mps import MatrixProductState, MPSNormError, simulate_mps
 from .registers import QuantumRegister
 from .statevector import Statevector, apply_gate, simulate
 
@@ -31,6 +31,7 @@ __all__ = [
     "Control",
     "CountingResult",
     "Gate",
+    "MPSNormError",
     "MatrixProductState",
     "QuantumCircuit",
     "QuantumRegister",

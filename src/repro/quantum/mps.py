@@ -33,7 +33,37 @@ import numpy as np
 from .circuit import QuantumCircuit
 from .gates import Gate
 
-__all__ = ["MatrixProductState", "simulate_mps"]
+__all__ = ["MPSNormError", "MatrixProductState", "simulate_mps"]
+
+#: A truncated MPS whose norm has drifted further than this below 1 no
+#: longer represents the circuit's state faithfully enough to read
+#: probabilities from; see :class:`MPSNormError`.
+DEFAULT_NORM_TOLERANCE = 1e-6
+
+
+class MPSNormError(RuntimeError):
+    """The MPS norm drifted below tolerance (bond truncation ate weight).
+
+    Raised by probability queries instead of silently returning an
+    unnormalized distribution: a capped ``max_bond`` that is too small
+    for the circuit's entanglement discards Schmidt weight on every
+    split, and the resulting marginals under-count every outcome.  The
+    message carries the measured norm and the accumulated discarded
+    weight so the caller can tell how far gone the state is; raise the
+    bond cap (or pass ``norm_tolerance=None`` to opt into the
+    unnormalized numbers knowingly).
+    """
+
+    def __init__(self, norm: float, truncation_error: float, tolerance: float) -> None:
+        super().__init__(
+            f"MPS norm {norm:.6g} drifted below 1 - {tolerance:g} "
+            f"(cumulative discarded Schmidt weight {truncation_error:.6g}); "
+            "probabilities would be unnormalized — raise max_bond or pass "
+            "norm_tolerance=None to accept them"
+        )
+        self.norm = norm
+        self.truncation_error = truncation_error
+        self.tolerance = tolerance
 
 _SWAP = np.array(
     [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
@@ -53,15 +83,28 @@ class MatrixProductState:
         Width of the register; initialised to |0...0>.
     max_bond:
         Truncation threshold for the bond dimension (``None`` = exact).
+    norm_tolerance:
+        Probability queries raise :class:`MPSNormError` when the state's
+        norm has drifted more than this below 1 (truncation discarded
+        real Schmidt weight).  ``None`` disables the guard and returns
+        the unnormalized numbers, matching the old silent behaviour.
     """
 
-    def __init__(self, num_qubits: int, max_bond: int | None = None) -> None:
+    def __init__(
+        self,
+        num_qubits: int,
+        max_bond: int | None = None,
+        norm_tolerance: float | None = DEFAULT_NORM_TOLERANCE,
+    ) -> None:
         if num_qubits < 1:
             raise ValueError(f"num_qubits must be >= 1, got {num_qubits}")
         if max_bond is not None and max_bond < 1:
             raise ValueError(f"max_bond must be >= 1, got {max_bond}")
+        if norm_tolerance is not None and norm_tolerance <= 0:
+            raise ValueError(f"norm_tolerance must be > 0, got {norm_tolerance}")
         self.num_qubits = num_qubits
         self.max_bond = max_bond
+        self.norm_tolerance = norm_tolerance
         self.truncation_error = 0.0
         zero = np.zeros((1, 2, 1), dtype=complex)
         zero[0, 0, 0] = 1.0
@@ -78,6 +121,26 @@ class MatrixProductState:
     @property
     def max_bond_reached(self) -> int:
         return max(self.bond_dimensions, default=1)
+
+    @property
+    def discarded_weight(self) -> float:
+        """Cumulative squared Schmidt weight dropped by bond truncation.
+
+        Zero for an exact simulation; each truncated SVD adds the sum of
+        the squared singular values it threw away (the standard
+        discarded-weight error measure for MPS).
+        """
+        return self.truncation_error
+
+    def check_norm(self) -> float:
+        """The norm, raising :class:`MPSNormError` when out of tolerance."""
+        norm = self.norm()
+        if (
+            self.norm_tolerance is not None
+            and norm < 1.0 - self.norm_tolerance
+        ):
+            raise MPSNormError(norm, self.truncation_error, self.norm_tolerance)
+        return norm
 
     def amplitude(self, bits: int) -> complex:
         """<bits|psi> for a basis state given as a little-endian mask."""
@@ -102,7 +165,16 @@ class MatrixProductState:
 
         Exponential in ``len(qubits)`` — meant for small registers
         (e.g. the vertex register of an oracle circuit).
+
+        Raises
+        ------
+        MPSNormError
+            When bond truncation has eaten enough Schmidt weight that
+            the distribution would be unnormalized (guarded by
+            ``norm_tolerance``; pass ``None`` at construction to opt
+            out).
         """
+        self.check_norm()
         keep = list(qubits)
         out: dict[int, float] = {}
         for pattern in range(1 << len(keep)):
@@ -201,8 +273,8 @@ class MatrixProductState:
             rest_dim = remainder.shape[1] // 2
             m = remainder.reshape(chi_left * 2, rest_dim * remainder.shape[2])
             u, s, vh = np.linalg.svd(m, full_matrices=False)
-            keep = _truncation_rank(s, self.max_bond)
-            self.truncation_error += float(np.sum(s[keep:] ** 2))
+            keep, discarded = _truncation_rank(s, self.max_bond)
+            self.truncation_error += discarded
             u, s, vh = u[:, :keep], s[:keep], vh[:keep]
             tensors.append(u.reshape(chi_left, 2, keep))
             remainder = (np.diag(s) @ vh).reshape(keep, rest_dim, remainder.shape[2])
@@ -211,12 +283,22 @@ class MatrixProductState:
             self._sites[block[0] + offset] = tensor
 
 
-def _truncation_rank(singular_values: np.ndarray, max_bond: int | None) -> int:
+def _truncation_rank(
+    singular_values: np.ndarray, max_bond: int | None
+) -> tuple[int, float]:
+    """``(keep, discarded_weight)`` for one SVD split.
+
+    ``keep`` is the retained rank (numerically nonzero singular values,
+    capped at ``max_bond``); ``discarded_weight`` is the squared Schmidt
+    weight of everything dropped — the quantity
+    :attr:`MatrixProductState.discarded_weight` accumulates.
+    """
     keep = int(np.sum(singular_values > 1e-12))
     keep = max(keep, 1)
     if max_bond is not None:
         keep = min(keep, max_bond)
-    return keep
+    discarded = float(np.sum(singular_values[keep:] ** 2))
+    return keep, discarded
 
 
 def _dense_operator(gate: Gate) -> np.ndarray:
@@ -255,6 +337,7 @@ def simulate_mps(
     circuit: QuantumCircuit,
     max_bond: int | None = None,
     initial_bits: int = 0,
+    norm_tolerance: float | None = DEFAULT_NORM_TOLERANCE,
 ) -> MatrixProductState:
     """Run a circuit on the MPS simulator.
 
@@ -264,11 +347,19 @@ def simulate_mps(
         Any circuit from the IR (all gate kinds supported).
     max_bond:
         Optional bond-dimension cap (exact when ``None``; the qTKP
-        oracle needs at most ``2^n`` for an n-vertex graph).
+        oracle needs at most ``2^n`` for an n-vertex graph).  A
+        gate-fault injector's forced-truncation fault composes here via
+        :meth:`repro.resilience.GateFaultInjector.mps_bond_cap`.
     initial_bits:
         Basis-state input as a little-endian mask.
+    norm_tolerance:
+        Forwarded to :class:`MatrixProductState`; probability queries on
+        the returned state raise :class:`MPSNormError` when truncation
+        has discarded more norm than this.
     """
-    mps = MatrixProductState(circuit.num_qubits, max_bond=max_bond)
+    mps = MatrixProductState(
+        circuit.num_qubits, max_bond=max_bond, norm_tolerance=norm_tolerance
+    )
     for i in range(circuit.num_qubits):
         if (initial_bits >> i) & 1:
             mps._apply_single(np.array([[0, 1], [1, 0]], dtype=complex), i)

@@ -6,8 +6,21 @@ cascade takes the QUBO model by duck type), keeping the architecture's
 arrows pointing down.
 """
 
+from .checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+)
+from .deadline import DeadlineBudget, DeadlineExpired
 from .fallback import CASCADE_ORDER, CascadeOutcome, FallbackCascade
 from .faults import FaultInjectingSampler, FaultPlan, TransientSamplerError
+from .gate import (
+    GateFaultInjector,
+    GateFaultPlan,
+    GateVerification,
+    TransientSimulatorError,
+)
 from .retry import (
     AttemptRecord,
     BudgetExhausted,
@@ -24,11 +37,21 @@ __all__ = [
     "BudgetExhausted",
     "CASCADE_ORDER",
     "CascadeOutcome",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointMismatchError",
     "CircuitBreaker",
     "CircuitOpenError",
+    "DeadlineBudget",
+    "DeadlineExpired",
     "FallbackCascade",
     "FaultInjectingSampler",
     "FaultPlan",
+    "GateFaultInjector",
+    "GateFaultPlan",
+    "GateVerification",
+    "TransientSimulatorError",
     "ResilienceReport",
     "ResilientSampler",
     "RetryPolicy",

@@ -1,0 +1,187 @@
+"""Write-ahead checkpoint journal for qMKP binary searches.
+
+A killed ``O*(2^(n/2))`` run should not discard its completed threshold
+probes.  :class:`CheckpointJournal` is a line-oriented JSON WAL:
+
+* line 1 is a **header** binding the journal to one instance — the
+  graph's structural fingerprint (original and reduced), ``k``, the
+  counting mode and search flags, and the RNG bit-generator kind;
+* every completed qTKP probe appends one **probe record**: the
+  threshold, the verified witness, the full cost accounting needed to
+  rebuild the :class:`~repro.core.qtkp.QTKPResult`, and the measurement
+  RNG's bit-generator state *after* the probe.
+
+Appends are flushed and fsynced before the search advances, so a
+SIGKILL can lose at most the probe in flight; a torn final line
+(the crash landed mid-write) is detected and dropped on load.  Resuming
+(``qmkp(..., resume=PATH)``) replays the recorded probes through the
+same binary-search update rule, re-verifies every witness classically,
+restores the RNG state, and continues live — bit-identical to the run
+that was never killed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointMismatchError",
+    "CheckpointCorruptError",
+    "restore_rng_state",
+    "rng_state",
+    "validate_header",
+]
+
+SCHEMA = "repro.resilience/qmkp-checkpoint/v1"
+
+#: CI/test hook: when set to N, the process SIGKILLs itself after the
+#: N-th probe record has been durably appended — a deterministic
+#: "crash mid-search" for the kill-and-resume smoke job.
+CRASH_ENV = "QMKP_CRASH_AFTER_PROBES"
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint problems."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The journal belongs to a different instance / configuration."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A journal record failed re-verification on resume."""
+
+
+def validate_header(
+    expected: dict[str, object], actual: dict[str, object], where: str
+) -> None:
+    """Every field the run needs must match the journal's header."""
+    for key, value in expected.items():
+        if actual.get(key) != value:
+            raise CheckpointMismatchError(
+                f"{where}: journal header field {key!r} is "
+                f"{actual.get(key)!r}, this run needs {value!r}"
+            )
+
+
+def rng_state(rng: np.random.Generator) -> dict[str, object]:
+    """The generator's bit-generator state as a JSON-safe dict."""
+    return json.loads(json.dumps(rng.bit_generator.state))
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict[str, object]) -> None:
+    """Restore a state captured by :func:`rng_state` (kind-checked)."""
+    expected = type(rng.bit_generator).__name__
+    recorded = state.get("bit_generator")
+    if recorded != expected:
+        raise CheckpointMismatchError(
+            f"journal RNG kind {recorded!r} does not match the run's {expected!r}"
+        )
+    rng.bit_generator.state = state
+
+
+class CheckpointJournal:
+    """Append-only JSON-lines WAL with a validated header.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  A new file gets the header written immediately;
+        an existing file is opened for append after the header has been
+        validated against ``header`` (so a resumed run keeps extending
+        the same journal).
+    header:
+        Instance-binding dict (see module docstring).  Compared
+        key-by-key against an existing journal's header; any difference
+        raises :class:`CheckpointMismatchError`.
+    resume:
+        ``True`` keeps an existing journal and appends after validating
+        its header (the kill-and-resume path); ``False`` (default)
+        starts the journal fresh, truncating any stale file at ``path``.
+    """
+
+    def __init__(
+        self, path: str | Path, header: dict[str, object], resume: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.header = dict(header)
+        self.header["schema"] = SCHEMA
+        self.records_written = 0
+        if resume and self.path.exists() and self.path.stat().st_size > 0:
+            existing, records = self.load(self.path)
+            validate_header(self.header, existing, str(self.path))
+            self.records_written = len(records)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._write_line(self.header)
+
+    # ------------------------------------------------------------------
+    def _write_line(self, payload: dict[str, object]) -> None:
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append_probe(self, record: dict[str, object]) -> None:
+        """Durably append one completed-probe record, then honour the
+        CI crash hook (SIGKILL after the configured record count)."""
+        self._write_line(record)
+        self.records_written += 1
+        target = os.environ.get(CRASH_ENV)
+        if target and self.records_written >= int(target):
+            self._fh.close()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(path: str | Path) -> tuple[dict[str, object], list[dict[str, object]]]:
+        """Read a journal: ``(header, probe_records)``.
+
+        A torn final line — the fsync'd prefix of a record whose write
+        was cut by a kill — fails to parse as JSON and is dropped; a
+        torn line anywhere *before* the end means the file was edited
+        behind the WAL's back and raises
+        :class:`CheckpointCorruptError`.
+        """
+        path = Path(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise CheckpointError(f"{path}: empty checkpoint journal")
+        parsed: list[dict[str, object]] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a mid-write kill: drop it
+                raise CheckpointCorruptError(
+                    f"{path}: unparseable journal line {i + 1} "
+                    "(not the final line — the file was modified)"
+                ) from None
+        if not parsed:
+            raise CheckpointError(f"{path}: no parseable journal lines")
+        header = parsed[0]
+        if header.get("schema") != SCHEMA:
+            raise CheckpointMismatchError(
+                f"{path}: schema {header.get('schema')!r} != {SCHEMA!r}"
+            )
+        return header, parsed[1:]

@@ -1,0 +1,73 @@
+"""A gate-unit deadline shared across the probes of one qMKP run.
+
+The annealing stack budgets *simulated microseconds* (``t = Delta-t x
+s``); the gate stack's natural currency is **gate units** — the
+oracle+diffusion gate counts the paper's Table IV charges per Grover
+round.  :class:`DeadlineBudget` is one pool debited by every qTKP probe
+of a qMKP binary search; when it runs dry the search stops launching
+probes and degrades gracefully to the classical
+:func:`repro.kplex.maximum_kplex` branch search instead of silently
+discarding the work done so far.
+
+The budget is checked *between* probes: a probe in flight always
+completes (the simulator cannot abandon a unitary halfway), so one
+probe may overdraw the pool — the same semantics as the annealing
+stack's per-call charge against ``runtime_budget_us``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeadlineBudget", "DeadlineExpired"]
+
+
+class DeadlineExpired(RuntimeError):
+    """Raised by :meth:`DeadlineBudget.check` when the pool is dry."""
+
+
+class DeadlineBudget:
+    """A debitable pool of gate units.
+
+    Parameters
+    ----------
+    gate_units:
+        Total budget (must be > 0).  Every completed probe charges its
+        ``gate_units`` here; ``expired`` flips once the pool is spent.
+    """
+
+    def __init__(self, gate_units: float) -> None:
+        if not gate_units > 0:
+            raise ValueError(f"gate_units must be > 0, got {gate_units}")
+        self.budget = float(gate_units)
+        self.charged = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.budget - self.charged)
+
+    @property
+    def expired(self) -> bool:
+        return self.charged >= self.budget
+
+    def charge(self, units: float) -> None:
+        """Debit ``units`` (negative charges are ignored)."""
+        self.charged += max(0.0, float(units))
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExpired` if the pool is dry."""
+        if self.expired:
+            raise DeadlineExpired(
+                f"gate-unit deadline {self.budget:.0f} exhausted "
+                f"({self.charged:.0f} charged)"
+            )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "budget": self.budget,
+            "charged": self.charged,
+            "remaining": self.remaining,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeadlineBudget(budget={self.budget!r}, charged={self.charged!r})"
+        )

@@ -1,0 +1,277 @@
+"""Gate-stack fault injection and self-verifying Grover sampling.
+
+PR 1 gave the *annealing* stack fault injection and budgeted retries;
+this module is the gate-model counterpart.  Real NISQ Grover runs fail
+in their own ways — readout bit-flips on the measured register,
+depolarizing noise that dampens the success amplitude, tensor-network
+backends that truncate bonds too aggressively, and transient simulator
+/ submission errors — and none of those can be provoked on demand from
+an exact simulator.  :class:`GateFaultInjector` injects all four on a
+seeded schedule, so the self-verifying sampling loop in
+:mod:`repro.core.qtkp` and the BBHT restarts in
+:mod:`repro.grover.unknown_m` are testable bit-for-bit reproducibly.
+
+The posture mirrors NISQ clique-search practice (Sanyal et al.; Han et
+al.): **every** quantum measurement is checked against the classical
+certificate (:meth:`repro.core.oracle.KCplexOracle.predicate` /
+``is_kplex``) before it is trusted, rejected samples drive budgeted
+retries, and the false-positive / false-negative ledger is surfaced on
+the result objects instead of being silently swallowed.
+
+Injection styles compose exactly like :class:`repro.resilience.faults.FaultPlan`:
+
+* **scripted** faults (``transient=2``) consume a countdown — the first
+  N Grover executions raise :class:`TransientSimulatorError`, which is
+  what retry tests want ("fail twice, then succeed");
+* **probabilistic** faults (``readout=0.5``) draw from the injector's
+  *own* seeded RNG per event, never from the run's measurement RNG —
+  so enabling injection perturbs outcomes, but the clean path's random
+  stream is byte-identical whether this module is imported or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "GateFaultInjector",
+    "GateFaultPlan",
+    "GateVerification",
+    "TransientSimulatorError",
+]
+
+
+class TransientSimulatorError(RuntimeError):
+    """A Grover execution failure that is expected to succeed on retry."""
+
+
+#: Scripted fault classes (counts, consumed in order) and probabilistic
+#: ones (rates, drawn per event from the plan's seeded RNG).
+SCRIPTED_GATE_FAULTS = ("transient",)
+PROBABILISTIC_GATE_FAULTS = ("readout", "depolarize")
+
+
+@dataclass(frozen=True)
+class GateFaultPlan:
+    """What to inject into the gate stack, how often, from which seed.
+
+    Fields
+    ------
+    transient:
+        Scripted count: the first N Grover executions raise
+        :class:`TransientSimulatorError` before any amplitude is
+        computed (the submission never ran).
+    readout:
+        Probability that a measured sample suffers readout noise; when
+        it fires, each vertex bit flips independently with
+        ``readout_flip_prob``.
+    depolarize:
+        Per-iteration depolarizing rate forwarded to
+        :meth:`repro.grover.PhaseOracleGrover.run` — the measurement
+        distribution is mixed toward uniform, dampening the success
+        probability exactly as a depolarizing channel on the register
+        would.
+    truncate_bond:
+        Forced MPS bond-dimension cap (0 = off) applied on top of the
+        caller's ``max_bond`` by :meth:`GateFaultInjector.mps_bond_cap`
+        — the "MPS truncation gone bad" class, caught by the norm guard
+        in :mod:`repro.quantum.mps`.
+    seed:
+        Seed of the injector's private RNG.
+    """
+
+    transient: int = 0
+    readout: float = 0.0
+    readout_flip_prob: float = 0.25
+    depolarize: float = 0.0
+    truncate_bond: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.transient < 0:
+            raise ValueError("transient count must be >= 0")
+        if self.truncate_bond < 0:
+            raise ValueError("truncate_bond must be >= 0")
+        for name in PROBABILISTIC_GATE_FAULTS + ("readout_flip_prob",):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.transient == 0
+            and self.readout == 0.0
+            and self.depolarize == 0.0
+            and self.truncate_bond == 0
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "GateFaultPlan":
+        """Parse ``"transient=2,readout=0.5,seed=7"`` (``:`` also accepted)."""
+        plan = cls()
+        if not spec.strip():
+            return plan
+        updates: dict[str, object] = {}
+        int_fields = ("transient", "truncate_bond", "seed")
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            sep = "=" if "=" in part else ":"
+            name, _, raw = part.partition(sep)
+            name = name.strip()
+            if name not in {f.name for f in plan.__dataclass_fields__.values()}:  # type: ignore[attr-defined]
+                raise ValueError(f"unknown gate fault class {name!r} in {spec!r}")
+            try:
+                value: object = int(raw) if name in int_fields else float(raw)
+            except ValueError as exc:
+                raise ValueError(f"bad value for {name!r}: {raw!r}") from exc
+            updates[name] = value
+        return replace(plan, **updates)
+
+
+@dataclass
+class GateVerification:
+    """Sample-verification ledger for one qTKP / BBHT execution.
+
+    A *false positive* is a measured candidate the classical certificate
+    rejected (noisy collapse or injected readout error — the loop
+    retried instead of trusting it).  ``false_negative`` is set when the
+    run declared the threshold infeasible although the simulator's
+    ground truth says solutions existed (``M > 0``) — the error class a
+    hardware run could not even detect, surfaced here so acceptance
+    tests can bound it.
+    """
+
+    measurements: int = 0
+    verified: int = 0
+    false_positives: int = 0
+    false_negative: bool = False
+    transient_retries: int = 0
+    bbht_restarts: int = 0
+    faults: list[tuple[int, str]] = field(default_factory=list)
+
+    def merge(self, other: "GateVerification") -> None:
+        self.measurements += other.measurements
+        self.verified += other.verified
+        self.false_positives += other.false_positives
+        self.false_negative = self.false_negative or other.false_negative
+        self.transient_retries += other.transient_retries
+        self.bbht_restarts += other.bbht_restarts
+        self.faults.extend(other.faults)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "measurements": self.measurements,
+            "verified": self.verified,
+            "false_positives": self.false_positives,
+            "false_negative": self.false_negative,
+            "transient_retries": self.transient_retries,
+            "bbht_restarts": self.bbht_restarts,
+            "faults": [list(f) for f in self.faults],
+        }
+
+
+class GateFaultInjector:
+    """Inject the plan's faults into Grover executions and measurements.
+
+    The injector is stateful (scripted countdowns, its own RNG, a fault
+    log) and deliberately separate from the run's measurement RNG:
+    corruption decisions never consume draws from the stream that
+    produces the physics, so a plan with all rates at zero is
+    indistinguishable from no injector at all.
+
+    Every injected fault is appended to :attr:`fault_log` as
+    ``(execution_index, fault_name)``.
+    """
+
+    def __init__(self, plan: GateFaultPlan | str | None = None) -> None:
+        self.plan = (
+            GateFaultPlan.parse(plan)
+            if isinstance(plan, str)
+            else (plan or GateFaultPlan())
+        )
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._pending_transient = self.plan.transient
+        self.executions = 0
+        self.fault_log: list[tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    # Grover execution
+    # ------------------------------------------------------------------
+    def execute(self, engine, iterations: int):
+        """Run ``engine`` for ``iterations`` rounds through the fault model.
+
+        Raises :class:`TransientSimulatorError` while the scripted
+        countdown lasts; otherwise forwards the plan's depolarizing rate
+        into :meth:`repro.grover.PhaseOracleGrover.run`.
+        """
+        self.executions += 1
+        if self._pending_transient > 0:
+            self._pending_transient -= 1
+            self.fault_log.append((self.executions, "transient"))
+            raise TransientSimulatorError(
+                f"injected transient simulator error (execution {self.executions})"
+            )
+        if self.plan.depolarize:
+            self.fault_log.append((self.executions, "depolarize"))
+            return engine.run(iterations, depolarize=self.plan.depolarize)
+        return engine.run(iterations)
+
+    # ------------------------------------------------------------------
+    # Measurement corruption
+    # ------------------------------------------------------------------
+    def corrupt_measurement(self, mask: int, num_qubits: int) -> int:
+        """Apply readout bit-flips to one measured basis state."""
+        if self.plan.readout and self._rng.random() < self.plan.readout:
+            flips = self._rng.random(num_qubits) < self.plan.readout_flip_prob
+            flip_mask = 0
+            for bit in range(num_qubits):
+                if flips[bit]:
+                    flip_mask |= 1 << bit
+            if flip_mask:
+                self.fault_log.append((self.executions, "readout"))
+                return mask ^ flip_mask
+        return mask
+
+    # ------------------------------------------------------------------
+    # MPS truncation forcing
+    # ------------------------------------------------------------------
+    def mps_bond_cap(self, max_bond: int | None) -> int | None:
+        """The effective bond cap: the caller's, forced down by the plan."""
+        forced = self.plan.truncate_bond
+        if not forced:
+            return max_bond
+        self.fault_log.append((self.executions, "truncate"))
+        return forced if max_bond is None else min(max_bond, forced)
+
+
+def execute_with_retries(
+    engine,
+    iterations: int,
+    injector: GateFaultInjector,
+    stats: GateVerification,
+    tracer,
+    max_retries: int,
+):
+    """Run ``engine`` through the injector, retrying transient faults.
+
+    Each retry is recorded as a ``gate.retry`` span (kind
+    ``"transient"``) and counted in ``stats.transient_retries``; when
+    the retry budget is exhausted the last error is re-raised — the
+    documented degradation path for a persistently failing backend.
+    """
+    attempts = 0
+    while True:
+        try:
+            return injector.execute(engine, iterations)
+        except TransientSimulatorError:
+            attempts += 1
+            stats.transient_retries += 1
+            with tracer.span("gate.retry", kind="transient", retry=attempts):
+                tracer.add("gate_retries", 1)
+            if attempts > max_retries:
+                raise

@@ -1,0 +1,57 @@
+"""Seed-threading regression tests.
+
+One seeded generator flows ``qmkp -> qtkp -> bbht_search ->
+GroverRun.measure_once`` with no layer creating its own entropy, so a
+fixed seed must pin the entire run — subsets, cost totals, progression —
+across every counting mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import qmkp, qtkp
+
+COUNTING_MODES = ["exact", "quantum", "bbht"]
+
+
+@pytest.mark.parametrize("counting", COUNTING_MODES)
+def test_identical_seed_identical_qmkp(fig1, counting):
+    a = qmkp(fig1, 2, counting=counting, rng=np.random.default_rng(2024))
+    b = qmkp(fig1, 2, counting=counting, rng=np.random.default_rng(2024))
+    assert a.subset == b.subset
+    assert a.oracle_calls == b.oracle_calls
+    assert a.gate_units == b.gate_units
+    assert a.qtkp_calls == b.qtkp_calls
+    assert a.progression == b.progression
+
+
+@pytest.mark.parametrize("counting", COUNTING_MODES)
+def test_int_seed_matches_generator(fig1, counting):
+    via_int = qmkp(fig1, 2, counting=counting, rng=2024)
+    via_gen = qmkp(fig1, 2, counting=counting, rng=np.random.default_rng(2024))
+    assert via_int.subset == via_gen.subset
+    assert via_int.oracle_calls == via_gen.oracle_calls
+
+
+@pytest.mark.parametrize("counting", COUNTING_MODES)
+def test_identical_seed_identical_qtkp(small_random_graph, counting):
+    g = small_random_graph
+    a = qtkp(g, 2, 2, counting=counting, rng=np.random.default_rng(99))
+    b = qtkp(g, 2, 2, counting=counting, rng=np.random.default_rng(99))
+    assert a.subset == b.subset
+    assert a.oracle_calls == b.oracle_calls
+    assert a.attempts == b.attempts
+
+
+def test_seed_determinism_survives_fault_injection(fig1):
+    kwargs = dict(
+        counting="bbht",
+        gate_faults="readout=0.4,transient=1,seed=5",
+    )
+    a = qmkp(fig1, 2, rng=np.random.default_rng(31), **kwargs)
+    b = qmkp(fig1, 2, rng=np.random.default_rng(31), **kwargs)
+    assert a.subset == b.subset
+    assert a.oracle_calls == b.oracle_calls
+    assert a.verification == b.verification

@@ -54,6 +54,82 @@ class TestBBHT:
         assert np.mean(costs) < 8 * optimal
 
 
+class TestRestartsAndHooks:
+    """The resilience hooks: execute/corrupt callables and schedule restarts."""
+
+    def test_clean_run_reports_no_restarts(self, rng):
+        engine = PhaseOracleGrover(4, [5])
+        result = bbht_search(engine, rng=rng)
+        assert result.restarts_used == 0
+
+    def test_passthrough_hooks_are_identity(self):
+        engine = PhaseOracleGrover(4, [5])
+        plain = bbht_search(engine, rng=np.random.default_rng(3))
+        hooked = bbht_search(
+            engine,
+            rng=np.random.default_rng(3),
+            execute=lambda eng, iters: eng.run(iters),
+            corrupt=lambda mask: mask,
+        )
+        assert hooked.mask == plain.mask
+        assert hooked.oracle_calls == plain.oracle_calls
+        assert hooked.rounds == plain.rounds
+
+    def test_execute_hook_sees_every_run(self, rng):
+        engine = PhaseOracleGrover(4, [5])
+        calls = []
+
+        def execute(eng, iterations):
+            calls.append(iterations)
+            return eng.run(iterations)
+
+        result = bbht_search(engine, rng=rng, execute=execute)
+        assert result.found
+        assert len(calls) == result.rounds
+
+    def test_corrupting_every_sample_consumes_restarts(self, rng):
+        # A corrupt hook that maps every measurement to an unmarked
+        # state defeats each schedule; the restart budget is consumed
+        # and the failure is reported with full accounting.
+        engine = PhaseOracleGrover(4, [5])
+        result = bbht_search(
+            engine, rng=rng, restarts=2, corrupt=lambda mask: 0
+        )
+        assert not result.found
+        assert result.restarts_used == 2
+        assert result.rejected == result.rounds
+
+    def test_restart_recovers_from_transient_corruption(self):
+        # Corruption that stops after the first schedule: the restart
+        # finds the solution the first schedule was denied.
+        engine = PhaseOracleGrover(4, [5])
+        state = {"rounds": 0}
+
+        def corrupt(mask):
+            state["rounds"] += 1
+            return 0 if state["rounds"] <= 40 else mask
+
+        result = bbht_search(
+            engine, rng=np.random.default_rng(4), restarts=3, corrupt=corrupt
+        )
+        assert result.found
+        assert result.restarts_used >= 1
+        assert result.rejected >= 40
+
+    def test_same_seed_same_run_with_hooks(self):
+        engine = PhaseOracleGrover(4, [1, 9])
+        runs = [
+            bbht_search(
+                engine,
+                rng=np.random.default_rng(17),
+                restarts=1,
+                corrupt=lambda mask: mask,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
 class TestQtkpIntegration:
     def test_bbht_mode_finds_paper_solution(self, fig1, rng):
         from repro.core import qtkp

@@ -1,0 +1,150 @@
+"""Kill-and-resume integration tests.
+
+A qMKP CLI run with ``--checkpoint`` is SIGKILLed mid-search (via the
+``QMKP_CRASH_AFTER_PROBES`` hook, which fires *after* a probe record is
+durably on disk) and then resumed from the same journal.  The resumed
+run must print the bit-identical final answer of the never-killed run
+and its traced ledger must reconcile (the CLI exits 3 on drift, so exit
+0 doubles as the reconciliation assertion).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import figure1_graph
+from repro.graphs import gnm_random_graph, write_edge_list
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_cli(args, tmp_path, crash_after=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if crash_after is not None:
+        env["QMKP_CRASH_AFTER_PROBES"] = str(crash_after)
+    else:
+        env.pop("QMKP_CRASH_AFTER_PROBES", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tmp_path,
+        timeout=120,
+    )
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig1.txt"
+    write_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+@pytest.fixture
+def multi_probe_graph_file(tmp_path):
+    """A graph whose qMKP binary search needs three probes, so a crash
+    after the first really lands mid-search."""
+    path = tmp_path / "gnm.txt"
+    write_edge_list(gnm_random_graph(7, 10, seed=1), path)
+    return str(path)
+
+
+class TestKillResume:
+    ARGS = ["-k", "2", "--solver", "qmkp", "--seed", "7"]
+
+    def test_sigkill_then_resume_bit_identical(
+        self, multi_probe_graph_file, tmp_path
+    ):
+        graph_file = multi_probe_graph_file
+        # Reference: the run that is never interrupted.
+        reference = _run_cli(["solve", graph_file, *self.ARGS], tmp_path)
+        assert reference.returncode == 0, reference.stderr
+
+        checkpoint = tmp_path / "probe.wal"
+        crashed = _run_cli(
+            ["solve", graph_file, *self.ARGS, "--checkpoint", str(checkpoint)],
+            tmp_path,
+            crash_after=1,
+        )
+        assert crashed.returncode == -signal.SIGKILL
+        assert checkpoint.exists()
+        journal_lines = checkpoint.read_text().splitlines()
+        assert len(journal_lines) == 2  # header + exactly one probe
+
+        trace = tmp_path / "ledger.json"
+        resumed = _run_cli(
+            [
+                "solve", graph_file, *self.ARGS,
+                "--checkpoint", str(checkpoint),
+                "--trace", str(trace),
+            ],
+            tmp_path,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed 1 probe(s)" in resumed.stdout
+        # Bit-identical final answer: same size + vertex lines.
+        assert resumed.stdout.splitlines()[-2:] == reference.stdout.splitlines()[-2:]
+        # Exit 0 with --trace already proves reconciliation; check the
+        # document agrees.
+        ledger = json.loads(trace.read_text())
+        assert ledger["verified"] is True
+        assert ledger["drift"] == []
+
+    def test_crash_free_checkpoint_run_matches_reference(self, graph_file, tmp_path):
+        reference = _run_cli(["solve", graph_file, *self.ARGS], tmp_path)
+        checkpoint = tmp_path / "clean.wal"
+        journaled = _run_cli(
+            ["solve", graph_file, *self.ARGS, "--checkpoint", str(checkpoint)],
+            tmp_path,
+        )
+        assert journaled.returncode == 0, journaled.stderr
+        assert journaled.stdout == reference.stdout
+
+    def test_gate_fault_flags_round_trip(self, graph_file, tmp_path):
+        reference = _run_cli(["solve", graph_file, *self.ARGS], tmp_path)
+        noisy = _run_cli(
+            [
+                "solve", graph_file, *self.ARGS,
+                "--inject-gate-faults", "transient=1,readout=0.4,seed=5",
+            ],
+            tmp_path,
+        )
+        assert noisy.returncode == 0, noisy.stderr
+        assert "gate faults injected" in noisy.stdout
+        # Same verified answer despite the injected noise.
+        assert noisy.stdout.splitlines()[-2:] == reference.stdout.splitlines()[-2:]
+
+    def test_flags_require_qmkp_solver(self, graph_file, tmp_path):
+        result = _run_cli(
+            ["solve", graph_file, "--solver", "bs", "--deadline", "10"],
+            tmp_path,
+        )
+        assert result.returncode == 2
+        assert "--solver qmkp" in result.stderr
+
+    def test_mismatched_checkpoint_is_refused(self, graph_file, tmp_path):
+        checkpoint = tmp_path / "probe.wal"
+        first = _run_cli(
+            ["solve", graph_file, *self.ARGS, "--checkpoint", str(checkpoint)],
+            tmp_path,
+        )
+        assert first.returncode == 0, first.stderr
+        # Same journal, different k: must refuse, not silently replay.
+        second = _run_cli(
+            [
+                "solve", graph_file, "-k", "3", "--solver", "qmkp",
+                "--seed", "7", "--checkpoint", str(checkpoint),
+            ],
+            tmp_path,
+        )
+        assert second.returncode == 2
+        assert "checkpoint" in second.stderr

@@ -202,3 +202,72 @@ class TestFullOracleValidation:
         # The entanglement stays within the 2^n bound the MPS method
         # relies on.
         assert mps.max_bond_reached <= 8
+
+
+class TestNormGuard:
+    """Truncation accounting and the typed norm-drift error."""
+
+    def _ghz_cascade(self, n=4):
+        qc = QuantumCircuit(n)
+        qc.h(0)
+        for i in range(n - 1):
+            qc.cx(i, i + 1)
+        return qc
+
+    def test_discarded_weight_matches_truncation_error(self):
+        mps = simulate_mps(self._ghz_cascade(), max_bond=1, norm_tolerance=None)
+        assert mps.discarded_weight == mps.truncation_error
+        assert mps.discarded_weight > 0.0
+
+    def test_exact_simulation_has_no_discarded_weight(self):
+        mps = simulate_mps(self._ghz_cascade())
+        assert mps.discarded_weight == pytest.approx(0.0)
+        assert mps.check_norm() == pytest.approx(1.0)
+
+    def test_tiny_bond_raises_typed_error(self):
+        from repro.quantum import MPSNormError
+
+        mps = simulate_mps(self._ghz_cascade(), max_bond=1, norm_tolerance=None)
+        mps.norm_tolerance = 1e-6
+        with pytest.raises(MPSNormError) as excinfo:
+            mps.marginal_probabilities([0, 1])
+        err = excinfo.value
+        assert err.norm < 1.0
+        assert err.truncation_error > 0.0
+        assert "max_bond" in str(err)
+
+    def test_simulate_mps_guard_fires_on_first_query(self):
+        from repro.quantum import MPSNormError
+
+        mps = simulate_mps(self._ghz_cascade(), max_bond=1)
+        with pytest.raises(MPSNormError):
+            mps.marginal_probabilities([0])
+
+    def test_opt_out_returns_unnormalized(self):
+        mps = simulate_mps(self._ghz_cascade(), max_bond=1, norm_tolerance=None)
+        marginal = mps.marginal_probabilities([0, 1, 2, 3])
+        assert sum(marginal.values()) < 1.0 - 1e-6
+
+    def test_guard_does_not_fire_within_tolerance(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        mps = simulate_mps(qc, max_bond=4)  # exact: chi never exceeds 2
+        marginal = mps.marginal_probabilities([0, 1])
+        assert sum(marginal.values()) == pytest.approx(1.0)
+
+    def test_norm_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            MatrixProductState(2, norm_tolerance=0.0)
+
+    def test_injector_forced_truncation_composes(self):
+        from repro.quantum import MPSNormError
+        from repro.resilience import GateFaultInjector, GateFaultPlan
+
+        injector = GateFaultInjector(GateFaultPlan(truncate_bond=1))
+        mps = simulate_mps(
+            self._ghz_cascade(), max_bond=injector.mps_bond_cap(None)
+        )
+        with pytest.raises(MPSNormError):
+            mps.marginal_probabilities([0])
+        assert ("truncate" in [name for _, name in injector.fault_log])

@@ -1,0 +1,200 @@
+"""Checkpoint journal + qMKP resume tests.
+
+The contract under test: a qMKP run journaled to a checkpoint and killed
+at any probe boundary resumes **bit-identically** — same subset, same
+cost totals, same reconciled ledger — and a journal that does not match
+the run (wrong instance, edited lines, invented witnesses) is refused
+loudly instead of silently replayed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import qmkp
+from repro.obs import RunLedger, Tracer
+from repro.resilience import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+)
+from repro.resilience.checkpoint import SCHEMA, restore_rng_state, rng_state
+
+HEADER = {"k": 2, "graph": "abc"}
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointJournal(path, HEADER) as journal:
+            journal.append_probe({"threshold": 3, "found": True})
+            journal.append_probe({"threshold": 5, "found": False})
+        header, records = CheckpointJournal.load(path)
+        assert header["schema"] == SCHEMA
+        assert header["k"] == 2
+        assert [r["threshold"] for r in records] == [3, 5]
+
+    def test_fresh_open_truncates_stale_file(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointJournal(path, HEADER) as journal:
+            journal.append_probe({"threshold": 3})
+        with CheckpointJournal(path, HEADER):
+            pass
+        _, records = CheckpointJournal.load(path)
+        assert records == []
+
+    def test_resume_open_appends(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointJournal(path, HEADER) as journal:
+            journal.append_probe({"threshold": 3})
+        with CheckpointJournal(path, HEADER, resume=True) as journal:
+            assert journal.records_written == 1
+            journal.append_probe({"threshold": 5})
+        _, records = CheckpointJournal.load(path)
+        assert [r["threshold"] for r in records] == [3, 5]
+
+    def test_resume_open_rejects_foreign_header(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointJournal(path, HEADER):
+            pass
+        with pytest.raises(CheckpointMismatchError, match="header field"):
+            CheckpointJournal(path, {"k": 3, "graph": "abc"}, resume=True)
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointJournal(path, HEADER) as journal:
+            journal.append_probe({"threshold": 3})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"threshold": 5, "fo')  # kill mid-write
+        _, records = CheckpointJournal.load(path)
+        assert [r["threshold"] for r in records] == [3]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointJournal(path, HEADER) as journal:
+            journal.append_probe({"threshold": 3})
+            journal.append_probe({"threshold": 5})
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # corrupt a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointCorruptError, match="unparseable"):
+            CheckpointJournal.load(path)
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.wal"
+        path.write_text(json.dumps({"schema": "other/v9"}) + "\n")
+        with pytest.raises(CheckpointMismatchError, match="schema"):
+            CheckpointJournal.load(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "run.wal"
+        path.write_text("")
+        with pytest.raises(CheckpointError, match="empty"):
+            CheckpointJournal.load(path)
+
+
+class TestRngState:
+    def test_round_trip_restores_stream(self):
+        rng = np.random.default_rng(7)
+        rng.random(5)
+        state = rng_state(rng)
+        expected = rng.random(8).tolist()
+        other = np.random.default_rng(999)
+        restore_rng_state(other, state)
+        assert other.random(8).tolist() == expected
+
+    def test_state_is_json_safe(self):
+        state = rng_state(np.random.default_rng(7))
+        json.dumps(state)  # must not raise
+
+    def test_kind_mismatch_rejected(self):
+        state = rng_state(np.random.default_rng(7))
+        state["bit_generator"] = "MT19937"
+        with pytest.raises(CheckpointMismatchError, match="RNG kind"):
+            restore_rng_state(np.random.default_rng(7), state)
+
+
+class TestQmkpResume:
+    """End-to-end resume semantics through the solver itself."""
+
+    def _run(self, graph, **kwargs):
+        return qmkp(
+            graph, 2, rng=np.random.default_rng(7), use_upper_bound=False,
+            **kwargs,
+        )
+
+    def test_full_journal_resume_is_bit_identical(self, fig1, tmp_path):
+        path = tmp_path / "run.wal"
+        reference = self._run(fig1)
+        journaled = self._run(fig1, checkpoint=path)
+        assert journaled.subset == reference.subset
+        resumed = self._run(fig1, checkpoint=path, resume=path)
+        assert resumed.subset == reference.subset
+        assert resumed.oracle_calls == reference.oracle_calls
+        assert resumed.gate_units == reference.gate_units
+        assert resumed.qtkp_calls == reference.qtkp_calls
+        assert resumed.resumed_probes == reference.qtkp_calls
+
+    def test_partial_journal_resume_is_bit_identical(self, fig1, tmp_path):
+        path = tmp_path / "run.wal"
+        reference = self._run(fig1)
+        assert reference.qtkp_calls >= 2  # the scenario needs a mid-point
+        self._run(fig1, checkpoint=path)
+        # Simulate a kill after the first probe: drop every later record.
+        lines = path.read_text().splitlines()
+        truncated = tmp_path / "truncated.wal"
+        truncated.write_text("\n".join(lines[:2]) + "\n")
+        resumed = self._run(fig1, checkpoint=truncated, resume=truncated)
+        assert resumed.resumed_probes == 1
+        assert resumed.subset == reference.subset
+        assert resumed.oracle_calls == reference.oracle_calls
+        assert resumed.gate_units == reference.gate_units
+        # The journal was extended back to the full run.
+        _, records = CheckpointJournal.load(truncated)
+        assert len(records) == reference.qtkp_calls
+
+    def test_resume_ledger_reconciles(self, fig1, tmp_path):
+        path = tmp_path / "run.wal"
+        self._run(fig1, checkpoint=path)
+        lines = path.read_text().splitlines()
+        truncated = tmp_path / "truncated.wal"
+        truncated.write_text("\n".join(lines[:2]) + "\n")
+        tracer = Tracer()
+        resumed = self._run(
+            fig1, checkpoint=truncated, resume=truncated, tracer=tracer
+        )
+        assert resumed.resumed_probes == 1
+        assert RunLedger.from_tracer(tracer).verify(raise_on_drift=False) == []
+
+    def test_resume_rejects_other_instance(self, fig1, small_random_graph, tmp_path):
+        path = tmp_path / "run.wal"
+        self._run(fig1, checkpoint=path)
+        with pytest.raises(CheckpointMismatchError):
+            qmkp(
+                small_random_graph, 2, rng=np.random.default_rng(7),
+                use_upper_bound=False, resume=path,
+            )
+
+    def test_resume_rejects_forged_witness(self, fig1, tmp_path):
+        path = tmp_path / "run.wal"
+        self._run(fig1, checkpoint=path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        if not record["found"]:
+            pytest.skip("first probe was not a witness on this instance")
+        record["subset"] = record["subset"][:1]  # forged: below threshold
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointCorruptError, match="re-verification"):
+            self._run(fig1, resume=path)
+
+    def test_checkpointing_does_not_change_the_answer(self, fig1, tmp_path):
+        reference = self._run(fig1)
+        journaled = self._run(fig1, checkpoint=tmp_path / "run.wal")
+        assert journaled.subset == reference.subset
+        assert journaled.oracle_calls == reference.oracle_calls
+        assert journaled.resumed_probes == 0

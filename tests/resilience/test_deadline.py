@@ -1,0 +1,91 @@
+"""Gate-unit deadline budget + qMKP degradation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import qmkp
+from repro.kplex import is_kplex, maximum_kplex
+from repro.obs import RunLedger, Tracer
+from repro.resilience import DeadlineBudget, DeadlineExpired
+
+
+class TestDeadlineBudget:
+    def test_charge_and_remaining(self):
+        budget = DeadlineBudget(100)
+        budget.charge(30)
+        assert budget.remaining == 70
+        assert not budget.expired
+        budget.charge(80)
+        assert budget.remaining == 0
+        assert budget.expired
+
+    def test_negative_charges_ignored(self):
+        budget = DeadlineBudget(10)
+        budget.charge(-5)
+        assert budget.charged == 0
+
+    def test_check_raises_when_dry(self):
+        budget = DeadlineBudget(1)
+        budget.check()
+        budget.charge(2)
+        with pytest.raises(DeadlineExpired):
+            budget.check()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            DeadlineBudget(0)
+        with pytest.raises(ValueError):
+            DeadlineBudget(-3)
+
+    def test_as_dict(self):
+        budget = DeadlineBudget(10)
+        budget.charge(4)
+        assert budget.as_dict() == {
+            "budget": 10.0, "charged": 4.0, "remaining": 6.0,
+        }
+
+
+class TestQmkpDeadline:
+    def _run(self, graph, **kwargs):
+        return qmkp(
+            graph, 2, rng=np.random.default_rng(7), use_upper_bound=False,
+            **kwargs,
+        )
+
+    def test_expiry_degrades_to_branch_search(self, fig1):
+        result = self._run(fig1, deadline=1.0)
+        assert result.deadline_expired
+        assert result.degraded_to == "kplex.branch_search"
+        # The degradation is to the exact classical solver, so the
+        # answer is still optimal and feasible.
+        optimum = maximum_kplex(fig1, 2).subset
+        assert len(result.subset) == len(optimum)
+        assert is_kplex(fig1, result.subset, 2)
+
+    def test_probe_in_flight_completes(self, fig1):
+        # The budget is checked between probes: even a 1-unit budget
+        # lets the first probe run and charges its full cost.
+        result = self._run(fig1, deadline=1.0)
+        assert result.qtkp_calls == 1
+        assert result.gate_units > 1
+
+    def test_huge_deadline_identical_to_none(self, fig1):
+        reference = self._run(fig1)
+        bounded = self._run(fig1, deadline=1e12)
+        assert bounded.subset == reference.subset
+        assert bounded.oracle_calls == reference.oracle_calls
+        assert not bounded.deadline_expired
+        assert bounded.degraded_to is None
+
+    def test_shared_budget_object(self, fig1):
+        budget = DeadlineBudget(1e12)
+        result = self._run(fig1, deadline=budget)
+        assert budget.charged == result.gate_units
+
+    def test_fallback_ledger_reconciles(self, fig1):
+        tracer = Tracer()
+        result = self._run(fig1, deadline=1.0, tracer=tracer)
+        assert result.degraded_to == "kplex.branch_search"
+        assert RunLedger.from_tracer(tracer).verify(raise_on_drift=False) == []
