@@ -10,7 +10,9 @@ Subcommands:
 * ``oracle``  — print the qTKP oracle's qubit/gate budget per component;
 * ``enumerate`` — list the maximal k-plexes (community detection);
 * ``relax``   — maximum n-clan / n-club via the quantum subset search;
-* ``draw``    — render the qTKP checking circuit as ASCII art.
+* ``draw``    — render the qTKP checking circuit as ASCII art;
+* ``serve``   — run the supervised solver service against a file spool;
+* ``submit``  — drop a solve request into a spool (and optionally wait).
 
 Graphs are read as edge-list files (``u v`` per line, ``#`` comments).
 """
@@ -135,11 +137,91 @@ def build_parser() -> argparse.ArgumentParser:
     draw.add_argument("graph", help="edge-list file")
     draw.add_argument("-k", type=int, default=2)
     draw.add_argument("-T", "--threshold", type=int, default=1)
+
+    serve = sub.add_parser(
+        "serve", help="run the supervised solver service on a file spool"
+    )
+    serve.add_argument("spool", help="spool directory (created if missing)")
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker pool width (default 2)"
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=8,
+        help="bounded fresh-job queue depth (default 8); submissions "
+        "beyond it are rejected with a typed backpressure error",
+    )
+    serve.add_argument(
+        "--max-resumes", type=int, default=3,
+        help="crash-resume budget per job before it settles failed",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="serve this many requests then drain and exit (for tests/CI)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with an empty spool and no running jobs",
+    )
+    serve.add_argument(
+        "--workdir", default=None,
+        help="service workdir for checkpoints/receipts (default: under "
+        "the spool, so suspended jobs resume across server restarts)",
+    )
+    serve.add_argument(
+        "--tenant-budget", action="append", default=None,
+        metavar="TENANT=GATE_UNITS",
+        help="per-tenant admission pool, repeatable "
+        "(e.g. --tenant-budget acme=50000)",
+    )
+    serve.add_argument(
+        "--metrics", choices=["json", "prom"], default=None,
+        help="print the service metric registry on exit",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a solve request to a service spool"
+    )
+    submit.add_argument("spool", help="spool directory of a running server")
+    submit.add_argument("graph", help="edge-list file")
+    submit.add_argument("-k", type=int, default=2)
+    submit.add_argument(
+        "--solver",
+        choices=["qmkp", "qamkp-qpu", "qamkp-sa", "qamkp-hybrid", "bs"],
+        default="qmkp",
+    )
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--name", default=None,
+        help="request name (also the spool artifact basename)",
+    )
+    submit.add_argument(
+        "--deadline", type=float, default=None, metavar="GATE_UNITS",
+        help="qmkp: per-job gate-unit deadline budget",
+    )
+    submit.add_argument(
+        "--runtime-us", type=float, default=1000.0,
+        help="annealing backends' runtime budget",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the result file appears and print the answer",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="--wait timeout in seconds (default 120)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # The service commands manage their own graph I/O (the worker child
+    # reads the graph; the parent never needs it in memory).
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     try:
         graph, labels = read_edge_list(args.graph)
     except OSError as exc:
@@ -203,14 +285,16 @@ def _cmd_solve(args, graph, labels) -> int:
     elif args.solver == "bs":
         subset = maximum_kplex(graph, args.k).subset
     elif args.solver == "qmkp":
-        import os
-
-        from .resilience import CheckpointError, GateFaultPlan
+        from .resilience import CheckpointError, CheckpointJournal, GateFaultPlan
 
         rng = np.random.default_rng(args.seed)
+        # resumable() treats a zero-length or torn-header journal — a
+        # crash before the first fsync completed — as "nothing to
+        # resume", so the run starts fresh instead of exiting 2.
         resume = (
             args.checkpoint
-            if args.checkpoint is not None and os.path.exists(args.checkpoint)
+            if args.checkpoint is not None
+            and CheckpointJournal.resumable(args.checkpoint)
             else None
         )
         try:
@@ -235,6 +319,17 @@ def _cmd_solve(args, graph, labels) -> int:
         except CheckpointError as exc:
             print(f"error: checkpoint: {exc}", file=sys.stderr)
             return 2
+        except KeyboardInterrupt:
+            if args.checkpoint is None:
+                raise
+            # Every completed probe is already fsynced in the journal;
+            # nothing to flush — just tell the operator how to pick the
+            # run back up and exit with the conventional SIGINT code.
+            print(
+                f"interrupted; resumable at {args.checkpoint}",
+                file=sys.stderr,
+            )
+            return 130
         subset = result.subset
         if result.resumed_probes:
             print(
@@ -410,6 +505,132 @@ def _cmd_relax(args, graph, labels) -> int:
     print(f"vertices: {_translate(result.subset, labels)}")
     print(f"oracle calls: {result.oracle_calls}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .service import ServiceConfig, Supervisor, serve_spool
+
+    budgets: dict[str, float] = {}
+    for item in args.tenant_budget or []:
+        tenant, sep, amount = item.partition("=")
+        if not sep or not tenant:
+            print(
+                f"error: --tenant-budget expects TENANT=GATE_UNITS, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            budgets[tenant] = float(amount)
+        except ValueError:
+            print(
+                f"error: --tenant-budget {item!r}: not a number", file=sys.stderr
+            )
+            return 2
+    workdir = args.workdir or str(Path(args.spool) / "work")
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            max_resumes=args.max_resumes,
+            tenant_budgets=budgets,
+            workdir=workdir,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        import signal as _signal
+
+        loop = asyncio.get_running_loop()
+        interrupted = asyncio.Event()
+        # A plain KeyboardInterrupt tears the event loop down before any
+        # coroutine can catch it; a loop signal handler lets us suspend
+        # gracefully instead.
+        loop.add_signal_handler(_signal.SIGINT, interrupted.set)
+        supervisor = Supervisor(config)
+        await supervisor.start()
+        serve_task = asyncio.ensure_future(serve_spool(
+            supervisor,
+            args.spool,
+            max_jobs=args.max_jobs,
+            idle_timeout_s=args.idle_timeout,
+        ))
+        stop_task = asyncio.ensure_future(interrupted.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if interrupted.is_set():
+                # Graceful suspend: SIGINT in-flight children so they
+                # flush their journals; queued jobs settle suspended.
+                # The workdir keeps their checkpoints — the next serve
+                # against the same spool resumes them.
+                serve_task.cancel()
+                try:
+                    await serve_task
+                except asyncio.CancelledError:
+                    pass
+                await supervisor.shutdown(drain=False)
+                print(
+                    "interrupted; suspended in-flight jobs are resumable "
+                    f"under {supervisor.workdir}",
+                    file=sys.stderr,
+                )
+                return 130
+            stop_task.cancel()
+            served = serve_task.result()
+            await supervisor.drain()
+        finally:
+            loop.remove_signal_handler(_signal.SIGINT)
+        print(f"served {served} request(s)")
+        if args.metrics:
+            out = supervisor.render_metrics(args.metrics)
+            print(out, end="" if out.endswith("\n") else "\n")
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_submit(args) -> int:
+    from .service import JobSpec, submit_to_spool, wait_for_result
+
+    try:
+        spec = JobSpec(
+            graph_path=args.graph,
+            k=args.k,
+            solver=args.solver,
+            seed=args.seed,
+            tenant=args.tenant,
+            name=args.name,
+            gate_deadline=args.deadline,
+            runtime_us=args.runtime_us,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    request_id = submit_to_spool(args.spool, spec)
+    print(f"submitted {request_id}")
+    if not args.wait:
+        return 0
+    try:
+        record = wait_for_result(args.spool, request_id, timeout_s=args.timeout)
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    state = record.get("state")
+    if state == "done":
+        answer = record.get("answer", {})
+        print(f"maximum {args.k}-plex size: {answer.get('size')}")
+        print(f"vertices: {answer.get('vertices')}")
+        if record.get("degraded_from"):
+            print(f"degraded from: {record['degraded_from']}")
+        return 0
+    print(f"error: job settled {state}: {record.get('error')}", file=sys.stderr)
+    return 1
 
 
 def _cmd_draw(args, graph) -> int:

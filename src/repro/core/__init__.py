@@ -2,7 +2,7 @@
 
 from .oracle import KCplexOracle, OracleCosts
 from .qamkp import QAMKPResult, cost_versus_runtime, qamkp
-from .qmkp import ProgressEvent, QMKPResult, qmkp
+from .qmkp import ProgressCallback, ProgressEvent, QMKPResult, qmkp
 from .qtkp import QTKPResult, qtkp
 from .qubo_formulation import MkpQubo, build_mkp_qubo, slack_width
 from .qubo_library import (
@@ -26,6 +26,7 @@ __all__ = [
     "KCplexOracle",
     "MkpQubo",
     "OracleCosts",
+    "ProgressCallback",
     "ProgressEvent",
     "QAMKPResult",
     "QMKPResult",

@@ -26,6 +26,7 @@ pre-resilience implementation.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -48,7 +49,13 @@ from ..resilience.gate import GateFaultInjector, GateFaultPlan, GateVerification
 from .oracle import OracleCosts
 from .qtkp import QTKPResult, qtkp
 
-__all__ = ["ProgressEvent", "QMKPResult", "qmkp"]
+__all__ = ["ProgressCallback", "ProgressEvent", "QMKPResult", "qmkp"]
+
+#: Anytime-streaming hook: called with each new incumbent's
+#: :class:`ProgressEvent`, the (verified) vertex set itself in
+#: working-graph ids, and whether the incumbent was replayed from a
+#: checkpoint journal — see the ``on_progress`` parameter of :func:`qmkp`.
+ProgressCallback = Callable[["ProgressEvent", frozenset[int], bool], None]
 
 
 @dataclass(frozen=True)
@@ -118,6 +125,7 @@ def qmkp(
     checkpoint: str | Path | None = None,
     resume: str | Path | None = None,
     gate_faults: GateFaultPlan | str | None = None,
+    on_progress: ProgressCallback | None = None,
 ) -> QMKPResult:
     """Find a maximum k-plex by binary search over qTKP.
 
@@ -185,6 +193,18 @@ def qmkp(
         loop in qTKP rejects corrupted samples against the classical
         certificate and the aggregated accounting lands on
         ``result.verification``.
+    on_progress:
+        Anytime-streaming hook, called as ``on_progress(event, subset,
+        replayed)`` the moment each new incumbent lands — qMKP is
+        progressive (every successful probe yields a feasible k-plex),
+        and this is how the service layer pushes verified incumbents to
+        callers before the threshold ladder finishes.  Fires for
+        journal-replayed probes too, with ``replayed=True`` (a resumed
+        run re-announces its incumbents, so a reconnecting caller sees
+        the current best, never a silent regression).  ``subset`` is in
+        *working-graph* vertex ids: identical to the input graph's ids
+        unless ``reduce_first`` pruned it.  The clean path is untouched
+        when None (the default).
     """
     rng = np.random.default_rng(rng)
     tracer = tracer or NULL_TRACER
@@ -214,6 +234,7 @@ def qmkp(
             result = _qmkp_body(
                 graph, k, counting, reduce_first, use_upper_bound, rng,
                 cache, tracer, injector, deadline, checkpoint, resume,
+                on_progress,
             )
         finally:
             if cache is not None:
@@ -332,6 +353,7 @@ def _qmkp_body(
     deadline: DeadlineBudget | None,
     checkpoint: str | Path | None,
     resume: str | Path | None,
+    on_progress: ProgressCallback | None = None,
 ) -> QMKPResult:
     working = graph
     translate = None
@@ -354,7 +376,7 @@ def _qmkp_body(
     gate_units = 0
     totals = {"encode": 0, "degree_count": 0, "degree_compare": 0, "size_check": 0}
 
-    def apply_probe(probe: QTKPResult, mid: int) -> None:
+    def apply_probe(probe: QTKPResult, mid: int, replayed: bool = False) -> None:
         """The binary-search update rule, shared by replay and live probes."""
         nonlocal lo, hi, best, oracle_calls, gate_units
         probes.append(probe)
@@ -375,6 +397,8 @@ def _qmkp_body(
                         for e in progression
                     ],
                 )
+                if on_progress is not None:
+                    on_progress(progression[-1], best, replayed)
             lo = max(mid, len(probe.subset)) + 1
         else:
             hi = mid - 1
@@ -423,7 +447,7 @@ def _qmkp_body(
                     replay_oracle += probe.oracle_calls
                     replay_gate += probe.gate_units
                     replay_attempts += probe.attempts
-                    apply_probe(probe, mid)
+                    apply_probe(probe, mid, replayed=True)
                     if deadline is not None:
                         deadline.charge(probe.gate_units)
                 # Replayed work is charged inside this span so the qmkp

@@ -46,6 +46,13 @@ SCHEMA = "repro.resilience/qmkp-checkpoint/v1"
 #: "crash mid-search" for the kill-and-resume smoke job.
 CRASH_ENV = "QMKP_CRASH_AFTER_PROBES"
 
+#: Like :data:`CRASH_ENV` but delivers SIGINT instead of SIGKILL — a
+#: deterministic "operator pressed Ctrl-C mid-search", used to test the
+#: graceful-interrupt paths (CLI exit 130, service job suspension).
+#: Unlike the SIGKILL hook the journal is *not* closed first: the
+#: KeyboardInterrupt unwinds through the search's normal cleanup.
+SIGINT_ENV = "QMKP_SIGINT_AFTER_PROBES"
+
 
 class CheckpointError(RuntimeError):
     """Base class for checkpoint problems."""
@@ -131,13 +138,17 @@ class CheckpointJournal:
 
     def append_probe(self, record: dict[str, object]) -> None:
         """Durably append one completed-probe record, then honour the
-        CI crash hook (SIGKILL after the configured record count)."""
+        CI crash hooks (SIGKILL / SIGINT after the configured record
+        count)."""
         self._write_line(record)
         self.records_written += 1
         target = os.environ.get(CRASH_ENV)
         if target and self.records_written >= int(target):
             self._fh.close()
             os.kill(os.getpid(), signal.SIGKILL)
+        target = os.environ.get(SIGINT_ENV)
+        if target and self.records_written >= int(target):
+            os.kill(os.getpid(), signal.SIGINT)
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -150,6 +161,36 @@ class CheckpointJournal:
         self.close()
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def resumable(path: str | Path) -> bool:
+        """Whether ``path`` holds a journal worth resuming from.
+
+        A worker can be killed *before* the first fsynced header lands —
+        leaving a zero-length file — or mid-header-write, leaving a torn
+        first line.  Neither holds any recoverable work, so auto-resume
+        callers should treat both as a fresh start instead of erroring
+        out and stranding the job file.  Returns ``True`` only when the
+        first line parses as a JSON object (header validity itself —
+        schema, instance binding — is still the loader's job, so a
+        *mismatched* journal keeps failing loudly rather than being
+        silently truncated).
+        """
+        path = Path(path)
+        try:
+            if not path.exists() or path.stat().st_size == 0:
+                return False
+            with open(path, encoding="utf-8") as fh:
+                first = fh.readline()
+        except OSError:
+            return False
+        if not first.strip():
+            return False
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError:
+            return False  # torn header: the kill landed mid-write
+        return isinstance(header, dict)
+
     @staticmethod
     def load(path: str | Path) -> tuple[dict[str, object], list[dict[str, object]]]:
         """Read a journal: ``(header, probe_records)``.

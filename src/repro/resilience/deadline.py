@@ -12,10 +12,16 @@ discarding the work done so far.
 The budget is checked *between* probes: a probe in flight always
 completes (the simulator cannot abandon a unitary halfway), so one
 probe may overdraw the pool — the same semantics as the annealing
-stack's per-call charge against ``runtime_budget_us``.
+stack's per-call charge against ``runtime_budget_us``.  A pool may be
+shared by concurrent consumers (the service layer's per-tenant
+admission pools), so charging is lock-protected; check-then-charge is
+deliberately *not* one atomic step — overdraw by in-flight work is
+allowed by design, never silent loss of a charge.
 """
 
 from __future__ import annotations
+
+import threading
 
 __all__ = ["DeadlineBudget", "DeadlineExpired"]
 
@@ -39,6 +45,7 @@ class DeadlineBudget:
             raise ValueError(f"gate_units must be > 0, got {gate_units}")
         self.budget = float(gate_units)
         self.charged = 0.0
+        self._lock = threading.Lock()
 
     @property
     def remaining(self) -> float:
@@ -49,8 +56,14 @@ class DeadlineBudget:
         return self.charged >= self.budget
 
     def charge(self, units: float) -> None:
-        """Debit ``units`` (negative charges are ignored)."""
-        self.charged += max(0.0, float(units))
+        """Debit ``units`` (negative charges are ignored).
+
+        Safe to call from concurrent consumers sharing one pool: the
+        read-modify-write is lock-protected so no charge is ever lost.
+        """
+        units = max(0.0, float(units))
+        with self._lock:
+            self.charged += units
 
     def check(self) -> None:
         """Raise :class:`DeadlineExpired` if the pool is dry."""

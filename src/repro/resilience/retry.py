@@ -41,6 +41,7 @@ from .faults import TransientSamplerError
 from .validation import validate_sampleset
 
 __all__ = [
+    "BREAKER_STATE_CODES",
     "BudgetExhausted",
     "CircuitBreaker",
     "CircuitOpenError",
@@ -88,6 +89,11 @@ class RetryPolicy:
         return min(self.backoff_cap_us, self.backoff_base_us * (2.0**attempt))
 
 
+#: Numeric encoding of breaker states for the ``breaker_state_<name>``
+#: gauge (Prometheus cannot render strings).
+BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
 class CircuitBreaker:
     """Consecutive-failure breaker with a call-counted cooldown.
 
@@ -95,30 +101,81 @@ class CircuitBreaker:
     is counted in rejected calls instead of elapsed seconds; the
     semantics (open fails fast, a half-open probe closes or re-opens)
     match the standard pattern.
+
+    Breaker health is observable: :meth:`bind` attaches a recording
+    :class:`~repro.obs.Tracer`, after which every state transition
+    charges the ``breaker_transitions`` counter, every open-state
+    rejection charges ``breaker_rejections``, and the current state is
+    mirrored into the ``breaker_state_<name>`` gauge (see
+    :data:`BREAKER_STATE_CODES`) — so breaker behaviour shows up in the
+    CLI's ``--metrics`` output and the service layer's Prometheus
+    endpoint.  Unbound breakers record nothing, keeping the clean path
+    byte-identical.
     """
 
-    def __init__(self, failure_threshold: int = 5, cooldown_calls: int = 3) -> None:
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_calls: int = 3,
+        name: str = "breaker",
+    ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if cooldown_calls < 1:
             raise ValueError("cooldown_calls must be >= 1")
         self.failure_threshold = failure_threshold
         self.cooldown_calls = cooldown_calls
+        self.name = name
         self.state = "closed"
         self.consecutive_failures = 0
+        self.rejections_total = 0
+        self.transitions_total = 0
         self._rejections = 0
+        self._tracer = None
+
+    def bind(self, tracer, name: str | None = None) -> "CircuitBreaker":
+        """Route transitions/rejections into ``tracer``'s metrics.
+
+        No-op for ``None`` / non-recording tracers, so instrumented
+        call sites can bind unconditionally.  Returns ``self``.
+        """
+        if name:
+            self.name = name
+        if tracer is not None and getattr(tracer, "is_recording", False):
+            self._tracer = tracer
+            self._publish_state()
+        return self
+
+    def _publish_state(self) -> None:
+        if self._tracer is not None and self._tracer.registry is not None:
+            self._tracer.registry.gauge(
+                f"breaker_state_{self.name}",
+                help="circuit breaker state (0=closed 1=half_open 2=open)",
+            ).set(BREAKER_STATE_CODES[self.state])
+
+    def _set_state(self, new: str) -> None:
+        if new == self.state:
+            return
+        self.state = new
+        self.transitions_total += 1
+        if self._tracer is not None:
+            self._tracer.add("breaker_transitions", 1)
+        self._publish_state()
 
     def allow(self) -> bool:
         if self.state == "open":
             self._rejections += 1
+            self.rejections_total += 1
+            if self._tracer is not None:
+                self._tracer.add("breaker_rejections", 1)
             if self._rejections >= self.cooldown_calls:
-                self.state = "half_open"
+                self._set_state("half_open")
                 return True
             return False
         return True
 
     def record_success(self) -> None:
-        self.state = "closed"
+        self._set_state("closed")
         self.consecutive_failures = 0
         self._rejections = 0
 
@@ -127,7 +184,7 @@ class CircuitBreaker:
         if self.state == "half_open" or (
             self.consecutive_failures >= self.failure_threshold
         ):
-            self.state = "open"
+            self._set_state("open")
             self._rejections = 0
 
 
@@ -281,6 +338,11 @@ class ResilientSampler:
         metrics the run ledger reconciles against this report.
         """
         tracer = tracer or NULL_TRACER
+        # Surface breaker health in the run's metrics; explicitly named
+        # breakers (service-level, shared) keep their name.
+        self.breaker.bind(
+            tracer, backend if self.breaker.name == "breaker" else None
+        )
         if report is None:
             report = ResilienceReport(
                 budget_us=(

@@ -1,0 +1,63 @@
+"""Deterministic chaos plans for the service's kill-resume harness.
+
+A :class:`ChaosPlan` scripts faults against *named* jobs (the
+:attr:`~repro.service.jobs.JobSpec.name` field), keyed by attempt
+number, by injecting the checkpoint layer's deterministic signal hooks
+into the worker subprocess environment:
+
+* ``kills[name] = [2, 3]`` — attempt 0 SIGKILLs itself after its 2nd
+  journaled probe, attempt 1 (the resume) after its 3rd *cumulative*
+  probe record, attempt 2 runs clean.  Counts are cumulative because
+  :class:`~repro.resilience.CheckpointJournal` counts resumed records
+  toward ``records_written`` — so each entry must exceed the previous
+  one for the kill to land on a *live* probe.
+* ``interrupts[name] = [1]`` — attempt 0 receives SIGINT after its 1st
+  probe (the graceful path: journal flushed, exit 130, job suspended).
+* ``holds[name] = seconds`` — the runner sleeps before solving, pinning
+  the job in the running state so shutdown/drain paths can be tested
+  without races.
+
+Everything is seeded/scripted — no wall-clock randomness — so a chaos
+run's kill points, and therefore its resumed answers, are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..resilience.checkpoint import CRASH_ENV, SIGINT_ENV
+
+__all__ = ["ChaosPlan", "HOLD_ENV"]
+
+#: Test hook read by the runner: sleep this many seconds before solving.
+HOLD_ENV = "REPRO_RUNNER_HOLD_S"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Scripted per-job fault schedules (see module docstring)."""
+
+    kills: dict[str, list[int]] = field(default_factory=dict)
+    interrupts: dict[str, list[int]] = field(default_factory=dict)
+    holds: dict[str, float] = field(default_factory=dict)
+
+    def env_for(self, name: str | None, attempt: int) -> dict[str, str]:
+        """Environment overrides for ``name``'s ``attempt``-th run.
+
+        Returns an empty dict for unplanned jobs/attempts, so the
+        worker can apply it unconditionally.
+        """
+        env: dict[str, str] = {}
+        if name is None:
+            return env
+        schedule = self.kills.get(name, [])
+        if attempt < len(schedule):
+            env[CRASH_ENV] = str(schedule[attempt])
+        schedule = self.interrupts.get(name, [])
+        if attempt < len(schedule):
+            env[SIGINT_ENV] = str(schedule[attempt])
+        hold = self.holds.get(name)
+        if hold:
+            env[HOLD_ENV] = str(hold)
+        return env

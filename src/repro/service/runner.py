@@ -1,0 +1,242 @@
+"""Worker child process: execute one job spec, stream JSON events.
+
+This is what a service "worker" actually runs: ``python -m
+repro.service.runner JOB.json``.  Isolating each job in its own
+process is the crash boundary the supervisor's resume logic is built
+on — a SIGKILL here loses at most the probe in flight, because every
+completed qMKP probe is already fsynced in the job's write-ahead
+checkpoint journal.
+
+Protocol (one JSON object per stdout line, flushed immediately):
+
+* ``{"event": "started", ...}``   — the job is running (pid, whether a
+  journal is being resumed);
+* ``{"event": "incumbent", ...}`` — one verified feasible k-plex, the
+  anytime stream (qMKP threshold probes and branch-search incumbents);
+* ``{"event": "suspended", ...}`` — a SIGINT landed; the journal is
+  flushed and the job is resumable at its checkpoint path (exit 130);
+* ``{"event": "result", ...}``    — the final answer plus the receipt
+  path (exit 0, or 3 when the traced run ledger failed to reconcile).
+
+The ``answer`` sub-object of the result event contains only fields
+that are bit-identical between an undisturbed run and any
+kill/resume sequence — the chaos harness compares it byte-for-byte.
+Volatile fields (``resumed_probes``, pid, paths) live outside it.
+
+Every run is traced: the :class:`~repro.obs.RunLedger` receipt —
+span tree, metrics, reconciliation verdict — is written next to the
+checkpoint and returned to the caller by the service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core import qamkp, qmkp
+from ..graphs import read_edge_list
+from ..kplex import maximum_kplex
+from ..obs import RunLedger, Tracer
+from ..resilience import CheckpointError, CheckpointJournal
+from .chaos import HOLD_ENV
+from .jobs import JobSpec
+
+__all__ = ["execute", "main"]
+
+
+def _emit(payload: dict[str, object]) -> None:
+    sys.stdout.write(json.dumps(payload, sort_keys=True) + "\n")
+    sys.stdout.flush()
+
+
+def _translate(subset, labels) -> list[object]:
+    return sorted(labels[v] for v in subset)
+
+
+def _solve_qmkp(spec: JobSpec, graph, labels, job_id, checkpoint, tracer):
+    resume = checkpoint if CheckpointJournal.resumable(checkpoint) else None
+
+    def on_progress(event, subset, replayed) -> None:
+        _emit({
+            "event": "incumbent",
+            "job_id": job_id,
+            "size": event.size,
+            "threshold": event.threshold,
+            "cumulative_gate_units": event.cumulative_gate_units,
+            "cumulative_oracle_calls": event.cumulative_oracle_calls,
+            "vertices": _translate(subset, labels),
+            "replayed": replayed,
+        })
+
+    result = qmkp(
+        graph,
+        spec.k,
+        rng=np.random.default_rng(spec.seed),
+        tracer=tracer,
+        deadline=spec.gate_deadline,
+        checkpoint=checkpoint,
+        resume=resume,
+        on_progress=on_progress,
+    )
+    answer = {
+        "solver": "qmkp",
+        "k": spec.k,
+        "size": result.size,
+        "vertices": _translate(result.subset, labels),
+        "gate_units": result.gate_units,
+        "oracle_calls": result.oracle_calls,
+        "qtkp_calls": result.qtkp_calls,
+        "degraded_to": result.degraded_to,
+    }
+    extra = {"resumed_probes": result.resumed_probes}
+    return answer, extra
+
+
+def _solve_bs(spec: JobSpec, graph, labels, job_id, tracer):
+    def on_incumbent(subset, nodes) -> None:
+        _emit({
+            "event": "incumbent",
+            "job_id": job_id,
+            "size": len(subset),
+            "threshold": -1,
+            "cumulative_gate_units": 0,
+            "cumulative_oracle_calls": nodes,
+            "vertices": _translate(subset, labels),
+            "replayed": False,
+        })
+
+    with tracer.span("branch_search", n=graph.num_vertices, k=spec.k) as span:
+        result = maximum_kplex(graph, spec.k, on_incumbent=on_incumbent)
+        span.set("size", result.size)
+        span.set("nodes", result.stats.nodes)
+    answer = {
+        "solver": "bs",
+        "k": spec.k,
+        "size": result.size,
+        "vertices": _translate(result.subset, labels),
+        "gate_units": 0,
+        "nodes": result.stats.nodes,
+    }
+    return answer, {}
+
+
+def _solve_qamkp(spec: JobSpec, graph, labels, tracer):
+    backend = spec.solver.split("-", 1)[1]
+    result = qamkp(
+        graph,
+        spec.k,
+        runtime_us=spec.runtime_us,
+        solver=backend,
+        seed=spec.seed,
+        fallback=backend == "qpu",
+        tracer=tracer,
+    )
+    answer = {
+        "solver": spec.solver,
+        "k": spec.k,
+        "size": len(result.repaired),
+        "vertices": _translate(result.repaired, labels),
+        "gate_units": 0,
+        "cost": result.cost,
+        "feasible": result.feasible,
+    }
+    return answer, {"backend_used": result.info.get("backend_used", backend)}
+
+
+def execute(job: dict[str, object]) -> int:
+    """Run one job payload (see :func:`main` for the file format)."""
+    job_id = str(job["job_id"])
+    spec = JobSpec.from_dict(dict(job["spec"]))
+    checkpoint = Path(str(job["checkpoint"]))
+    receipt = Path(str(job["receipt"]))
+
+    tracer = Tracer()
+    try:
+        # "started" goes out before the hold: once the supervisor sees
+        # it, this process is guaranteed to translate SIGINT into the
+        # graceful suspend path below (the handler is installed).
+        _emit({
+            "event": "started",
+            "job_id": job_id,
+            "pid": os.getpid(),
+            "solver": spec.solver,
+            "resuming": CheckpointJournal.resumable(checkpoint),
+        })
+        hold_s = float(os.environ.get(HOLD_ENV, 0) or 0)
+        if hold_s:  # chaos/test hook: pin the job in the running state
+            time.sleep(hold_s)
+        graph, labels = read_edge_list(spec.graph_path)
+        if spec.solver == "qmkp":
+            answer, extra = _solve_qmkp(
+                spec, graph, labels, job_id, checkpoint, tracer
+            )
+        elif spec.solver == "bs":
+            answer, extra = _solve_bs(spec, graph, labels, job_id, tracer)
+        else:
+            answer, extra = _solve_qamkp(spec, graph, labels, tracer)
+    except KeyboardInterrupt:
+        # Graceful suspension: every completed probe is already fsynced
+        # in the journal, so the job is resumable exactly where it was.
+        _emit({
+            "event": "suspended",
+            "job_id": job_id,
+            "checkpoint": str(checkpoint),
+        })
+        return 130
+
+    ledger = RunLedger.from_tracer(
+        tracer,
+        meta={"job_id": job_id, "spec": spec.as_dict()},
+    )
+    drift = ledger.verify(raise_on_drift=False)
+    receipt_doc = {
+        "job_id": job_id,
+        "spec": spec.as_dict(),
+        "answer": answer,
+        **extra,
+        "ledger": ledger.as_dict(),
+    }
+    receipt.parent.mkdir(parents=True, exist_ok=True)
+    receipt.write_text(json.dumps(receipt_doc, indent=2, sort_keys=True) + "\n")
+    _emit({
+        "event": "result",
+        "job_id": job_id,
+        "answer": answer,
+        **extra,
+        "verified": not drift,
+        "receipt": str(receipt),
+    })
+    if drift:
+        for record in drift:
+            print(f"ledger drift: {record}", file=sys.stderr)
+        return 3
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.service.runner JOB.json", file=sys.stderr)
+        return 2
+    try:
+        job = json.loads(Path(argv[0]).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read job file {argv[0]}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return execute(job)
+    except CheckpointError as exc:
+        print(f"error: checkpoint: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

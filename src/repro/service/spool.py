@@ -1,0 +1,156 @@
+"""File-spool front end: submit and serve jobs through a directory.
+
+The service core (:class:`~repro.service.supervisor.Supervisor`) is an
+in-process asyncio engine; this module gives it a zero-dependency wire
+format so ``repro submit`` and ``repro serve`` can talk across
+processes without a network stack:
+
+* ``SPOOL/jobs/<id>.json``     — one pending request (atomic rename
+  submit, so the server never reads a torn file);
+* ``SPOOL/events/<id>.jsonl``  — the job's anytime incumbent stream,
+  appended live while it runs;
+* ``SPOOL/results/<id>.json``  — the terminal record: final state,
+  answer, receipt path — or the typed rejection (backpressure /
+  admission) if the job never made it past the queue.
+
+A request file is *moved* into ``jobs/claimed/`` the moment the server
+picks it up, so a crashed server leaves unclaimed requests intact for
+the next ``repro serve`` to find.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+from pathlib import Path
+
+from .jobs import AdmissionError, BackpressureError, Job, JobSpec
+
+__all__ = ["submit_to_spool", "serve_spool", "wait_for_result"]
+
+_counter = itertools.count()
+
+
+def _spool_dirs(spool: Path) -> tuple[Path, Path, Path, Path]:
+    jobs = spool / "jobs"
+    claimed = jobs / "claimed"
+    events = spool / "events"
+    results = spool / "results"
+    for d in (jobs, claimed, events, results):
+        d.mkdir(parents=True, exist_ok=True)
+    return jobs, claimed, events, results
+
+
+def submit_to_spool(spool: str | Path, spec: JobSpec) -> str:
+    """Drop one request into the spool; returns the request id.
+
+    The write is tmp-then-rename so a concurrently polling server can
+    never observe a half-written request.
+    """
+    spool = Path(spool)
+    jobs, _, _, _ = _spool_dirs(spool)
+    request_id = spec.name or f"req-{os.getpid()}-{next(_counter):04d}"
+    tmp = jobs / f".{request_id}.json.tmp"
+    tmp.write_text(json.dumps(spec.as_dict(), indent=2, sort_keys=True) + "\n")
+    tmp.rename(jobs / f"{request_id}.json")
+    return request_id
+
+
+def wait_for_result(
+    spool: str | Path, request_id: str, timeout_s: float = 120.0
+) -> dict[str, object]:
+    """Block (sync, for the submit CLI) until the result file appears."""
+    import time
+
+    path = Path(spool) / "results" / f"{request_id}.json"
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if path.exists():
+            return json.loads(path.read_text())
+        time.sleep(0.05)
+    raise TimeoutError(f"no result for {request_id!r} within {timeout_s:g}s")
+
+
+async def _consume(job: Job, request_id: str, events: Path, results: Path) -> None:
+    """Stream one job's incumbents to its event log, then settle it."""
+    event_log = events / f"{request_id}.jsonl"
+    with open(event_log, "a", encoding="utf-8") as fh:
+        async for incumbent in job.stream():
+            fh.write(json.dumps(incumbent.as_dict(), sort_keys=True) + "\n")
+            fh.flush()
+    record: dict[str, object] = {
+        "request_id": request_id,
+        "job_id": job.job_id,
+        "state": job.state,
+        "error": job.error,
+    }
+    if job.result is not None:
+        record.update(job.result)
+    if job.degraded_from:
+        record["degraded_from"] = list(job.degraded_from)
+    if job.state == "suspended":
+        record["checkpoint"] = str(job.checkpoint_path)
+    _write_result(results, request_id, record)
+
+
+def _write_result(results: Path, request_id: str, record: dict[str, object]) -> None:
+    tmp = results / f".{request_id}.json.tmp"
+    tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    tmp.rename(results / f"{request_id}.json")
+
+
+async def serve_spool(
+    supervisor,
+    spool: str | Path,
+    max_jobs: int | None = None,
+    poll_s: float = 0.05,
+    idle_timeout_s: float | None = None,
+) -> int:
+    """Poll the spool and feed the supervisor until told to stop.
+
+    Stops after ``max_jobs`` requests have been *settled* (not merely
+    claimed), or after ``idle_timeout_s`` with nothing claimed and
+    nothing running.  Returns the number of requests served.  The
+    caller owns the supervisor's lifecycle (start/shutdown).
+    """
+    spool = Path(spool)
+    jobs_dir, claimed, events, results = _spool_dirs(spool)
+    consumers: list[asyncio.Task] = []
+    served = 0
+    idle_s = 0.0
+    while True:
+        claimed_any = False
+        for request in sorted(jobs_dir.glob("*.json")):
+            spec = JobSpec.from_dict(json.loads(request.read_text()))
+            request.rename(claimed / request.name)
+            request_id = request.stem
+            claimed_any = True
+            served += 1
+            try:
+                job = supervisor.submit(spec)
+            except (AdmissionError, BackpressureError) as exc:
+                _write_result(results, request_id, {
+                    "request_id": request_id,
+                    "state": "rejected",
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                continue
+            consumers.append(asyncio.ensure_future(
+                _consume(job, request_id, events, results)
+            ))
+            if max_jobs is not None and served >= max_jobs:
+                break
+        if max_jobs is not None and served >= max_jobs:
+            break
+        if claimed_any or any(not c.done() for c in consumers):
+            idle_s = 0.0
+        else:
+            idle_s += poll_s
+            if idle_timeout_s is not None and idle_s >= idle_timeout_s:
+                break
+        await asyncio.sleep(poll_s)
+    if consumers:
+        await asyncio.gather(*consumers)
+    return served

@@ -1,0 +1,153 @@
+"""Worker slot: run one job subprocess at a time, relay its events.
+
+A :class:`Worker` is an asyncio task owned by the supervisor.  It pulls
+jobs off the shared :class:`~repro.service.queue.JobQueue`, spawns the
+:mod:`repro.service.runner` child process for each, relays the child's
+JSON event stream (incumbents to the caller's handle, the result onto
+the job), and hands the exit code to the supervisor's crash policy.
+
+The *child* is the crash domain: a SIGKILL there is detected here as a
+negative returncode and never takes the service down.  The worker task
+itself does no solving, so the only state lost with a killed child is
+the probe in flight — everything else is in the job's checkpoint
+journal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+import repro
+
+from .jobs import IncumbentEvent, Job
+
+__all__ = ["Worker"]
+
+#: Limit for one protocol line from the child (vertices lists are small;
+#: this is just a guard against a runaway child flooding the parent).
+_LINE_LIMIT = 1 << 20
+
+
+class Worker:
+    """One worker slot of the supervisor's pool."""
+
+    def __init__(self, name: str, supervisor) -> None:
+        self.name = name
+        self.supervisor = supervisor
+        self.current: Job | None = None
+        self.proc: asyncio.subprocess.Process | None = None
+
+    async def run(self) -> None:
+        """Main loop: drain the queue until it closes."""
+        while True:
+            job = await self.supervisor.queue.get()
+            if job is None:
+                return
+            self.current = job
+            try:
+                await self._execute(job)
+            finally:
+                self.current = None
+                self.proc = None
+
+    # ------------------------------------------------------------------
+    def _job_file(self, job: Job) -> Path:
+        path = self.supervisor.workdir / f"{job.job_id}.job.json"
+        if not path.exists():
+            path.write_text(json.dumps({
+                "job_id": job.job_id,
+                "spec": {**job.spec.as_dict(), "solver": job.solver},
+                "checkpoint": str(job.checkpoint_path),
+                "receipt": str(job.receipt_path),
+            }, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def _child_env(self, job: Job) -> dict[str, str]:
+        env = dict(os.environ)
+        # The child must import the same repro package as the parent,
+        # regardless of how the parent found it.
+        src = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        # A fresh attempt must not inherit a stale chaos hook from the
+        # service environment; the plan below re-adds what it scripts.
+        env.pop("QMKP_CRASH_AFTER_PROBES", None)
+        env.pop("QMKP_SIGINT_AFTER_PROBES", None)
+        chaos = self.supervisor.chaos
+        if chaos is not None:
+            env.update(chaos.env_for(job.spec.name, job.resumes))
+        return env
+
+    async def _execute(self, job: Job) -> None:
+        sup = self.supervisor
+        sup.resolve_backend(job)
+        if job.state == "failed":
+            return  # every degradation rung was breaker-rejected
+        job.state = "running"
+        job.worker = self.name
+        sup.mark_busy(+1)
+        try:
+            # The job file is written after backend resolution so the
+            # child sees the effective (possibly degraded) solver.
+            job_file = self._job_file(job)
+            proc = await asyncio.create_subprocess_exec(
+                sup.config.python,
+                "-m",
+                "repro.service.runner",
+                str(job_file),
+                stdout=asyncio.subprocess.PIPE,
+                stderr=asyncio.subprocess.PIPE,
+                env=self._child_env(job),
+                limit=_LINE_LIMIT,
+            )
+            self.proc = proc
+            stderr_task = asyncio.ensure_future(proc.stderr.read())
+            while True:
+                line = await proc.stdout.readline()
+                if not line:
+                    break
+                self._handle_line(job, line)
+            returncode = await proc.wait()
+            stderr = (await stderr_task).decode(errors="replace")
+        finally:
+            sup.mark_busy(-1)
+        await sup.on_exit(job, returncode, stderr)
+
+    def _handle_line(self, job: Job, line: bytes) -> None:
+        sup = self.supervisor
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            # A crashing child can tear its final line mid-write, the
+            # same way the WAL can — count it, never crash the service.
+            sup.tracer.add("service_protocol_errors", 1)
+            return
+        event = payload.get("event")
+        if event == "incumbent":
+            incumbent = IncumbentEvent(
+                job_id=job.job_id,
+                size=int(payload["size"]),
+                threshold=int(payload["threshold"]),
+                cumulative_gate_units=int(payload["cumulative_gate_units"]),
+                cumulative_oracle_calls=int(payload["cumulative_oracle_calls"]),
+                vertices=tuple(payload["vertices"]),
+                replayed=bool(payload.get("replayed", False)),
+            )
+            job.push_incumbent(incumbent)
+            sup.tracer.add("service_incumbents_streamed", 1)
+        elif event == "result":
+            job.result = {
+                "answer": payload["answer"],
+                "verified": bool(payload.get("verified", False)),
+                "receipt": payload.get("receipt"),
+                "resumed_probes": payload.get("resumed_probes", 0),
+            }
+        elif event == "started":
+            # Once this is seen the child's SIGINT handler is installed:
+            # a suspend signal from here on is guaranteed graceful.
+            job.child_pid = int(payload["pid"])
+        # "suspended" is informational; the exit code is the
+        # authoritative signal for the supervisor's policy.

@@ -198,3 +198,50 @@ class TestQmkpResume:
         assert journaled.subset == reference.subset
         assert journaled.oracle_calls == reference.oracle_calls
         assert journaled.resumed_probes == 0
+
+
+class TestResumable:
+    """``CheckpointJournal.resumable`` — the auto-resume gate.
+
+    Only journals that never got a durable header (zero-length, torn
+    first line) read as "nothing to resume"; anything with a parseable
+    header is resumable=True so that a *mismatched* journal still fails
+    loudly in ``load`` instead of being silently restarted.
+    """
+
+    def test_missing_file(self, tmp_path):
+        assert CheckpointJournal.resumable(tmp_path / "nope.wal") is False
+
+    def test_zero_length_file(self, tmp_path):
+        path = tmp_path / "empty.wal"
+        path.touch()
+        assert CheckpointJournal.resumable(path) is False
+
+    def test_torn_header(self, tmp_path):
+        path = tmp_path / "torn.wal"
+        path.write_text('{"schema": 1, "k"')  # kill landed mid-write
+        assert CheckpointJournal.resumable(path) is False
+
+    def test_whitespace_only(self, tmp_path):
+        path = tmp_path / "blank.wal"
+        path.write_text("\n")
+        assert CheckpointJournal.resumable(path) is False
+
+    def test_valid_journal(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointJournal(path, HEADER) as journal:
+            journal.append_probe({"threshold": 3, "found": True})
+        assert CheckpointJournal.resumable(path) is True
+
+    def test_header_only_journal(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointJournal(path, HEADER):
+            pass
+        assert CheckpointJournal.resumable(path) is True
+
+    def test_foreign_header_still_resumable(self, tmp_path):
+        # Deliberate: a journal from a *different* run must reach
+        # ``load`` and raise a mismatch, not be treated as fresh.
+        path = tmp_path / "foreign.wal"
+        path.write_text(json.dumps({"schema": 999, "k": 5}) + "\n")
+        assert CheckpointJournal.resumable(path) is True

@@ -89,3 +89,63 @@ class TestQmkpDeadline:
         result = self._run(fig1, deadline=1.0, tracer=tracer)
         assert result.degraded_to == "kplex.branch_search"
         assert RunLedger.from_tracer(tracer).verify(raise_on_drift=False) == []
+
+
+class TestSharedPoolEdges:
+    """Edge semantics the service's per-tenant pools rely on."""
+
+    def test_exhaustion_exactly_at_the_boundary(self):
+        # charged == budget is expired, not "one more free probe".
+        budget = DeadlineBudget(100)
+        budget.charge(100)
+        assert budget.expired
+        assert budget.remaining == 0
+        with pytest.raises(DeadlineExpired):
+            budget.check()
+
+    def test_qmkp_expiry_exactly_at_first_probe_cost(self, fig1):
+        # A budget equal to the first probe's exact cost expires at the
+        # probe boundary: the probe completes, then the search degrades.
+        probe_cost = qmkp(
+            fig1, 2, rng=np.random.default_rng(7),
+            use_upper_bound=False, deadline=1.0,
+        ).gate_units
+        result = qmkp(
+            fig1, 2, rng=np.random.default_rng(7),
+            use_upper_bound=False, deadline=float(probe_cost),
+        )
+        assert result.qtkp_calls == 1
+        assert result.deadline_expired
+        assert result.degraded_to == "kplex.branch_search"
+
+    def test_concurrent_consumers_lose_no_charges(self):
+        import threading
+
+        pool = DeadlineBudget(1e9)
+        per_thread, threads_n = 1000, 8
+
+        def consumer():
+            for _ in range(per_thread):
+                pool.charge(1.0)
+
+        threads = [threading.Thread(target=consumer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Unlocked read-modify-write would drop updates here.
+        assert pool.charged == per_thread * threads_n
+
+    def test_two_solves_sharing_one_pool(self, fig1):
+        # The service charges completed jobs against one tenant pool;
+        # both solves' gate units must land, in full, in the same pool.
+        pool = DeadlineBudget(1e12)
+        first = qmkp(
+            fig1, 2, rng=np.random.default_rng(7),
+            use_upper_bound=False, deadline=pool,
+        )
+        second = qmkp(
+            fig1, 2, rng=np.random.default_rng(11),
+            use_upper_bound=False, deadline=pool,
+        )
+        assert pool.charged == first.gate_units + second.gate_units

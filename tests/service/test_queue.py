@@ -1,0 +1,127 @@
+"""Unit tests for the bounded job queue and tenant admission pools."""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    AdmissionError,
+    BackpressureError,
+    Job,
+    JobQueue,
+    JobSpec,
+    ServiceError,
+    TenantPools,
+)
+
+
+def _job(i: int, tmp_path: Path, **kwargs) -> Job:
+    spec = JobSpec(graph_path="g.edges", name=f"j{i}", **kwargs)
+    return Job(f"job-{i:04d}", spec, tmp_path)
+
+
+class TestJobQueue:
+    def test_backpressure_is_typed_and_carries_depth(self, tmp_path):
+        queue = JobQueue(capacity=2)
+        queue.submit(_job(0, tmp_path))
+        queue.submit(_job(1, tmp_path))
+        with pytest.raises(BackpressureError) as info:
+            queue.submit(_job(2, tmp_path))
+        assert info.value.capacity == 2
+        assert info.value.depth == 2
+        # The queue never grew past its bound.
+        assert queue.depth == 2
+
+    def test_requeue_bypasses_the_bound_and_jumps_the_line(self, tmp_path):
+        queue = JobQueue(capacity=1)
+        fresh = _job(0, tmp_path)
+        queue.submit(fresh)
+        crashed = _job(1, tmp_path)
+        crashed.state = "running"
+        queue.requeue(crashed)  # full queue must not bounce a resume
+        assert crashed.state == "queued"
+        assert queue.depth == 2
+        # Workers drain the resume lane first.
+        assert asyncio.run(queue.get()) is crashed
+        assert asyncio.run(queue.get()) is fresh
+
+    def test_get_blocks_until_submit(self, tmp_path):
+        queue = JobQueue(capacity=1)
+        job = _job(0, tmp_path)
+
+        async def scenario():
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0.01)
+            assert not getter.done()
+            queue.submit(job)
+            return await getter
+
+        assert asyncio.run(scenario()) is job
+
+    def test_closed_queue_rejects_and_unblocks_workers(self, tmp_path):
+        queue = JobQueue(capacity=1)
+        queue.submit(_job(0, tmp_path))
+        queue.close()
+        with pytest.raises(ServiceError):
+            queue.submit(_job(1, tmp_path))
+        # Drains what was accepted, then signals shutdown with None.
+        assert asyncio.run(queue.get()) is not None
+        assert asyncio.run(queue.get()) is None
+
+    def test_drain_pending_empties_both_lanes(self, tmp_path):
+        queue = JobQueue(capacity=4)
+        a, b, c = (_job(i, tmp_path) for i in range(3))
+        queue.submit(a)
+        queue.submit(b)
+        queue.requeue(c)
+        pending = queue.drain_pending()
+        assert pending == [c, a, b]  # resumes first
+        assert queue.depth == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            JobQueue(capacity=0)
+
+
+class TestTenantPools:
+    def test_unknown_tenant_is_unlimited_but_accounted(self):
+        pools = TenantPools({})
+        pools.admit("acme")  # never raises
+        pools.charge("acme", 123.0)
+        assert pools.as_dict() == {"acme": {"budget": None, "charged": 123.0}}
+
+    def test_budgeted_tenant_rejected_once_dry(self):
+        pools = TenantPools({"acme": 100.0})
+        pools.admit("acme")
+        pools.charge("acme", 60.0)
+        pools.admit("acme")  # 40 left
+        pools.charge("acme", 60.0)  # overdraw by in-flight work: allowed
+        with pytest.raises(AdmissionError) as info:
+            pools.admit("acme")
+        assert info.value.tenant == "acme"
+        assert info.value.budget == 100.0
+        assert info.value.charged == 120.0
+
+    def test_tenants_are_isolated(self):
+        pools = TenantPools({"acme": 10.0, "globex": 10.0})
+        pools.charge("acme", 11.0)
+        with pytest.raises(AdmissionError):
+            pools.admit("acme")
+        pools.admit("globex")  # untouched
+
+
+class TestJobSpec:
+    def test_round_trips_through_dict(self):
+        spec = JobSpec("g.edges", k=3, solver="bs", seed=4, name="x")
+        assert JobSpec.from_dict(spec.as_dict()) == spec
+
+    def test_rejects_unknown_solver_and_fields(self):
+        with pytest.raises(ValueError):
+            JobSpec("g.edges", solver="quantum-magic")
+        with pytest.raises(ValueError):
+            JobSpec.from_dict({"graph_path": "g", "frobnicate": 1})
+        with pytest.raises(ValueError):
+            JobSpec.from_dict({"k": 2})

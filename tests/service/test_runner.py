@@ -1,0 +1,130 @@
+"""Subprocess-protocol tests for the worker child (repro.service.runner)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import figure1_graph
+from repro.graphs import write_edge_list
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _write_job(tmp_path, spec, job_id="job-0000"):
+    job_file = tmp_path / f"{job_id}.job.json"
+    job_file.write_text(json.dumps({
+        "job_id": job_id,
+        "spec": spec,
+        "checkpoint": str(tmp_path / f"{job_id}.wal"),
+        "receipt": str(tmp_path / f"{job_id}.receipt.json"),
+    }))
+    return job_file
+
+
+def _run_runner(job_file, extra_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("QMKP_CRASH_AFTER_PROBES", None)
+    env.pop("QMKP_SIGINT_AFTER_PROBES", None)
+    env.update(extra_env or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro.service.runner", str(job_file)],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig1.edges"
+    write_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+def _events(stdout: str) -> list[dict]:
+    return [json.loads(line) for line in stdout.splitlines()]
+
+
+class TestRunnerProtocol:
+    def test_event_stream_and_receipt(self, graph_file, tmp_path):
+        job_file = _write_job(
+            tmp_path, {"graph_path": graph_file, "k": 2, "seed": 7}
+        )
+        proc = _run_runner(job_file)
+        assert proc.returncode == 0, proc.stderr
+        events = _events(proc.stdout)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "started"
+        assert kinds[-1] == "result"
+        assert "incumbent" in kinds
+        result = events[-1]
+        assert result["verified"] is True
+        assert result["answer"]["solver"] == "qmkp"
+        # The receipt on disk is the full ledger document.
+        receipt = json.loads(Path(result["receipt"]).read_text())
+        assert receipt["answer"] == result["answer"]
+        assert receipt["ledger"]["verified"] is True
+
+    def test_zero_length_checkpoint_is_a_fresh_start(self, graph_file, tmp_path):
+        # A crash can leave a zero-length journal (open() happened, the
+        # header fsync did not).  The runner must treat it as "nothing
+        # to resume", not refuse the job.
+        job_file = _write_job(
+            tmp_path, {"graph_path": graph_file, "k": 2, "seed": 7}
+        )
+        (tmp_path / "job-0000.wal").touch()
+        proc = _run_runner(job_file)
+        assert proc.returncode == 0, proc.stderr
+        events = _events(proc.stdout)
+        assert events[0]["resuming"] is False
+        assert events[-1]["event"] == "result"
+
+    def test_bs_solver_streams_incumbents(self, graph_file, tmp_path):
+        job_file = _write_job(
+            tmp_path, {"graph_path": graph_file, "k": 2, "solver": "bs"}
+        )
+        proc = _run_runner(job_file)
+        assert proc.returncode == 0, proc.stderr
+        events = _events(proc.stdout)
+        incumbents = [e for e in events if e["event"] == "incumbent"]
+        assert incumbents
+        result = events[-1]
+        assert result["answer"]["solver"] == "bs"
+        assert result["answer"]["size"] == incumbents[-1]["size"]
+
+    def test_sigint_hook_suspends_with_exit_130(self, graph_file, tmp_path):
+        job_file = _write_job(
+            tmp_path, {"graph_path": graph_file, "k": 2, "seed": 7}
+        )
+        proc = _run_runner(
+            job_file, extra_env={"QMKP_SIGINT_AFTER_PROBES": "1"}
+        )
+        assert proc.returncode == 130
+        events = _events(proc.stdout)
+        assert events[-1]["event"] == "suspended"
+        # The journal holds the completed probe, ready to resume.
+        wal = (tmp_path / "job-0000.wal").read_text().splitlines()
+        assert len(wal) == 2  # header + one probe
+
+    def test_missing_graph_is_a_usage_error(self, tmp_path):
+        job_file = _write_job(
+            tmp_path, {"graph_path": str(tmp_path / "nope.edges")}
+        )
+        proc = _run_runner(job_file)
+        assert proc.returncode == 2
+        assert "error" in proc.stderr
+
+    def test_usage_without_job_file(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.service.runner"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr
