@@ -17,6 +17,8 @@ ever silently dropped.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -125,6 +127,28 @@ class JobSpec:
             raise ValueError("job spec is missing 'graph_path'")
         return cls(**payload)
 
+    def content_key(self) -> str:
+        """Stable hash of the full spec content (hex, 16 chars).
+
+        Two :class:`JobSpec`\\ s have the same key iff every field is
+        equal, so the key identifies one reproducible run regardless of
+        submission order or service restarts.
+        """
+        canonical = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def artifact_stem(self) -> str:
+        """Base name for this spec's on-disk artifacts (journal, receipt).
+
+        Content-keyed, *not* sequence-numbered: a persistent workdir may
+        outlive many supervisors, and artifact names must never collide
+        across restarts nor depend on submission order — resubmitting
+        the same spec against the same workdir always finds the same
+        checkpoint journal.
+        """
+        prefix = f"{self.name}-" if self.name else "job-"
+        return prefix + self.content_key()
+
 
 @dataclass(frozen=True)
 class IncumbentEvent:
@@ -164,7 +188,13 @@ class Job:
     :class:`ServiceError` on failure).
     """
 
-    def __init__(self, job_id: str, spec: JobSpec, workdir: Path) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        spec: JobSpec,
+        workdir: Path,
+        artifact_stem: str | None = None,
+    ) -> None:
         self.job_id = job_id
         self.spec = spec
         self.state = "queued"
@@ -175,8 +205,13 @@ class Job:
         self.child_pid: int | None = None  # set on the child's "started"
         self.error: str | None = None
         self.result: dict[str, object] | None = None
-        self.receipt_path = workdir / f"{job_id}.receipt.json"
-        self.checkpoint_path = workdir / f"{job_id}.wal"
+        # Artifacts are content-keyed (never sequence-numbered): the
+        # workdir may be shared across supervisor restarts, and a stale
+        # journal must only ever be found by the spec that wrote it.
+        stem = artifact_stem or spec.artifact_stem()
+        self.receipt_path = workdir / f"{stem}.receipt.json"
+        self.checkpoint_path = workdir / f"{stem}.wal"
+        self.jobfile_path = workdir / f"{stem}.job.json"
         self.incumbents: list[IncumbentEvent] = []
         self._events: asyncio.Queue = asyncio.Queue()
         self._done = asyncio.Event()

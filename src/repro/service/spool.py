@@ -10,8 +10,8 @@ processes without a network stack:
 * ``SPOOL/events/<id>.jsonl``  — the job's anytime incumbent stream,
   appended live while it runs;
 * ``SPOOL/results/<id>.json``  — the terminal record: final state,
-  answer, receipt path — or the typed rejection (backpressure /
-  admission) if the job never made it past the queue.
+  answer, receipt path — or the typed rejection (malformed request,
+  backpressure, admission) if the job never made it past the queue.
 
 A request file is *moved* into ``jobs/claimed/`` the moment the server
 picks it up, so a crashed server leaves unclaimed requests intact for
@@ -46,16 +46,36 @@ def _spool_dirs(spool: Path) -> tuple[Path, Path, Path, Path]:
 def submit_to_spool(spool: str | Path, spec: JobSpec) -> str:
     """Drop one request into the spool; returns the request id.
 
-    The write is tmp-then-rename so a concurrently polling server can
-    never observe a half-written request.
+    The id is ``spec.name`` when that is still free, else the name with
+    a numeric suffix — two submissions reusing one ``--name`` must not
+    overwrite each other's request/result files or interleave their
+    event logs.  The write is tmp-then-hardlink so a concurrently
+    polling server can never observe a half-written request and a
+    concurrent same-name submitter can never steal the id.
     """
     spool = Path(spool)
-    jobs, _, _, _ = _spool_dirs(spool)
-    request_id = spec.name or f"req-{os.getpid()}-{next(_counter):04d}"
-    tmp = jobs / f".{request_id}.json.tmp"
+    jobs, claimed, events, results = _spool_dirs(spool)
+    base = spec.name or f"req-{os.getpid()}-{next(_counter):04d}"
+    tmp = jobs / f".{base}.{os.getpid()}.{next(_counter)}.json.tmp"
     tmp.write_text(json.dumps(spec.as_dict(), indent=2, sort_keys=True) + "\n")
-    tmp.rename(jobs / f"{request_id}.json")
-    return request_id
+    request_id, n = base, 1
+    try:
+        while True:
+            taken = (
+                (claimed / f"{request_id}.json").exists()
+                or (events / f"{request_id}.jsonl").exists()
+                or (results / f"{request_id}.json").exists()
+            )
+            if not taken:
+                try:
+                    os.link(tmp, jobs / f"{request_id}.json")
+                    return request_id
+                except FileExistsError:
+                    pass  # lost the race for this id; try the next one
+            n += 1
+            request_id = f"{base}-{n}"
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def wait_for_result(
@@ -123,11 +143,23 @@ async def serve_spool(
     while True:
         claimed_any = False
         for request in sorted(jobs_dir.glob("*.json")):
-            spec = JobSpec.from_dict(json.loads(request.read_text()))
+            # Claim before parsing: a malformed request must leave the
+            # jobs/ directory either way, or every restarted server
+            # would crash on the same poison file forever.
             request.rename(claimed / request.name)
             request_id = request.stem
             claimed_any = True
             served += 1
+            try:
+                payload = json.loads((claimed / request.name).read_text())
+                spec = JobSpec.from_dict(payload)
+            except (TypeError, ValueError) as exc:
+                _write_result(results, request_id, {
+                    "request_id": request_id,
+                    "state": "rejected",
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                continue
             try:
                 job = supervisor.submit(spec)
             except (AdmissionError, BackpressureError) as exc:

@@ -119,6 +119,12 @@ class Supervisor:
         self._tasks = []
         self._update_depth()
 
+    @property
+    def suspending(self) -> bool:
+        """True once a non-drain shutdown began: workers stop spawning
+        children and suspend anything they dequeue instead."""
+        return self._suspending
+
     async def __aenter__(self) -> "Supervisor":
         await self.start()
         return self
@@ -146,7 +152,7 @@ class Supervisor:
         job_id = f"job-{self._job_seq:04d}" + (
             f"-{spec.name}" if spec.name else ""
         )
-        job = Job(job_id, spec, self.workdir)
+        job = Job(job_id, spec, self.workdir, self._artifact_stem(spec))
         try:
             self.queue.submit(job)
         except Exception:
@@ -157,6 +163,27 @@ class Supervisor:
         self.tracer.add("service_jobs_submitted", 1)
         self._update_depth()
         return job
+
+    def _artifact_stem(self, spec: JobSpec) -> str:
+        """Artifact basename for ``spec``, unique among live jobs.
+
+        The stem is content-keyed (see :meth:`JobSpec.artifact_stem`) so
+        checkpoints survive supervisor restarts and never collide across
+        different specs; two *concurrently live* submissions of an
+        identical spec must still not share a journal, so duplicates get
+        a deterministic ``-dupN`` suffix.
+        """
+        stem = spec.artifact_stem()
+        live = {
+            job.checkpoint_path.name
+            for job in self.jobs.values()
+            if not job.done
+        }
+        candidate, dup = stem, 1
+        while f"{candidate}.wal" in live:
+            dup += 1
+            candidate = f"{stem}-dup{dup}"
+        return candidate
 
     # ------------------------------------------------------------------
     # Worker callbacks
@@ -219,6 +246,11 @@ class Supervisor:
                 self.tracer.add(
                     "service_probes_resumed", int(job.result["resumed_probes"])
                 )
+            # A finished job's journal holds no resumable work; leaving
+            # it behind in a persistent workdir would only shadow a
+            # later resubmission of the same spec.  The receipt stays.
+            job.checkpoint_path.unlink(missing_ok=True)
+            job.jobfile_path.unlink(missing_ok=True)
             job.settle("done")
             return
         if returncode == 130:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 from pathlib import Path
 
 import repro
@@ -41,7 +42,14 @@ class Worker:
         self.proc: asyncio.subprocess.Process | None = None
 
     async def run(self) -> None:
-        """Main loop: drain the queue until it closes."""
+        """Main loop: drain the queue until it closes.
+
+        The loop itself must survive anything one job can throw at it —
+        a missing interpreter, an over-limit protocol line, a bug in the
+        relay — so :meth:`_execute` runs under a guard that settles the
+        job as failed (callers awaiting it never hang) and keeps this
+        worker slot serving.
+        """
         while True:
             job = await self.supervisor.queue.get()
             if job is None:
@@ -49,14 +57,36 @@ class Worker:
             self.current = job
             try:
                 await self._execute(job)
+            except Exception as exc:  # noqa: BLE001 — the slot must live
+                await self._abort(job, exc)
             finally:
                 self.current = None
                 self.proc = None
 
+    async def _abort(self, job: Job, exc: Exception) -> None:
+        """Settle a job whose *relay* (not the solver) blew up."""
+        sup = self.supervisor
+        proc = self.proc
+        if proc is not None and proc.returncode is None:
+            proc.kill()
+            await proc.wait()
+        sup.tracer.add("service_worker_errors", 1)
+        if not job.done:
+            sup.tracer.add("service_jobs_failed", 1)
+            job.settle(
+                "failed",
+                f"worker {self.name} internal error: "
+                f"{type(exc).__name__}: {exc}",
+            )
+
     # ------------------------------------------------------------------
     def _job_file(self, job: Job) -> Path:
-        path = self.supervisor.workdir / f"{job.job_id}.job.json"
-        if not path.exists():
+        path = job.jobfile_path
+        # Attempt 1 (re)writes the file so a stale one from a previous
+        # service run can never smuggle in another job's spec; resumes
+        # reuse it — resolve_backend pins the solver, so the content
+        # could only be identical anyway.
+        if job.resumes == 0 or not path.exists():
             path.write_text(json.dumps({
                 "job_id": job.job_id,
                 "spec": {**job.spec.as_dict(), "solver": job.solver},
@@ -83,6 +113,13 @@ class Worker:
 
     async def _execute(self, job: Job) -> None:
         sup = self.supervisor
+        if sup.suspending:
+            # The shutdown sweep only SIGINTs children that already
+            # exist; a job dequeued around the sweep must not start a
+            # fresh solve that would block the suspend.
+            sup.tracer.add("service_jobs_suspended", 1)
+            job.settle("suspended", "service shut down before the job started")
+            return
         sup.resolve_backend(job)
         if job.state == "failed":
             return  # every degradation rung was breaker-rejected
@@ -120,34 +157,44 @@ class Worker:
         sup = self.supervisor
         try:
             payload = json.loads(line)
-        except json.JSONDecodeError:
-            # A crashing child can tear its final line mid-write, the
-            # same way the WAL can — count it, never crash the service.
+            event = payload.get("event")
+            if event == "incumbent":
+                incumbent = IncumbentEvent(
+                    job_id=job.job_id,
+                    size=int(payload["size"]),
+                    threshold=int(payload["threshold"]),
+                    cumulative_gate_units=int(
+                        payload["cumulative_gate_units"]
+                    ),
+                    cumulative_oracle_calls=int(
+                        payload["cumulative_oracle_calls"]
+                    ),
+                    vertices=tuple(payload["vertices"]),
+                    replayed=bool(payload.get("replayed", False)),
+                )
+                job.push_incumbent(incumbent)
+                sup.tracer.add("service_incumbents_streamed", 1)
+            elif event == "result":
+                job.result = {
+                    "answer": payload["answer"],
+                    "verified": bool(payload.get("verified", False)),
+                    "receipt": payload.get("receipt"),
+                    "resumed_probes": payload.get("resumed_probes", 0),
+                }
+            elif event == "started":
+                # Once this is seen the child's SIGINT handler is
+                # installed: a suspend signal from here on is graceful.
+                job.child_pid = int(payload["pid"])
+                if sup.suspending and self.proc is not None \
+                        and self.proc.returncode is None:
+                    # The child spawned after the shutdown sweep, so the
+                    # sweep's SIGINT missed it — deliver it now, at the
+                    # first moment it is guaranteed to land gracefully.
+                    self.proc.send_signal(signal.SIGINT)
+            # "suspended" is informational; the exit code is the
+            # authoritative signal for the supervisor's policy.
+        except (KeyError, TypeError, ValueError):
+            # A crashing child can tear its final line mid-write (bad
+            # JSON, same as the WAL) or emit a field the relay cannot
+            # coerce — count it, never kill the worker over it.
             sup.tracer.add("service_protocol_errors", 1)
-            return
-        event = payload.get("event")
-        if event == "incumbent":
-            incumbent = IncumbentEvent(
-                job_id=job.job_id,
-                size=int(payload["size"]),
-                threshold=int(payload["threshold"]),
-                cumulative_gate_units=int(payload["cumulative_gate_units"]),
-                cumulative_oracle_calls=int(payload["cumulative_oracle_calls"]),
-                vertices=tuple(payload["vertices"]),
-                replayed=bool(payload.get("replayed", False)),
-            )
-            job.push_incumbent(incumbent)
-            sup.tracer.add("service_incumbents_streamed", 1)
-        elif event == "result":
-            job.result = {
-                "answer": payload["answer"],
-                "verified": bool(payload.get("verified", False)),
-                "receipt": payload.get("receipt"),
-                "resumed_probes": payload.get("resumed_probes", 0),
-            }
-        elif event == "started":
-            # Once this is seen the child's SIGINT handler is installed:
-            # a suspend signal from here on is guaranteed graceful.
-            job.child_pid = int(payload["pid"])
-        # "suspended" is informational; the exit code is the
-        # authoritative signal for the supervisor's policy.

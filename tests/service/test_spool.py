@@ -1,0 +1,97 @@
+"""Spool front-end robustness: poison requests, request-id collisions.
+
+The spool is the crash boundary between untrusted submitters and the
+long-running server, so a malformed request file must become a typed
+``rejected`` result record — never a server crash that repeats on every
+restart — and two submissions reusing one ``--name`` must never
+overwrite each other's artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.datasets import figure1_graph
+from repro.graphs import write_edge_list
+from repro.service import (
+    JobSpec,
+    ServiceConfig,
+    Supervisor,
+    serve_spool,
+    submit_to_spool,
+)
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig1.edges"
+    write_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+class TestPoisonRequests:
+    def test_malformed_requests_are_rejected_not_fatal(
+        self, graph_file, tmp_path
+    ):
+        spool = tmp_path / "spool"
+        jobs = spool / "jobs"
+        jobs.mkdir(parents=True)
+        (jobs / "bad.json").write_text("{this is not json")
+        (jobs / "worse.json").write_text('{"k": 2}')  # no graph_path
+        submit_to_spool(spool, JobSpec(graph_file, k=2, seed=7, name="ok"))
+
+        async def scenario():
+            config = ServiceConfig(workers=1, workdir=str(tmp_path / "work"))
+            async with Supervisor(config) as sup:
+                return await serve_spool(sup, spool, max_jobs=3)
+
+        served = asyncio.run(scenario())
+        assert served == 3
+
+        results = spool / "results"
+        bad = json.loads((results / "bad.json").read_text())
+        assert bad["state"] == "rejected"
+        assert "JSONDecodeError" in bad["error"]
+        worse = json.loads((results / "worse.json").read_text())
+        assert worse["state"] == "rejected"
+        assert "graph_path" in worse["error"]
+        # The well-formed request still solves in the same batch.
+        assert json.loads((results / "ok.json").read_text())["state"] == "done"
+        # Poison files were claimed out of jobs/, so a restarted server
+        # does not crash-loop on them.
+        assert list(jobs.glob("*.json")) == []
+        assert (jobs / "claimed" / "bad.json").exists()
+
+
+class TestRequestIds:
+    def test_duplicate_names_never_overwrite(self, graph_file, tmp_path):
+        spool = tmp_path / "spool"
+        first = submit_to_spool(spool, JobSpec(graph_file, k=2, name="demo"))
+        second = submit_to_spool(spool, JobSpec(graph_file, k=3, name="demo"))
+        assert first == "demo"
+        assert second != first
+        pending = {
+            path.stem: json.loads(path.read_text())
+            for path in (spool / "jobs").glob("*.json")
+        }
+        assert set(pending) == {first, second}
+        assert pending[first]["k"] == 2
+        assert pending[second]["k"] == 3
+
+    def test_name_colliding_with_prior_artifacts_is_suffixed(
+        self, graph_file, tmp_path
+    ):
+        # A finished (or suspended) job leaves result/event files under
+        # its request id; a later same-name submission must not clobber
+        # them.
+        spool = tmp_path / "spool"
+        results = spool / "results"
+        results.mkdir(parents=True)
+        (results / "demo.json").write_text('{"state": "done"}\n')
+        request_id = submit_to_spool(spool, JobSpec(graph_file, name="demo"))
+        assert request_id == "demo-2"
+        assert (spool / "jobs" / "demo-2.json").exists()
+        assert (results / "demo.json").read_text() == '{"state": "done"}\n'

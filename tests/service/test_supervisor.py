@@ -17,7 +17,7 @@ import pytest
 
 from repro.core import qmkp
 from repro.datasets import figure1_graph
-from repro.graphs import gnm_random_graph, write_edge_list
+from repro.graphs import gnm_random_graph, read_edge_list, write_edge_list
 from repro.kplex import maximum_kplex
 from repro.service import (
     AdmissionError,
@@ -27,6 +27,7 @@ from repro.service import (
     ServiceConfig,
     ServiceError,
     Supervisor,
+    Worker,
 )
 
 
@@ -183,6 +184,132 @@ class TestChaos:
         assert resumed.resumed_probes == 1
 
 
+class TestWorkdirPersistence:
+    """The workdir may outlive many supervisors; artifact names must
+    never depend on submission order or the restart-resetting job
+    sequence."""
+
+    def test_restarted_service_resumes_regardless_of_submission_order(
+        self, multi_probe_graph_file, graph_file, tmp_path
+    ):
+        workdir = tmp_path / "work"
+        chaos = ChaosPlan(interrupts={"victim": [1]})
+        victim_spec = JobSpec(
+            multi_probe_graph_file, k=2, seed=7, name="victim"
+        )
+
+        # Server 1: the victim job is suspended with one journaled probe.
+        async def server1():
+            config = _config(tmp_path, workers=1, workdir=str(workdir))
+            async with Supervisor(config, chaos=chaos) as sup:
+                job = sup.submit(victim_spec)
+                with pytest.raises(ServiceError, match="suspended"):
+                    await job.result_dict()
+                return job
+
+        suspended = asyncio.run(server1())
+        assert suspended.state == "suspended"
+        assert suspended.checkpoint_path.exists()
+
+        # Server 2, same workdir: an unrelated spec goes first — under
+        # sequence-numbered artifacts it would inherit the victim's
+        # stale journal and fail with a header mismatch — then the
+        # victim spec is resubmitted and must resume its own journal.
+        async def server2():
+            config = _config(tmp_path, workers=1, workdir=str(workdir))
+            async with Supervisor(config) as sup:
+                other = await _solve(
+                    sup, JobSpec(graph_file, k=2, seed=3, name="other")
+                )
+                victim = await _solve(sup, victim_spec)
+            return other, victim
+
+        (other, _, other_result), (victim, _, victim_result) = asyncio.run(
+            server2()
+        )
+        assert other.state == "done"
+        assert victim.state == "done"
+        assert victim_result["resumed_probes"] == 1
+        graph, _ = read_edge_list(multi_probe_graph_file)
+        reference = qmkp(graph, 2, rng=np.random.default_rng(7))
+        assert victim_result["answer"]["size"] == reference.size
+        assert victim_result["answer"]["gate_units"] == reference.gate_units
+        # Finished jobs delete their journals, so nothing is left to
+        # shadow yet another resubmission of either spec.
+        assert not victim.checkpoint_path.exists()
+        assert not other.checkpoint_path.exists()
+
+    def test_artifacts_are_content_keyed_and_duplicates_disambiguated(
+        self, graph_file, tmp_path
+    ):
+        sup = Supervisor(_config(tmp_path, workers=1))
+        spec = JobSpec(graph_file, k=2, seed=7, name="twin")
+        first = sup.submit(spec)
+        second = sup.submit(spec)
+        # Checkpoint names derive from the spec content, not the
+        # restart-resetting job sequence...
+        assert spec.artifact_stem() in first.checkpoint_path.name
+        assert first.checkpoint_path.name == f"{spec.artifact_stem()}.wal"
+        # ...while two live submissions of one spec still never share
+        # a journal.
+        assert first.checkpoint_path != second.checkpoint_path
+        assert first.receipt_path != second.receipt_path
+        # A different spec (same but for the name) gets a different key.
+        other = sup.submit(JobSpec(graph_file, k=2, seed=7, name="tw1n"))
+        assert other.checkpoint_path.name == "tw1n-" + (
+            other.spec.content_key() + ".wal"
+        )
+        assert other.spec.content_key() != spec.content_key()
+
+
+class TestWorkerRobustness:
+    def test_spawn_failure_fails_the_job_not_the_worker(
+        self, graph_file, tmp_path
+    ):
+        # A missing interpreter makes create_subprocess_exec raise
+        # OSError inside the worker; the job must settle failed (so
+        # result_dict never hangs) and the slot must keep serving.
+        async def scenario():
+            config = _config(
+                tmp_path, workers=1, python=str(tmp_path / "no-such-python")
+            )
+            async with Supervisor(config) as sup:
+                first = sup.submit(JobSpec(graph_file, k=2, name="boom"))
+                with pytest.raises(ServiceError, match="internal error"):
+                    await first.result_dict()
+                second = sup.submit(
+                    JobSpec(graph_file, k=2, solver="bs", name="next")
+                )
+                with pytest.raises(ServiceError, match="internal error"):
+                    await second.result_dict()
+            return first, second, sup
+
+        first, second, sup = asyncio.run(scenario())
+        assert first.state == "failed"
+        assert second.state == "failed"
+        counters = sup.tracer.registry.as_dict()["counters"]
+        assert counters["service_worker_errors"] == 2
+
+    def test_malformed_protocol_lines_are_counted_not_fatal(
+        self, graph_file, tmp_path
+    ):
+        sup = Supervisor(_config(tmp_path, workers=1))
+        worker = Worker("w0", sup)
+        job = sup.submit(JobSpec(graph_file, name="proto"))
+        for line in (
+            b"not json at all\n",
+            b'{"event": "incumbent"}\n',            # missing keys
+            b'{"event": "incumbent", "size": "x"}\n',  # uncoercible
+            b'{"event": "result"}\n',              # missing answer
+            b'{"event": "started", "pid": "nope"}\n',
+        ):
+            worker._handle_line(job, line)
+        assert job.incumbents == []
+        assert job.result is None
+        counters = sup.tracer.registry.as_dict()["counters"]
+        assert counters["service_protocol_errors"] == 5
+
+
 class TestAdmission:
     def test_backpressure_is_typed_end_to_end(self, graph_file, tmp_path):
         # Unstarted supervisor: nothing drains the queue, so the bound
@@ -296,6 +423,28 @@ class TestShutdown:
         assert queued.state == "suspended"
         counters = sup.tracer.registry.as_dict()["counters"]
         assert counters["service_jobs_suspended"] == 2
+
+    def test_suspending_flag_blocks_new_spawns(
+        self, multi_probe_graph_file, tmp_path
+    ):
+        # A job dequeued after the shutdown sweep (which only SIGINTs
+        # children that already exist) must be suspended by the worker
+        # before it spawns, not run to completion behind the suspend.
+        async def scenario():
+            sup = Supervisor(_config(tmp_path, workers=1))
+            job = sup.submit(
+                JobSpec(multi_probe_graph_file, k=2, seed=7, name="late")
+            )
+            sup._suspending = True  # as if shutdown(drain=False) swept now
+            await sup.start()
+            await sup.drain()
+            return job, sup
+
+        job, sup = asyncio.run(scenario())
+        assert job.state == "suspended"
+        assert job.child_pid is None  # no subprocess was ever spawned
+        counters = sup.tracer.registry.as_dict()["counters"]
+        assert counters["service_jobs_suspended"] == 1
 
     def test_drain_finishes_accepted_work(self, graph_file, tmp_path):
         async def scenario():
