@@ -22,12 +22,23 @@ The harness **gates on correctness, not just speed**:
 * with ``--trace``, the traced run must reconcile in the run ledger
   (zero drift, ``num_flips`` matching the spans' claims) and stay
   within the tracing-overhead limit;
-* the measured SA speedup must clear ``--min-speedup``.
+* the measured SA speedup must clear ``--min-speedup``;
+* every available kernel backend (numpy / numba / cext; see
+  :mod:`repro.perf.kernels`) must produce a fingerprint-identical
+  sampleset, and the fastest compiled tier must clear
+  ``--min-kernel-speedup`` over the NumPy reference end-to-end
+  (skipped when only numpy is available).
+
+The kernel block times the *representative qaMKP regime* — the paper's
+runtime-budgeted SA uses ~10 reads x 2 sweeps per shot, where the
+per-sweep dispatch overhead the compiled tier eliminates dominates.
 
 Emits ``BENCH_qamkp_sa_n<n>_k<k>.json`` (override with ``--out``).  Run
 from the repo root::
 
     PYTHONPATH=src python benchmarks/perf/bench_anneal_engine.py --n 40 --reads 1024
+    PYTHONPATH=src python benchmarks/perf/bench_anneal_engine.py \
+        --n 100 --reads 16 --sweeps 2 --repeat 5
 """
 
 from __future__ import annotations
@@ -178,6 +189,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         help="required seed/engine SA wall-clock ratio (default 5.0)")
     parser.add_argument(
+        "--min-kernel-speedup", type=float, default=3.0,
+        help="required compiled-vs-numpy end-to-end SA speedup when a "
+        "compiled kernel backend is available (default 3.0)",
+    )
+    parser.add_argument(
         "--baseline-s", type=float, default=None,
         help="seed-commit wall-clock (measured there with --legacy), recorded as-is",
     )
@@ -257,6 +273,55 @@ def main(argv: list[str] | None = None) -> int:
     tabu_ok = bool(batched.best_energy <= seed_best + 1e-9)
 
     failures: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Kernel tier comparison: every available backend, fingerprint-gated.
+    # ------------------------------------------------------------------
+    from repro.perf.kernels import available_backends
+
+    backends = available_backends()
+    kernel_block: dict = {
+        "available": backends,
+        "min_speedup": args.min_kernel_speedup,
+        "tiers": {},
+    }
+    kernel_ref = None
+    for name in backends:
+
+        def run_kernel(name=name):
+            return sampler.sample(
+                bqm, num_reads=args.reads, num_sweeps=args.sweeps,
+                seed=args.sample_seed, kernel=name,
+            )
+
+        run_kernel()  # warm the backend (compile/self-check outside timing)
+        tier_s, tier_ss = _best_of(args.repeat, run_kernel)
+        kernel_block["tiers"][name] = {
+            "seconds": round(tier_s, 4),
+            "best_energy": tier_ss.lowest_energy,
+        }
+        tier_fp = fingerprint(tier_ss)
+        if name == "numpy":
+            kernel_ref = tier_fp
+        elif tier_fp != kernel_ref:
+            failures.append(f"kernel {name!r} sampleset diverged from numpy")
+    for name, tier in kernel_block["tiers"].items():
+        tier["speedup_vs_numpy"] = round(
+            kernel_block["tiers"]["numpy"]["seconds"] / tier["seconds"], 2
+        )
+    compiled = [name for name in backends if name != "numpy"]
+    if compiled:
+        best_name = max(
+            compiled,
+            key=lambda name: kernel_block["tiers"][name]["speedup_vs_numpy"],
+        )
+        kernel_block["best_compiled"] = best_name
+        best_speedup = kernel_block["tiers"][best_name]["speedup_vs_numpy"]
+        if best_speedup < args.min_kernel_speedup:
+            failures.append(
+                f"compiled SA speedup {best_speedup:.2f}x below required "
+                f"{args.min_kernel_speedup:.2f}x"
+            )
     if not identical:
         failures.append("engine sampleset diverged from the seed transcription")
     if speedup < args.min_speedup:
@@ -359,6 +424,7 @@ def main(argv: list[str] | None = None) -> int:
             "seed_best": float(seed_best),
             "equal_or_better": tabu_ok,
         },
+        "kernels": kernel_block,
         "trace": trace_block,
     }
 

@@ -18,10 +18,25 @@ small graphs — and **exits non-zero on any mismatch or any divergence
 between cached and uncached qMKP results**, which is what the CI smoke
 job gates on.
 
+Two extension blocks (PR 7) ride on the same harness:
+
+* ``kernels`` — per-backend timing of the bit-parallel enumeration
+  sweep (:func:`repro.perf.bitparallel.kplex_masks`) through every
+  available kernel tier (numpy / numba / cext), gated on byte-identical
+  mask arrays and, when a compiled tier exists, on a minimum speedup
+  over the NumPy reference.  ``--enum-only`` restricts the run to this
+  block so the committed ``n >= 24`` baseline stays tractable (a full
+  qmkp at n = 24 would need a 2^24-amplitude simulation);
+* ``ladder`` — binary vs adaptive threshold ladder on a qmkp-feasible
+  companion instance (``--ladder-n``), gated on identical optima and
+  never-more probes.
+
 Emits ``BENCH_qmkp_n<n>_k<k>.json`` (override with ``--out``).  Run
 from the repo root::
 
     PYTHONPATH=src python benchmarks/perf/bench_marked_engine.py --n 18 --edges 120
+    PYTHONPATH=src python benchmarks/perf/bench_marked_engine.py \
+        --n 24 --enum-only --ladder-n 12 --repeat 3
 """
 
 from __future__ import annotations
@@ -81,6 +96,112 @@ def _time_qmkp(
     return best, fingerprint, tracer
 
 
+def kernel_comparison(graph, k, repeat: int, min_speedup: float) -> tuple[dict, list[str]]:
+    """Per-backend timing of the bit-parallel enumeration sweep.
+
+    Every available tier runs the same ``kplex_masks`` sweep; outputs
+    are compared byte-for-byte against the NumPy reference, and the
+    fastest *compiled* tier must clear ``min_speedup`` (skipped when
+    only numpy is available — the tier is an accelerator, not a
+    dependency).
+    """
+    import hashlib
+
+    from repro.perf.bitparallel import kplex_masks
+    from repro.perf.kernels import available_backends
+
+    failures: list[str] = []
+    backends = available_backends()
+    block: dict = {"available": backends, "min_speedup": min_speedup, "tiers": {}}
+    reference = None
+    for name in backends:
+        best = float("inf")
+        digest = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            masks, sizes = kplex_masks(graph, k, kernel=name)
+            best = min(best, time.perf_counter() - start)
+            digest = hashlib.sha256(masks.tobytes() + sizes.tobytes()).hexdigest()
+        block["tiers"][name] = {
+            "seconds": round(best, 4),
+            "masks_sha256": digest,
+            "num_marked": int(masks.size),
+        }
+        if name == "numpy":
+            reference = digest
+    for name, tier in block["tiers"].items():
+        tier["speedup_vs_numpy"] = round(
+            block["tiers"]["numpy"]["seconds"] / tier["seconds"], 2
+        )
+        if tier["masks_sha256"] != reference:
+            failures.append(f"kernel {name!r} produced different mask bytes")
+    compiled = [n for n in backends if n != "numpy"]
+    if compiled:
+        best_name = max(
+            compiled, key=lambda n: block["tiers"][n]["speedup_vs_numpy"]
+        )
+        block["best_compiled"] = best_name
+        best_speedup = block["tiers"][best_name]["speedup_vs_numpy"]
+        if best_speedup < min_speedup:
+            failures.append(
+                f"compiled enumeration speedup {best_speedup:.2f}x below "
+                f"required {min_speedup:.2f}x"
+            )
+    return block, failures
+
+
+def ladder_comparison(n: int, k: int, graph_seed: int, rng_seed: int) -> tuple[dict, list[str]]:
+    """Binary vs adaptive threshold ladder on a qmkp-feasible instance.
+
+    Gates on identical optimum sizes (both modes) and, under exact
+    counting, the adaptive ladder never using more qTKP probes; records
+    the probe / oracle-call / gate-unit savings per counting mode.
+    """
+    failures: list[str] = []
+    m = min(n * 5, n * (n - 1) // 2)
+    graph = gnm_random_graph(n, m, seed=graph_seed)
+    block: dict = {"n": n, "m": m, "k": k, "graph_seed": graph_seed, "modes": {}}
+    for counting in ("exact", "bbht"):
+        binary = qmkp(graph, k, counting=counting, rng=np.random.default_rng(rng_seed))
+        adaptive = qmkp(
+            graph, k, counting=counting, rng=np.random.default_rng(rng_seed),
+            ladder="adaptive",
+        )
+        mode = {
+            "optimum": binary.size,
+            "binary": {
+                "qtkp_calls": binary.qtkp_calls,
+                "oracle_calls": binary.oracle_calls,
+                "gate_units": binary.gate_units,
+            },
+            "adaptive": {
+                "qtkp_calls": adaptive.qtkp_calls,
+                "oracle_calls": adaptive.oracle_calls,
+                "gate_units": adaptive.gate_units,
+                "skipped_thresholds": adaptive.skipped_thresholds,
+            },
+            "probe_savings": binary.qtkp_calls - adaptive.qtkp_calls,
+            "oracle_savings": binary.oracle_calls - adaptive.oracle_calls,
+        }
+        block["modes"][counting] = mode
+        if adaptive.size != binary.size:
+            failures.append(
+                f"ladder[{counting}]: adaptive optimum {adaptive.size} != "
+                f"binary {binary.size}"
+            )
+        # Probe-count monotonicity is only guaranteed under deterministic
+        # exact counting: BBHT's ceiling carryover redraws the random
+        # iteration schedule, so an individual probe that succeeded under
+        # the binary ladder can fail under the adaptive one (the savings
+        # hold in aggregate, gated by tests/core/test_adaptive_ladder.py).
+        if counting == "exact" and adaptive.qtkp_calls > binary.qtkp_calls:
+            failures.append(
+                f"ladder[{counting}]: adaptive used more probes "
+                f"({adaptive.qtkp_calls} > {binary.qtkp_calls})"
+            )
+    return block, failures
+
+
 def predicate_agreement_sweep(instances: int, max_n: int = 7) -> dict:
     """Bit-parallel enumerator vs the oracle predicate, all (k, T)."""
     from repro.perf import MarkedSetCache
@@ -134,6 +255,22 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-overhead-limit", type=float, default=0.10,
         help="max allowed (traced - untraced) / untraced (default 0.10)",
     )
+    parser.add_argument(
+        "--enum-only", action="store_true",
+        help="skip the full-qmkp timings (for n >= ~20, where the "
+        "amplitude simulation is intractable) and benchmark the "
+        "enumeration kernel tiers + ladder companion instance only",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup", type=float, default=3.0,
+        help="required compiled-vs-numpy enumeration speedup when a "
+        "compiled backend is available (default 3.0)",
+    )
+    parser.add_argument(
+        "--ladder-n", type=int, default=None, metavar="N",
+        help="also compare binary vs adaptive threshold ladders on a "
+        "qmkp-feasible companion instance of N vertices",
+    )
     parser.add_argument("--out", type=Path, default=None, help="output JSON path")
     args = parser.parse_args(argv)
 
@@ -145,6 +282,48 @@ def main(argv: list[str] | None = None) -> int:
         print(f"legacy qmkp n={args.n} m={edges} k={args.k}: {elapsed:.3f}s "
               f"size={fingerprint['size']}")
         return 0
+
+    kernel_block, kernel_failures = kernel_comparison(
+        graph, args.k, args.repeat, args.min_kernel_speedup
+    )
+
+    ladder_block = None
+    ladder_failures: list[str] = []
+    if args.ladder_n is not None:
+        ladder_block, ladder_failures = ladder_comparison(
+            args.ladder_n, args.k, args.graph_seed, args.rng_seed
+        )
+
+    if args.enum_only:
+        report = {
+            "bench": "qmkp_marked_engine",
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "host": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+            },
+            "instance": {
+                "generator": "gnm_random_graph",
+                "n": args.n,
+                "m": edges,
+                "k": args.k,
+                "graph_seed": args.graph_seed,
+                "rng_seed": args.rng_seed,
+            },
+            "enum_only": True,
+            "kernels": kernel_block,
+            "ladder": ladder_block,
+        }
+        out = args.out or Path(__file__).parent / f"BENCH_qmkp_n{args.n}_k{args.k}.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(kernel_block, indent=2))
+        if ladder_block is not None:
+            print(json.dumps(ladder_block, indent=2))
+        print(f"-> {out}")
+        for failure in kernel_failures + ladder_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if (kernel_failures or ladder_failures) else 0
 
     cached_s, cached_fp, _ = _time_qmkp(
         graph, args.k, args.rng_seed, args.repeat, use_cache=True, workers=args.workers
@@ -223,6 +402,8 @@ def main(argv: list[str] | None = None) -> int:
         "result": cached_fp,
         "identical_cached_vs_uncached": identical,
         "predicate_agreement": sweep,
+        "kernels": kernel_block,
+        "ladder": ladder_block,
         "trace": trace_block,
     }
 
@@ -240,8 +421,8 @@ def main(argv: list[str] | None = None) -> int:
     if not identical or sweep["mismatches"]:
         print("FAIL: cached/uncached divergence or predicate mismatch", file=sys.stderr)
         return 1
-    if trace_failures:
-        for failure in trace_failures:
+    if trace_failures or kernel_failures or ladder_failures:
+        for failure in trace_failures + kernel_failures + ladder_failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     return 0

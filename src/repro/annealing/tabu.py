@@ -58,6 +58,7 @@ def batched_tabu(
     tenure: int | None = None,
     seed: int | None = None,
     tracer=None,
+    kernel: str | None = None,
     _record_flips: list | None = None,
 ) -> BatchedTabuResult:
     """Run ``num_restarts`` tabu trajectories as one replica matrix.
@@ -77,6 +78,9 @@ def batched_tabu(
         Optional :class:`repro.obs.Tracer`; opens one ``anneal.tabu``
         span whose step/flip counters the run ledger reconciles against
         ``info``.
+    kernel:
+        Kernel-backend name (:mod:`repro.perf.kernels`); None honours
+        ``REPRO_KERNEL``.  All backends flip identically.
     _record_flips:
         Test hook — a list that receives the chosen variable index per
         replica for every step (the flip-for-flip evidence the
@@ -130,6 +134,7 @@ def batched_tabu(
         best_x, best_energy = tabu_descend(
             csr.h, csr.indptr, csr.indices, csr.data,
             x, energies, iterations, tenure, record_flips=_record_flips,
+            kernel=kernel,
         )
         tracer.add("anneal_tabu_steps", iterations)
         tracer.add("anneal_tabu_flips", total_flips)
@@ -158,6 +163,7 @@ def tabu_search(
     tenure: int | None = None,
     seed: int | None = None,
     tracer=None,
+    kernel: str | None = None,
 ) -> tuple[dict[object, int], float]:
     """Minimise ``bqm``; returns ``(best_assignment, best_energy)``.
 
@@ -185,5 +191,6 @@ def tabu_search(
         tenure=tenure,
         seed=seed,
         tracer=tracer,
+        kernel=kernel,
     )
     return result.assignments[0], float(result.energies[0])

@@ -96,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
         "samples are rejected by the self-verifying measurement loop",
     )
     solve.add_argument(
+        "--kernel", choices=["auto", "numpy", "numba", "cext"], default=None,
+        help="compiled-kernel backend for the bit-parallel sweep and SA "
+        "inner loops (default: the REPRO_KERNEL env var, else auto = "
+        "fastest available; all backends are byte-identical)",
+    )
+    solve.add_argument(
+        "--ladder", choices=["binary", "adaptive"], default="binary",
+        help="qmkp: threshold-ladder strategy — 'binary' is the paper's "
+        "Algorithm 3; 'adaptive' tracks incumbents from every measured "
+        "feasible k-plex, carries the BBHT schedule across probes, and "
+        "skips cache-proven-empty thresholds (same optimum, fewer "
+        "probes)",
+    )
+    solve.add_argument(
         "--trace", metavar="PATH", default=None,
         help="trace the solve and write the run-ledger JSON (span tree, "
         "metrics, reconciled totals) to PATH; exits 3 on ledger drift",
@@ -310,6 +324,7 @@ def _cmd_solve(args, graph, labels) -> int:
             result = qmkp(
                 graph, args.k, rng=rng,
                 use_cache=not args.no_cache, workers=args.workers,
+                ladder=args.ladder, kernel=args.kernel,
                 tracer=tracer,
                 deadline=args.deadline,
                 checkpoint=args.checkpoint,
@@ -335,6 +350,11 @@ def _cmd_solve(args, graph, labels) -> int:
             print(
                 f"resumed {result.resumed_probes} probe(s) from "
                 f"{args.checkpoint}"
+            )
+        if result.skipped_thresholds:
+            print(
+                f"adaptive ladder skipped {result.skipped_thresholds} "
+                "cache-proven-empty threshold(s)"
             )
         if result.degraded_to:
             print(
@@ -367,6 +387,7 @@ def _cmd_solve(args, graph, labels) -> int:
                 retries=args.retries, fallback=args.fallback,
                 fault_plan=args.inject_faults,
                 sa_workers=args.anneal_workers,
+                kernel=args.kernel,
                 tracer=tracer,
             )
         except (

@@ -108,6 +108,7 @@ def qamkp(
     fallback: bool = False,
     fault_plan: FaultPlan | str | None = None,
     sa_workers: int | None = None,
+    kernel: str | None = None,
     tracer=None,
 ) -> QAMKPResult:
     """Solve MKP through the QUBO objective with the chosen backend.
@@ -157,6 +158,11 @@ def qamkp(
     :meth:`repro.annealing.SimulatedAnnealingSampler.sample`); results
     stay byte-identical to single-process runs.
 
+    ``kernel`` selects the annealing kernel backend
+    (:mod:`repro.perf.kernels`) for the SA and hybrid solvers; every
+    backend produces identical samplesets, so this is purely a speed
+    knob.
+
     ``tracer`` (optional :class:`repro.obs.Tracer`) opens one ``qamkp``
     root span; resilient solves nest the cascade/attempt spans under it
     and the span's claims are checked against ``info["resilience"]`` by
@@ -180,7 +186,7 @@ def qamkp(
         result = _qamkp_body(
             graph, k, penalty, runtime_us, delta_t_us, solver, qubo, qpu,
             seed, sa_shot_cost_us, retries, fallback, fault_plan, sa_workers,
-            tracer,
+            kernel, tracer,
         )
         tracer.add("qamkp_solves", 1)
         span.set("cost", result.cost)
@@ -201,7 +207,7 @@ def qamkp(
 def _qamkp_body(
     graph, k, penalty, runtime_us, delta_t_us, solver, qubo, qpu,
     seed, sa_shot_cost_us, retries, fallback, fault_plan, sa_workers,
-    tracer,
+    kernel, tracer,
 ) -> QAMKPResult:
     model = qubo or build_mkp_qubo(graph, k, penalty)
     info: dict[str, object] = {}
@@ -266,6 +272,7 @@ def _qamkp_body(
                 seed=seed,
                 workers=sa_workers,
                 tracer=tracer,
+                kernel=kernel,
             )
         sampleset = _validated(sampleset, model)
         best = sampleset.first
@@ -278,7 +285,8 @@ def _qamkp_body(
         sampler = HybridSampler()
         with tracer.span("qamkp.sample", backend="hybrid"):
             sampleset = sampler.sample(
-                model.bqm, time_limit_us=runtime_us, seed=seed, tracer=tracer
+                model.bqm, time_limit_us=runtime_us, seed=seed, tracer=tracer,
+                kernel=kernel,
             )
         sampleset = _validated(sampleset, model)
         best = sampleset.first

@@ -106,6 +106,8 @@ def qtkp(
     cache: MarkedSetCache | None = None,
     tracer=None,
     injector: GateFaultInjector | None = None,
+    on_feasible=None,
+    bbht_state: dict | None = None,
 ) -> QTKPResult:
     """Find a k-plex of size at least ``threshold``, or report failure.
 
@@ -148,6 +150,20 @@ def qtkp(
         injected corruption costs a retry, never a wrong answer.  With
         ``None`` the clean path runs byte-identically to a build
         without this feature.
+    on_feasible:
+        Adaptive-ladder hook: called with every *measured* subset that
+        classically verifies as a k-plex — including ones below the
+        threshold, which the probe itself rejects.  The measurement
+        already happened and the certificate is an O(n^2) classical
+        check, so the ladder learns a lower bound at zero quantum cost.
+        Consumes no randomness: the RNG stream is identical with the
+        hook on or off.
+    bbht_state:
+        Adaptive-ladder hook for ``counting="bbht"``: a mutable dict
+        whose ``"ceiling"`` entry seeds the BBHT schedule
+        (``initial_ceiling``) and receives the schedule's final ceiling
+        afterwards, so consecutive threshold probes carry the
+        exponential schedule's state instead of re-growing it from 1.
     """
     if not (1 <= threshold <= max(graph.num_vertices, 1)):
         raise ValueError(
@@ -167,7 +183,8 @@ def qtkp(
         "qtkp", n=graph.num_vertices, k=k, threshold=threshold, counting=counting
     ) as span:
         result = _qtkp_body(
-            graph, k, threshold, counting, max_attempts, rng, cache, tracer, injector
+            graph, k, threshold, counting, max_attempts, rng, cache, tracer,
+            injector, on_feasible, bbht_state,
         )
         tracer.add("qtkp_calls", 1)
         span.set("found", result.found)
@@ -193,6 +210,8 @@ def _qtkp_body(
     cache: MarkedSetCache | None,
     tracer,
     injector: GateFaultInjector | None,
+    on_feasible=None,
+    bbht_state: dict | None = None,
 ) -> QTKPResult:
     n = graph.num_vertices
     complement = graph.complement()
@@ -216,9 +235,21 @@ def _qtkp_body(
     per_round = per_call.total + diffusion_gate_count(n)
 
     if counting == "bbht":
+        observe = None
+        if on_feasible is not None:
+            def observe(mask: int) -> None:
+                subset = graph.bitmask_to_subset(mask)
+                if subset and is_kplex(graph, subset, k):
+                    on_feasible(subset)
+        initial_ceiling = (
+            float(bbht_state.get("ceiling", 1.0)) if bbht_state is not None else 1.0
+        )
         with tracer.span("qtkp.bbht"):
             if injector is None:
-                result = bbht_search(engine, rng=rng)
+                result = bbht_search(
+                    engine, rng=rng, initial_ceiling=initial_ceiling,
+                    observe=observe,
+                )
             else:
                 result = bbht_search(
                     engine,
@@ -229,6 +260,8 @@ def _qtkp_body(
                     ),
                     corrupt=lambda mask: injector.corrupt_measurement(mask, n),
                     tracer=tracer,
+                    initial_ceiling=initial_ceiling,
+                    observe=observe,
                 )
                 stats.measurements = result.rounds
                 stats.verified = int(result.found)
@@ -236,6 +269,8 @@ def _qtkp_body(
                 stats.bbht_restarts = result.restarts_used
                 stats.false_negative = not result.found and exact_m > 0
                 stats.faults = list(injector.fault_log[fault_log_start:])
+            if bbht_state is not None:
+                bbht_state["ceiling"] = result.final_ceiling
             tracer.add("oracle_calls", result.oracle_calls)
             tracer.add("gate_units", result.oracle_calls * per_round)
             tracer.add("qtkp_attempts", result.rounds)
@@ -293,7 +328,20 @@ def _qtkp_body(
             mask = run.measure_once(rng)
             if injector is None:
                 subset = graph.bitmask_to_subset(mask)
-                verified = len(subset) >= threshold and is_kplex(graph, subset, k)
+                if on_feasible is None:
+                    verified = (
+                        len(subset) >= threshold and is_kplex(graph, subset, k)
+                    )
+                else:
+                    # Adaptive ladder: certify the measurement as a
+                    # k-plex regardless of size — a below-threshold
+                    # collapse still teaches the ladder a lower bound.
+                    # Pure classical work, no RNG: the measurement
+                    # stream is untouched.
+                    feasible = bool(subset) and is_kplex(graph, subset, k)
+                    if feasible:
+                        on_feasible(subset)
+                    verified = feasible and len(subset) >= threshold
             else:
                 # Self-verifying sampling: the measured candidate is
                 # checked against the classical certificate before it
@@ -303,9 +351,16 @@ def _qtkp_body(
                     tracer.add("gate_verifications", 1)
                     mask = injector.corrupt_measurement(mask, n)
                     subset = graph.bitmask_to_subset(mask)
-                    verified = (
-                        len(subset) >= threshold and is_kplex(graph, subset, k)
-                    )
+                    if on_feasible is None:
+                        verified = (
+                            len(subset) >= threshold
+                            and is_kplex(graph, subset, k)
+                        )
+                    else:
+                        feasible = bool(subset) and is_kplex(graph, subset, k)
+                        if feasible:
+                            on_feasible(subset)
+                        verified = feasible and len(subset) >= threshold
                     stats.measurements += 1
                     if verified:
                         stats.verified += 1

@@ -42,7 +42,10 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_n", "_adj", "_edges", "_hash", "_adj_masks")
+    __slots__ = (
+        "_n", "_adj", "_edges", "_hash", "_adj_masks",
+        "_fingerprint_cache", "_complement_cache",
+    )
 
     def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if num_vertices < 0:
@@ -65,6 +68,12 @@ class Graph:
         self._edges: frozenset[tuple[int, int]] = frozenset(edge_set)
         self._hash: int | None = None
         self._adj_masks: tuple[int, ...] | None = None
+        # Identity-keyed memo slots: each holds (edges_ref, n, value) and
+        # is served only while ``edges_ref is self._edges`` still holds,
+        # so rebinding the edge set (the only way to "mutate" a Graph,
+        # since frozensets cannot change in place) invalidates them.
+        self._fingerprint_cache: tuple[frozenset, int, str] | None = None
+        self._complement_cache: tuple[frozenset, int, "Graph"] | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -126,14 +135,31 @@ class Graph:
         A k-plex in ``self`` is exactly a k-cplex (every vertex of the
         subset has internal degree <= k-1) in the complement; the gate
         oracle and the QUBO both operate on this form.
+
+        The built complement is memoized per edge-set identity (the
+        oracle/draw CLI paths and every qTKP probe used to rebuild the
+        O(n^2) edge list from scratch).  Mutating the graph by rebinding
+        ``_edges`` invalidates the memo; the cached complement also
+        back-references this graph, so ``g.complement().complement()``
+        returns ``g`` itself.
         """
+        cached = self._complement_cache
+        if (
+            cached is not None
+            and cached[0] is self._edges
+            and cached[1] == self._n
+        ):
+            return cached[2]
         missing = [
             (u, v)
             for u in range(self._n)
             for v in range(u + 1, self._n)
             if (u, v) not in self._edges
         ]
-        return Graph(self._n, missing)
+        comp = Graph(self._n, missing)
+        self._complement_cache = (self._edges, self._n, comp)
+        comp._complement_cache = (comp._edges, comp._n, self)
+        return comp
 
     def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":
         """Subgraph induced on ``vertices``, relabelled to ``0..len-1``.
@@ -204,17 +230,31 @@ class Graph:
         identical (same ``n``, same edges), regardless of construction
         history or object identity — the right cache key for anything
         derived from the structure alone (e.g. the bit-parallel
-        marked-set tables).  Deliberately **not** cached on the
-        instance: it is recomputed from the live edge set on every
-        call, so even if internals are mutated behind the type's back
-        (the class is immutable by convention, but Python cannot
-        enforce it) a stale precomputed value can never be served.
+        marked-set tables).
+
+        Memoized per edge-set identity: the digest is served from the
+        memo only while the memo's edge-set reference *is* the live
+        ``_edges`` object.  The class is immutable by convention, but
+        Python cannot enforce it; because ``_edges`` is a frozenset, the
+        only way to change the structure is to rebind the attribute,
+        which breaks the identity check and forces a recompute — so a
+        stale digest can never be served even after a behind-the-back
+        mutation.
         """
+        cached = self._fingerprint_cache
+        if (
+            cached is not None
+            and cached[0] is self._edges
+            and cached[1] == self._n
+        ):
+            return cached[2]
         h = hashlib.sha256()
         h.update(b"n=%d;" % self._n)
         for u, v in sorted(self._edges):
             h.update(b"%d,%d;" % (u, v))
-        return h.hexdigest()
+        digest = h.hexdigest()
+        self._fingerprint_cache = (self._edges, self._n, digest)
+        return digest
 
     def remove_vertices(self, drop: Iterable[int]) -> tuple["Graph", list[int]]:
         """Remove ``drop`` and return ``(subgraph, kept_vertex_ids)``.

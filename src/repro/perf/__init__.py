@@ -8,6 +8,7 @@ Substrate layer (like ``repro.graphs``): imported by ``repro.core``,
 
 from .anneal import (
     CSRQuadratic,
+    SweepPlan,
     build_sweep_plan,
     fields_energies,
     fields_energies_t,
@@ -19,13 +20,18 @@ from .anneal import (
 )
 from .bitparallel import MAX_VERTICES, kcplex_masks, kplex_masks, popcount_u64
 from .cache import MarkedSetCache, MarkedSetTable, PredicateMaskCache
+from .kernels import KernelBackend, available_backends, resolve as resolve_kernel
 
 __all__ = [
     "MAX_VERTICES",
     "CSRQuadratic",
+    "KernelBackend",
     "MarkedSetCache",
     "MarkedSetTable",
     "PredicateMaskCache",
+    "SweepPlan",
+    "available_backends",
+    "resolve_kernel",
     "build_sweep_plan",
     "fields_energies",
     "fields_energies_t",

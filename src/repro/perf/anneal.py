@@ -52,6 +52,7 @@ except ImportError:  # pragma: no cover - exercised only without SciPy
 
 __all__ = [
     "CSRQuadratic",
+    "SweepPlan",
     "build_sweep_plan",
     "concat_ranges",
     "fields_energies",
@@ -274,6 +275,24 @@ def refresh_fields_t(
 DEFAULT_SWEEP_CHUNK = 16
 
 
+class SweepPlan(list):
+    """A sweep schedule (list of chunk tuples) that can carry a cached
+    kernel-tier packing.
+
+    Compiled backends flatten the per-chunk arrays into one packed
+    layout so a whole sweep is a single native call; the packing is
+    memoized here (``kernel_pack``) because the plan is immutable once
+    built and reused for every sweep of a run.  Plain lists work
+    everywhere a ``SweepPlan`` does — backends simply re-pack per call.
+    """
+
+    __slots__ = ("kernel_pack",)
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.kernel_pack = None
+
+
 def build_sweep_plan(
     h: np.ndarray,
     indptr: np.ndarray,
@@ -295,7 +314,7 @@ def build_sweep_plan(
     """
     n = indptr.size - 1
     chunk = max(1, min(int(chunk), n)) if n else 1
-    plan = []
+    plan = SweepPlan()
     for start in range(0, n, chunk):
         end = min(start + chunk, n)
         lo, hi = int(indptr[start]), int(indptr[end])
@@ -339,6 +358,39 @@ def build_sweep_plan(
 
 
 def sa_sweep(
+    plan: list,
+    spins_t: np.ndarray,
+    beta: float,
+    uniforms: np.ndarray,
+    kernel: str | None = None,
+) -> int:
+    """One Metropolis sweep over all variables, batched across replicas.
+
+    Dispatches to the selected kernel backend
+    (:mod:`repro.perf.kernels`; ``kernel=None`` honours ``REPRO_KERNEL``,
+    default ``auto``) and falls back to the NumPy reference
+    (:func:`_sa_sweep_numpy`, documented below) whenever the inputs are
+    not in the compiled kernels' canonical layout.  All backends make
+    identical flip decisions, so the updated ``spins_t`` is the same
+    bit-for-bit whichever tier ran the sweep (the Metropolis ``exp``
+    ulp caveat is documented in :mod:`repro.perf.cext`).
+    """
+    from .kernels import resolve
+
+    backend = resolve(kernel)
+    if (
+        backend.name != "numpy"
+        and spins_t.dtype == np.float64
+        and spins_t.flags.c_contiguous
+        and uniforms.dtype == np.float64
+        and uniforms.flags.c_contiguous
+        and spins_t.shape == uniforms.shape
+    ):
+        return backend.sa_sweep(plan, spins_t, float(beta), uniforms)
+    return _sa_sweep_numpy(plan, spins_t, beta, uniforms)
+
+
+def _sa_sweep_numpy(
     plan: list,
     spins_t: np.ndarray,
     beta: float,
@@ -498,9 +550,9 @@ def fields_energies_t(
 
 
 def _sa_shard_worker(
-    args: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    args: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, str | None],
 ) -> tuple[np.ndarray, np.ndarray]:
-    h, indptr, indices, data, row_sums, states, betas, uniforms = args
+    h, indptr, indices, data, row_sums, states, betas, uniforms, kernel = args
     n = indptr.size - 1
     spmat = (
         _sparse.csr_matrix((data, indices, indptr), shape=(n, n))
@@ -513,7 +565,7 @@ def _sa_shard_worker(
     spins_t += 1.0                                   # ±1 view: t = 1 - 2s
     flips = np.zeros(len(betas), dtype=np.int64)
     for t, beta in enumerate(betas):
-        flips[t] = sa_sweep(plan, spins_t, float(beta), uniforms[t])
+        flips[t] = sa_sweep(plan, spins_t, float(beta), uniforms[t], kernel=kernel)
     fields_t = refresh_fields_t(h, indptr, indices, data, row_sums, spins_t, spmat)
     out = spins_t.T.astype(np.float64, order="C")
     out -= 1.0
@@ -535,6 +587,7 @@ def sa_shard_reads(
     betas: np.ndarray,
     uniforms: np.ndarray,
     workers: int,
+    kernel: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fan the replica batch over a process pool, shard by reads.
 
@@ -556,6 +609,7 @@ def sa_shard_reads(
             states[sel].copy(),
             betas,
             np.ascontiguousarray(uniforms[:, :, sel]),
+            kernel,
         )
         for sel in shards
         if sel.size
@@ -587,6 +641,50 @@ def concat_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
 
 
 def tabu_descend(
+    h: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    x: np.ndarray,
+    energies: np.ndarray,
+    iterations: int,
+    tenure: int,
+    record_flips: list | None = None,
+    kernel: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched single-flip tabu search over ``(num_restarts, n)`` states.
+
+    Dispatches to the selected kernel backend exactly like
+    :func:`sa_sweep` (``kernel=None`` honours ``REPRO_KERNEL``); the
+    tabu loop has no transcendentals, so every backend reproduces the
+    reference flip-for-flip and byte-for-byte.  Falls back to the NumPy
+    reference (:func:`_tabu_descend_numpy`, documented below) when the
+    inputs are not in the compiled kernels' canonical layout.
+    """
+    from .kernels import resolve
+
+    backend = resolve(kernel)
+    energies_arr = np.asarray(energies, dtype=np.float64)
+    if (
+        backend.name != "numpy"
+        and x.dtype == np.int8
+        and x.flags.c_contiguous
+        and x.ndim == 2
+        and x.shape[0] >= 1
+        and x.shape[1] >= 1
+        and energies_arr.flags.c_contiguous
+    ):
+        return backend.tabu_descend(
+            h, indptr, indices, data, x, energies_arr, iterations, tenure,
+            record_flips=record_flips,
+        )
+    return _tabu_descend_numpy(
+        h, indptr, indices, data, x, energies, iterations, tenure,
+        record_flips=record_flips,
+    )
+
+
+def _tabu_descend_numpy(
     h: np.ndarray,
     indptr: np.ndarray,
     indices: np.ndarray,

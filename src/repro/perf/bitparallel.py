@@ -96,9 +96,17 @@ def _enumerate_chunk(
     return masks[keep], sizes[keep]
 
 
-def _chunk_worker(args: tuple[tuple[int, ...], int, int, int]) -> tuple[np.ndarray, np.ndarray]:
-    adj_masks, limit, start, stop = args
-    return _enumerate_chunk(adj_masks, limit, start, stop)
+def _chunk_worker(
+    args: tuple[tuple[int, ...], int, int, int, str]
+) -> tuple[np.ndarray, np.ndarray]:
+    adj_masks, limit, start, stop, kernel = args
+    # Each pool process resolves the backend by name: the compiled
+    # library loads from the shared on-disk cache, so children never
+    # re-compile, and a child without the toolchain falls back to the
+    # reference (byte-identical output either way).
+    from .kernels import resolve
+
+    return resolve(kernel).enumerate_chunk(adj_masks, limit, start, stop)
 
 
 def _enumerate(
@@ -108,6 +116,7 @@ def _enumerate(
     chunk_masks: int | None,
     workers: int | None,
     tracer=None,
+    kernel: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -115,6 +124,9 @@ def _enumerate(
         raise ValueError(
             f"bit-parallel enumeration supports n <= {MAX_VERTICES}, got {num_vertices}"
         )
+    from .kernels import resolve
+
+    backend = resolve(kernel)
     tracer = tracer or NULL_TRACER
     num_masks = 1 << num_vertices
     size = _chunk_size(num_masks, chunk_masks)
@@ -123,7 +135,7 @@ def _enumerate(
     if workers is not None and workers > 1 and len(spans) > 1:
         import multiprocessing
 
-        jobs = [(tuple(adj_masks), limit, s, e) for s, e in spans]
+        jobs = [(tuple(adj_masks), limit, s, e, backend.name) for s, e in spans]
         with multiprocessing.Pool(min(workers, len(spans))) as pool:
             parts = pool.map(_chunk_worker, jobs)
         # Pool workers are separate processes: charge their chunk scans
@@ -133,7 +145,7 @@ def _enumerate(
     else:
         parts = []
         for s, e in spans:
-            parts.append(_enumerate_chunk(adj_masks, limit, s, e))
+            parts.append(backend.enumerate_chunk(adj_masks, limit, s, e))
             tracer.add("perf_chunks_scanned", 1)
             tracer.add("perf_masks_scanned", e - s)
     masks = np.concatenate([p[0] for p in parts])
@@ -147,6 +159,7 @@ def kcplex_masks(
     chunk_masks: int | None = None,
     workers: int | None = None,
     tracer=None,
+    kernel: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """All bitmasks whose subsets are k-cplexes of ``graph``.
 
@@ -167,9 +180,14 @@ def kcplex_masks(
         Optional :class:`repro.obs.Tracer`; chunk/mask scan counts are
         charged to the current span (``perf_chunks_scanned``,
         ``perf_masks_scanned``).
+    kernel:
+        Kernel-backend name (``repro.perf.kernels``); None honours the
+        ``REPRO_KERNEL`` environment variable (default ``auto``).  All
+        backends return byte-identical masks.
     """
     return _enumerate(
-        graph.adjacency_masks(), graph.num_vertices, k, chunk_masks, workers, tracer
+        graph.adjacency_masks(), graph.num_vertices, k, chunk_masks, workers,
+        tracer, kernel,
     )
 
 
@@ -179,6 +197,7 @@ def kplex_masks(
     chunk_masks: int | None = None,
     workers: int | None = None,
     tracer=None,
+    kernel: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """All bitmasks whose subsets are k-plexes of ``graph``.
 
@@ -188,5 +207,5 @@ def kplex_masks(
     """
     return _enumerate(
         graph.complement_adjacency_masks(), graph.num_vertices, k,
-        chunk_masks, workers, tracer,
+        chunk_masks, workers, tracer, kernel,
     )

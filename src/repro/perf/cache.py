@@ -114,7 +114,7 @@ class MarkedSetCache:
     ----------
     max_entries:
         Tables kept before least-recently-used eviction.
-    chunk_masks, workers:
+    chunk_masks, workers, kernel:
         Forwarded to :func:`repro.perf.bitparallel.kplex_masks`.
     tracer:
         Optional :class:`repro.obs.Tracer`; hit/miss accounting and the
@@ -128,6 +128,7 @@ class MarkedSetCache:
         max_entries: int = 8,
         chunk_masks: int | None = None,
         workers: int | None = None,
+        kernel: str | None = None,
         tracer=None,
     ) -> None:
         if max_entries < 1:
@@ -135,6 +136,7 @@ class MarkedSetCache:
         self.max_entries = max_entries
         self.chunk_masks = chunk_masks
         self.workers = workers
+        self.kernel = kernel
         self.tracer = tracer or NULL_TRACER
         self.hits = 0
         self.misses = 0
@@ -157,7 +159,7 @@ class MarkedSetCache:
         with self.tracer.span("perf.sweep", n=graph.num_vertices, k=k) as span:
             masks, sizes = kplex_masks(
                 graph, k, chunk_masks=self.chunk_masks, workers=self.workers,
-                tracer=self.tracer,
+                tracer=self.tracer, kernel=self.kernel,
             )
             span.set("num_marked", int(masks.size))
         table = MarkedSetTable(graph.num_vertices, masks, sizes)
@@ -169,6 +171,20 @@ class MarkedSetCache:
     def marked(self, graph: Graph, k: int, threshold: int) -> np.ndarray:
         """Marked masks for one qTKP probe: k-plexes of size >= ``threshold``."""
         return self.table(graph, k).masks_at_least(threshold)
+
+    def peek(self, graph: Graph, k: int, threshold: int) -> int | None:
+        """Marked count at ``threshold`` if the table is already cached.
+
+        Returns None when no table exists for ``(graph, k)`` — this
+        never triggers a sweep and charges no hit/miss, so the adaptive
+        threshold ladder can consult it for free before deciding whether
+        a qTKP probe is worth dispatching (a zero suffix count proves
+        the probe would come back empty-handed).
+        """
+        table = self._tables.get((graph.fingerprint(), k))
+        if table is None:
+            return None
+        return table.count_at_least(threshold)
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/entry counters, for logging and tests."""

@@ -1,0 +1,288 @@
+"""Numba JIT kernel tier (optional — gated on ``import numba``).
+
+``@njit`` transcriptions of the same three loops the C tier compiles
+(:mod:`repro.perf.cext`); like it, the float kernels replay the NumPy
+reference's operation sequence step for step, and the backend
+self-validates against the reference on first load.  Masks stay in
+``int64`` throughout (``n <= 26`` so every mask fits) — this sidesteps
+NumPy's ``uint64 (op) int64 -> float64`` promotion rule, which Numba
+inherits.
+
+This module imports cleanly without ``numba`` installed; constructing
+:class:`NumbaKernels` then raises
+:class:`~repro.perf.kernels.KernelUnavailable` and the registry falls
+back (the declared dependency floor gains nothing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import KernelBackend, KernelUnavailable
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+except ImportError:  # pragma: no cover
+    _njit = None
+
+__all__ = ["NumbaKernels"]
+
+
+def _build_kernels():  # pragma: no cover - requires numba
+    njit = _njit
+
+    @njit(cache=False)
+    def popcount64(x):
+        x = x - ((x >> 1) & 0x5555555555555555)
+        x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+        x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0F
+        return (x * 0x0101010101010101) >> 56
+
+    @njit(cache=False)
+    def enumerate_chunk(adj, verts, limit, start, stop, out_masks, out_sizes):
+        count = 0
+        for m in range(start, stop):
+            keep = True
+            for i in range(verts.shape[0]):
+                if (m >> verts[i]) & 1:
+                    if popcount64(m & adj[i]) > limit:
+                        keep = False
+                        break
+            if keep:
+                out_masks[count] = m
+                out_sizes[count] = popcount64(m)
+                count += 1
+        return count
+
+    @njit(cache=False)
+    def sa_sweep_chunk(
+        reads, start, end, sub_indptr, sub_indices, sub_data, h_c, rs_c,
+        iptr, icols, ivals, spins_t, uniforms, neg_beta, fields,
+    ):
+        nc = end - start
+        for li in range(nc):
+            for r in range(reads):
+                fields[li, r] = 0.0
+            for jj in range(sub_indptr[li], sub_indptr[li + 1]):
+                a = sub_data[jj]
+                col = sub_indices[jj]
+                for r in range(reads):
+                    fields[li, r] += a * spins_t[col, r]
+            rs = rs_c[li]
+            hh = h_c[li]
+            for r in range(reads):
+                fields[li, r] = (rs - fields[li, r]) * 0.5 + hh
+        flips = 0
+        for li in range(nc):
+            v = start + li
+            lo = iptr[li]
+            hi = iptr[li + 1]
+            for r in range(reads):
+                d = spins_t[v, r] * fields[li, r]
+                if d <= 0.0:
+                    accept = True  # clip -> 0, exp(0) == 1.0, u < 1 always
+                else:
+                    if d > 700.0:
+                        d = 700.0
+                    accept = uniforms[v, r] < np.exp(d * neg_beta)
+                if accept:
+                    flips += 1
+                    tr = spins_t[v, r]
+                    for jj in range(lo, hi):
+                        fields[icols[jj], r] += ivals[jj] * tr
+                    spins_t[v, r] = -tr
+        return flips
+
+    @njit(cache=False)
+    def sa_sweep_plan(
+        reads, nchunks, bounds, ip_flat, ip_off, nz_cols, nz_vals, nz_off,
+        h, rs, sp_ptr_flat, sp_ptr_off, sp_cols, sp_vals, sp_nz_off,
+        spins_t, uniforms, neg_beta, fields,
+    ):
+        flips = 0
+        for c in range(nchunks):
+            start = bounds[c]
+            end = bounds[c + 1]
+            nc = end - start
+            ip = ip_off[c]
+            nz = nz_off[c]
+            for li in range(nc):
+                for r in range(reads):
+                    fields[li, r] = 0.0
+                for jj in range(ip_flat[ip + li], ip_flat[ip + li + 1]):
+                    a = nz_vals[nz + jj]
+                    col = nz_cols[nz + jj]
+                    for r in range(reads):
+                        fields[li, r] += a * spins_t[col, r]
+                rs_v = rs[start + li]
+                hh = h[start + li]
+                for r in range(reads):
+                    fields[li, r] = (rs_v - fields[li, r]) * 0.5 + hh
+            sp = sp_ptr_off[c]
+            sz = sp_nz_off[c]
+            for li in range(nc):
+                v = start + li
+                lo = sp_ptr_flat[sp + li]
+                hi = sp_ptr_flat[sp + li + 1]
+                for r in range(reads):
+                    d = spins_t[v, r] * fields[li, r]
+                    if d <= 0.0:
+                        accept = True
+                    else:
+                        if d > 700.0:
+                            d = 700.0
+                        accept = uniforms[v, r] < np.exp(d * neg_beta)
+                    if accept:
+                        flips += 1
+                        tr = spins_t[v, r]
+                        for jj in range(lo, hi):
+                            fields[sp_cols[sz + jj], r] += sp_vals[sz + jj] * tr
+                        spins_t[v, r] = -tr
+        return flips
+
+    @njit(cache=False)
+    def tabu_descend(
+        indptr, indices, data, h, x, energy, iterations, tenure,
+        record, has_record, best_x, best_energy,
+    ):
+        num_restarts, n = x.shape
+        delta = np.empty((num_restarts, n), dtype=np.float64)
+        tabu_until = np.zeros((num_restarts, n), dtype=np.int64)
+        for r in range(num_restarts):
+            for j in range(n):
+                f = 0.0
+                for jj in range(indptr[j], indptr[j + 1]):
+                    f += data[jj] * x[r, indices[jj]]
+                f += h[j]
+                delta[r, j] = (1.0 - 2.0 * x[r, j]) * f
+        for step in range(1, iterations + 1):
+            for r in range(num_restarts):
+                aspiration = best_energy[r] - 1e-12
+                chosen = -1
+                best_score = 0.0
+                for j in range(n):
+                    if tabu_until[r, j] < step or energy[r] + delta[r, j] < aspiration:
+                        if chosen < 0 or delta[r, j] < best_score:
+                            chosen = j
+                            best_score = delta[r, j]
+                if chosen < 0:
+                    chosen = 0
+                    best_score = delta[r, 0]
+                    for j in range(1, n):
+                        if delta[r, j] < best_score:
+                            chosen = j
+                            best_score = delta[r, j]
+                if has_record:
+                    record[step - 1, r] = chosen
+                sign = 1.0 - 2.0 * x[r, chosen]
+                x[r, chosen] ^= 1
+                moved = delta[r, chosen]
+                energy[r] += moved
+                delta[r, chosen] = -moved
+                for jj in range(indptr[chosen], indptr[chosen + 1]):
+                    col = indices[jj]
+                    delta[r, col] += ((1.0 - 2.0 * x[r, col]) * data[jj]) * sign
+                tabu_until[r, chosen] = step + tenure
+                if energy[r] < best_energy[r] - 1e-12:
+                    best_energy[r] = energy[r]
+                    for j in range(n):
+                        best_x[r, j] = x[r, j]
+        return 0
+
+    return enumerate_chunk, sa_sweep_chunk, sa_sweep_plan, tabu_descend
+
+
+class NumbaKernels(KernelBackend):  # pragma: no cover - requires numba
+    """The JIT tier (see module docstring)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if _njit is None:
+            raise KernelUnavailable("numba is not installed")
+        self._enumerate, self._sa_chunk, self._sa_plan, self._tabu = (
+            _build_kernels()
+        )
+        from .selfcheck import validate_backend
+
+        validate_backend(self)
+
+    # ------------------------------------------------------------------
+    def enumerate_chunk(self, adj_masks, limit, start, stop):
+        verts = [v for v, am in enumerate(adj_masks) if am.bit_count() > limit]
+        adj = np.asarray([adj_masks[v] for v in verts], dtype=np.int64)
+        verts_arr = np.asarray(verts, dtype=np.int64)
+        span = stop - start
+        out_masks = np.empty(span, dtype=np.int64)
+        out_sizes = np.empty(span, dtype=np.int64)
+        count = self._enumerate(
+            adj, verts_arr, limit, start, stop, out_masks, out_sizes
+        )
+        return (
+            out_masks[:count].astype(np.uint64),
+            out_sizes[:count].copy(),
+        )
+
+    def sa_sweep(self, plan, spins_t, beta, uniforms):
+        from .kernels import pack_sweep_plan
+
+        reads = spins_t.shape[1]
+        neg_beta = -float(beta)
+        spins_t = np.ascontiguousarray(spins_t)
+        uniforms = np.ascontiguousarray(uniforms)
+        pack = pack_sweep_plan(plan)
+        if pack is not None:
+            scratch = np.empty((pack.max_chunk, reads), dtype=np.float64)
+            return int(
+                self._sa_plan(
+                    reads, pack.nchunks, pack.bounds,
+                    pack.ip_flat, pack.ip_off,
+                    pack.nz_cols, pack.nz_vals, pack.nz_off,
+                    pack.h, pack.rs,
+                    pack.sp_ptr_flat, pack.sp_ptr_off,
+                    pack.sp_cols, pack.sp_vals, pack.sp_nz_off,
+                    spins_t, uniforms, neg_beta, scratch,
+                )
+            )
+        max_chunk = max((end - start for start, end, *_ in plan), default=0)
+        scratch = np.empty((max_chunk, reads), dtype=np.float64)
+        flips = 0
+        for (
+            start, end, _jc, sub_indptr, sub_indices, sub_data,
+            h_c, rs_c, iptr, icols, ivals,
+        ) in plan:
+            flips += self._sa_chunk(
+                reads, start, end,
+                np.ascontiguousarray(sub_indptr, dtype=np.int64),
+                np.ascontiguousarray(sub_indices, dtype=np.int64),
+                np.ascontiguousarray(sub_data, dtype=np.float64),
+                h_c, rs_c,
+                np.asarray(iptr, dtype=np.int64),
+                np.ascontiguousarray(icols, dtype=np.int64),
+                np.ascontiguousarray(ivals, dtype=np.float64),
+                spins_t, uniforms, neg_beta, scratch[: end - start],
+            )
+        return int(flips)
+
+    def tabu_descend(
+        self, h, indptr, indices, data, x, energies, iterations, tenure,
+        record_flips=None,
+    ):
+        num_restarts, _n = x.shape
+        energy = np.asarray(energies, dtype=np.float64)
+        best_energy = energy.copy()
+        best_x = x.copy()
+        record = np.zeros(
+            (max(iterations, 1), num_restarts), dtype=np.int64
+        )
+        self._tabu(
+            np.ascontiguousarray(indptr, dtype=np.int64),
+            np.ascontiguousarray(indices, dtype=np.int64),
+            np.ascontiguousarray(data, dtype=np.float64),
+            np.ascontiguousarray(h, dtype=np.float64),
+            x, energy, iterations, tenure,
+            record, record_flips is not None, best_x, best_energy,
+        )
+        if record_flips is not None:
+            record_flips.extend(record[step].copy() for step in range(iterations))
+        return best_x, best_energy

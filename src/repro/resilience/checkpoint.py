@@ -39,7 +39,13 @@ __all__ = [
     "validate_header",
 ]
 
-SCHEMA = "repro.resilience/qmkp-checkpoint/v1"
+#: Current schema: v2 adds the adaptive-ladder fields — ``ladder`` in
+#: the header, and per-record ``incumbent`` / ``skipped`` /
+#: ``bbht_ceiling``.  v1 journals (no ladder concept) load fine and are
+#: normalized to ``ladder="binary"``, which is exactly the semantics
+#: they were written under.
+SCHEMA = "repro.resilience/qmkp-checkpoint/v2"
+SCHEMA_V1 = "repro.resilience/qmkp-checkpoint/v1"
 
 #: CI/test hook: when set to N, the process SIGKILLs itself after the
 #: N-th probe record has been durably appended — a deterministic
@@ -221,8 +227,14 @@ class CheckpointJournal:
         if not parsed:
             raise CheckpointError(f"{path}: no parseable journal lines")
         header = parsed[0]
-        if header.get("schema") != SCHEMA:
+        schema = header.get("schema")
+        if schema == SCHEMA_V1:
+            # Pre-ladder journal: binary-search semantics, presented as
+            # the current schema so resume-time header validation works
+            # uniformly (the file itself is left untouched).
+            header = {**header, "schema": SCHEMA, "ladder": "binary"}
+        elif schema != SCHEMA:
             raise CheckpointMismatchError(
-                f"{path}: schema {header.get('schema')!r} != {SCHEMA!r}"
+                f"{path}: schema {schema!r} != {SCHEMA!r}"
             )
         return header, parsed[1:]

@@ -1,0 +1,83 @@
+"""Memoized Graph derivations: fingerprint and complement caches.
+
+Both are identity-keyed on the live ``_edges`` frozenset (plus ``_n``),
+so a structurally identical graph built twice still agrees, while any
+internal mutation — rebinding the edge set behind the public API's back
+— invalidates the cached value instead of serving a stale one.  The
+stale-after-mutation cases are regression tests for exactly that
+failure mode.
+"""
+
+import hashlib
+
+from repro.graphs import Graph
+
+
+def _reference_fingerprint(graph: Graph) -> str:
+    h = hashlib.sha256()
+    h.update(f"n={graph.num_vertices};".encode())
+    for u, v in sorted(graph.edges):
+        h.update(f"{u},{v};".encode())
+    return h.hexdigest()
+
+
+def test_fingerprint_is_memoized():
+    g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    first = g.fingerprint()
+    # The second call must be served from the cache, not recomputed:
+    # same value, and the cache tuple holds the live edge set.
+    assert g.fingerprint() == first
+    assert g._fingerprint_cache is not None
+    assert g._fingerprint_cache[0] is g._edges
+    assert g._fingerprint_cache[2] == first
+
+
+def test_fingerprint_structural_equality_across_builds():
+    edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+    a = Graph(5, edges)
+    b = Graph(5, list(reversed(edges)))
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_stale_after_mutation():
+    g = Graph(5, [(0, 1), (1, 2), (2, 3)])
+    before = g.fingerprint()
+    # Simulate an internal mutation (no public mutator exists; this is
+    # the failure mode the identity key guards against).
+    g._edges = frozenset({(0, 1), (1, 2)})
+    after = g.fingerprint()
+    assert after != before
+    assert after == Graph(5, [(0, 1), (1, 2)]).fingerprint()
+    assert after == _reference_fingerprint(g)
+
+
+def test_complement_is_memoized_and_linked_back():
+    g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+    comp = g.complement()
+    # Cached: repeated calls return the same object, and the complement
+    # pair is linked both ways without recomputation.
+    assert g.complement() is comp
+    assert comp.complement() is g
+
+
+def test_complement_stale_after_mutation():
+    g = Graph(4, [(0, 1), (2, 3)])
+    first = g.complement()
+    g._edges = frozenset({(0, 1)})
+    second = g.complement()
+    assert second is not first
+    assert second == Graph(4, [(0, 1)]).complement()
+    # And the fresh complement is itself correct: edge iff missing in g.
+    for u in range(4):
+        for v in range(u + 1, 4):
+            assert second.has_edge(u, v) == (not g.has_edge(u, v))
+
+
+def test_complement_cache_survives_hash_and_equality():
+    g = Graph(4, [(0, 1)])
+    comp = g.complement()
+    same = Graph(4, [(0, 1)])
+    assert g == same and hash(g) == hash(same)
+    # A structurally equal graph built separately computes its own
+    # complement (identity-keyed, not equality-keyed) but agrees on it.
+    assert same.complement() == comp
