@@ -12,9 +12,13 @@ Subcommands:
 * ``relax``   — maximum n-clan / n-club via the quantum subset search;
 * ``draw``    — render the qTKP checking circuit as ASCII art;
 * ``serve``   — run the supervised solver service against a file spool;
-* ``submit``  — drop a solve request into a spool (and optionally wait).
+* ``submit``  — drop a solve request into a spool (and optionally wait);
+* ``watch``   — stream an edit script through an incremental re-solve
+  session (dynamic graphs).
 
-Graphs are read as edge-list files (``u v`` per line, ``#`` comments).
+Graphs are read as edge-list files (``u v`` per line, ``#`` comments);
+edit scripts as ``add U V`` / ``del U V`` / ``addv [LABEL]`` lines in
+the graph file's label space (see :mod:`repro.dynamic.edits`).
 """
 
 from __future__ import annotations
@@ -225,6 +229,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=120.0,
         help="--wait timeout in seconds (default 120)",
     )
+    submit.add_argument(
+        "--edits", metavar="PATH", default=None,
+        help="edit-script file: submit a dynamic mutation job (qmkp "
+        "only) that re-solves incrementally after every edit",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="incremental re-solves over a graph edit stream"
+    )
+    watch.add_argument("graph", help="edge-list file (the initial graph)")
+    watch.add_argument(
+        "edits",
+        help="edit-script file: 'add U V' / 'del U V' / 'addv [LABEL]' "
+        "per line, in the graph file's vertex labels",
+    )
+    watch.add_argument("-k", type=int, default=2, help="plex parameter (default 2)")
+    watch.add_argument(
+        "--solver", choices=["qmkp", "bs", "qamkp-sa"], default="qmkp",
+        help="per-step solver (default qmkp)",
+    )
+    watch.add_argument(
+        "--profile", choices=["exact", "warm"], default="exact",
+        help="reuse profile: 'exact' patches marked-set tables only "
+        "(every step byte-identical to a cold solve); 'warm' adds "
+        "incumbent/sampleset carry-over (same optimum size, different "
+        "randomness)",
+    )
+    watch.add_argument(
+        "--seed", type=int, default=0,
+        help="session seed; step i solves with default_rng([seed, i])",
+    )
+    watch.add_argument(
+        "--every", type=int, default=1, metavar="N",
+        help="re-solve after every N edits (default 1)",
+    )
+    watch.add_argument(
+        "--check", action="store_true",
+        help="cold-solve every step and compare against the incremental "
+        "result; exits 4 on any disagreement",
+    )
+    watch.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="qmkp: per-step write-ahead journals (stepNNNN.wal) under "
+        "DIR; an interrupted stream resumes bit-identically",
+    )
+    watch.add_argument(
+        "--ladder", choices=["binary", "adaptive"], default="binary",
+        help="qmkp: threshold-ladder strategy (see 'solve --ladder')",
+    )
+    watch.add_argument(
+        "--runtime-us", type=float, default=1000.0,
+        help="qamkp-sa: per-step runtime budget (default 1000)",
+    )
+    watch.add_argument(
+        "--kernel", choices=["auto", "numpy", "numba", "cext"], default=None,
+        help="kernel backend for sweeps/patches/anneals",
+    )
+    watch.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the per-step results as JSON to PATH",
+    )
+    watch.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the session run-ledger JSON to PATH; exits 3 on "
+        "ledger drift (reuse claims are reconciled per step)",
+    )
+    watch.add_argument(
+        "--metrics", choices=["json", "prom"], default=None,
+        help="print the metric registry after the stream",
+    )
     return parser
 
 
@@ -256,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_enumerate(args, graph, labels)
     if args.command == "relax":
         return _cmd_relax(args, graph, labels)
+    if args.command == "watch":
+        return _cmd_watch(args, graph, labels)
     return _cmd_draw(args, graph)
 
 
@@ -439,7 +515,7 @@ def _emit_observability(args, tracer) -> int:
     ledger = RunLedger.from_tracer(
         tracer,
         meta={
-            "command": "solve",
+            "command": args.command,
             "solver": args.solver,
             "graph": args.graph,
             "k": args.k,
@@ -525,6 +601,153 @@ def _cmd_relax(args, graph, labels) -> int:
     print(f"maximum {args.n}-{args.model} size: {result.size}")
     print(f"vertices: {_translate(result.subset, labels)}")
     print(f"oracle calls: {result.oracle_calls}")
+    return 0
+
+
+def _cmd_watch(args, graph, labels) -> int:
+    import json
+
+    import numpy as np
+
+    from .dynamic import IncrementalSolver, apply_labelled_edit, read_edits
+
+    if args.every < 1:
+        print(f"error: --every must be >= 1, got {args.every}", file=sys.stderr)
+        return 2
+    if args.check and args.solver == "qamkp-sa" and args.profile == "warm":
+        print(
+            "error: --check cannot cold-verify warm-started SA (the warm "
+            "start legitimately changes the sampleset); use --profile "
+            "exact or drop --check",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        edits = read_edits(args.edits)
+    except OSError as exc:
+        print(f"error: cannot read {args.edits}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.edits}: {exc}", file=sys.stderr)
+        return 2
+    tracer = None
+    if args.trace or args.metrics:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    labels = dict(labels)
+    session = IncrementalSolver(
+        graph, args.k, solver=args.solver, profile=args.profile,
+        seed=args.seed, ladder=args.ladder, runtime_us=args.runtime_us,
+        kernel=args.kernel, tracer=tracer, checkpoint_dir=args.checkpoint_dir,
+    )
+    steps: list[dict[str, object]] = []
+    mismatches = 0
+
+    def cold_check(step) -> tuple[bool, str]:
+        """Re-solve the step's graph cold and compare; True = agreement."""
+        snapshot = session.graph.snapshot()
+        if args.solver == "qmkp":
+            cold = qmkp(
+                snapshot, args.k, rng=np.random.default_rng([args.seed, step.step]),
+                ladder=args.ladder, kernel=args.kernel,
+            )
+            if args.profile == "exact":
+                same = (
+                    cold.subset == step.subset
+                    and cold.oracle_calls == step.result.oracle_calls
+                    and cold.gate_units == step.result.gate_units
+                    and cold.progression == step.result.progression
+                )
+                return same, (
+                    f"cold size={len(cold.subset)} calls={cold.oracle_calls}"
+                )
+            return len(cold.subset) == step.size, f"cold size={len(cold.subset)}"
+        if args.solver == "bs":
+            cold = maximum_kplex(snapshot, args.k)
+            return len(cold.subset) == step.size, f"cold size={len(cold.subset)}"
+        cold = qamkp(
+            snapshot, args.k, solver="sa", runtime_us=args.runtime_us,
+            seed=session.step_sa_seed(step.step), kernel=args.kernel,
+        )
+        return cold.repaired == step.subset, f"cold size={len(cold.repaired)}"
+
+    def run_step() -> None:
+        nonlocal mismatches
+        step = session.resolve()
+        line = (
+            f"step {step.step}"
+            + (f" [{'; '.join(e.as_line() for e in step.edits)}]" if step.edits else "")
+            + f": size={step.size} vertices={_translate(step.subset, labels)}"
+        )
+        if step.reused_partitions:
+            line += f" reused={step.reused_partitions}"
+        if step.warm_start_hits:
+            line += " warm"
+        if step.resumed_probes:
+            line += f" resumed={step.resumed_probes}"
+        record: dict[str, object] = {
+            "step": step.step,
+            "edits": [e.as_line() for e in step.edits],
+            "fingerprint": step.fingerprint,
+            "size": step.size,
+            "vertices": _translate(step.subset, labels),
+            "reused_partitions": step.reused_partitions,
+            "warm_start_hits": step.warm_start_hits,
+            "resumed_probes": step.resumed_probes,
+        }
+        if args.solver == "qmkp":
+            record["oracle_calls"] = step.result.oracle_calls
+            record["gate_units"] = step.result.gate_units
+        if args.check:
+            same, detail = cold_check(step)
+            record["check"] = "ok" if same else "MISMATCH"
+            if not same:
+                mismatches += 1
+                line += f"  << MISMATCH vs cold solve ({detail})"
+            else:
+                line += "  (check ok)"
+        print(line)
+        steps.append(record)
+
+    try:
+        run_step()  # step 0: the unedited graph, before any mutation
+        for start in range(0, len(edits), args.every):
+            for edit in edits[start:start + args.every]:
+                apply_labelled_edit(session, edit, labels)
+            run_step()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        doc = {
+            "graph": args.graph,
+            "edits": args.edits,
+            "k": args.k,
+            "solver": args.solver,
+            "profile": args.profile,
+            "seed": args.seed,
+            "steps": steps,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    stats = session.cache.stats()
+    print(
+        f"{len(steps)} step(s); cache: {stats['misses']} sweep(s), "
+        f"{stats['patches']} patch(es), {stats['reused_partitions']} "
+        "mask(s) reused without re-evaluation"
+    )
+    if tracer is not None:
+        rc = _emit_observability(args, tracer)
+        if rc:
+            return rc
+    if mismatches:
+        print(
+            f"error: {mismatches} step(s) disagreed with the cold solve",
+            file=sys.stderr,
+        )
+        return 4
     return 0
 
 
@@ -629,6 +852,7 @@ def _cmd_submit(args) -> int:
             name=args.name,
             gate_deadline=args.deadline,
             runtime_us=args.runtime_us,
+            edits_path=args.edits,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

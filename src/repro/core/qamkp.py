@@ -109,6 +109,7 @@ def qamkp(
     fault_plan: FaultPlan | str | None = None,
     sa_workers: int | None = None,
     kernel: str | None = None,
+    warm: frozenset[int] | None = None,
     tracer=None,
 ) -> QAMKPResult:
     """Solve MKP through the QUBO objective with the chosen backend.
@@ -163,6 +164,17 @@ def qamkp(
     backend produces identical samplesets, so this is purely a speed
     knob.
 
+    ``warm`` (SA solves only) seeds every read's initial state from a
+    known vertex subset instead of uniform random bits: the subset's
+    indicator is completed with its closed-form optimal slack
+    (:meth:`~repro.core.qubo_formulation.MkpQubo.optimal_slack`), so
+    the anneal starts at the subset's true objective value — the
+    incremental solver's sampleset carry-over channel.  Warm runs
+    consume a different RNG stream than cold ones (the uniform
+    initial-state draw is skipped), so they are deterministic per seed
+    but not byte-identical to cold solves; ``info["warm_start"]``
+    records the seeding.
+
     ``tracer`` (optional :class:`repro.obs.Tracer`) opens one ``qamkp``
     root span; resilient solves nest the cascade/attempt spans under it
     and the span's claims are checked against ``info["resilience"]`` by
@@ -178,6 +190,8 @@ def qamkp(
         raise ValueError("fault_plan is only supported for solver='qpu'")
     if sa_workers is not None and solver != "sa":
         raise ValueError("sa_workers is only supported for solver='sa'")
+    if warm is not None and solver != "sa":
+        raise ValueError("warm is only supported for solver='sa'")
 
     tracer = tracer or NULL_TRACER
     with tracer.span(
@@ -186,7 +200,7 @@ def qamkp(
         result = _qamkp_body(
             graph, k, penalty, runtime_us, delta_t_us, solver, qubo, qpu,
             seed, sa_shot_cost_us, retries, fallback, fault_plan, sa_workers,
-            kernel, tracer,
+            kernel, warm, tracer,
         )
         tracer.add("qamkp_solves", 1)
         span.set("cost", result.cost)
@@ -207,7 +221,7 @@ def qamkp(
 def _qamkp_body(
     graph, k, penalty, runtime_us, delta_t_us, solver, qubo, qpu,
     seed, sa_shot_cost_us, retries, fallback, fault_plan, sa_workers,
-    kernel, tracer,
+    kernel, warm, tracer,
 ) -> QAMKPResult:
     model = qubo or build_mkp_qubo(graph, k, penalty)
     info: dict[str, object] = {}
@@ -264,16 +278,32 @@ def _qamkp_body(
     elif solver == "sa":
         sampler = SimulatedAnnealingSampler()
         shots = max(1, int(round(runtime_us / sa_shot_cost_us)))
+        initial_states = None
+        if warm is not None:
+            # Start every read at the warm subset with its closed-form
+            # optimal slack, expressed in the CSR variable order the
+            # sampler anneals in.
+            warm_assignment = model.optimal_slack(frozenset(warm))
+            order = list(model.bqm.to_csr().order)
+            row = np.array(
+                [[warm_assignment[var] for var in order]], dtype=np.int8
+            )
+            initial_states = np.tile(row, (shots, 1))
         with tracer.span("qamkp.sample", backend="sa", shots=shots):
             sampleset = sampler.sample(
                 model.bqm,
                 num_reads=shots,
                 num_sweeps=2,
                 seed=seed,
+                initial_states=initial_states,
                 workers=sa_workers,
                 tracer=tracer,
                 kernel=kernel,
             )
+        if warm is not None:
+            info["warm_start"] = True
+            info["warm_size"] = len(warm)
+            tracer.add("warm_start_hits", 1)
         sampleset = _validated(sampleset, model)
         best = sampleset.first
         cost = best.energy

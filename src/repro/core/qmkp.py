@@ -122,6 +122,7 @@ def qmkp(
     cache: MarkedSetCache | None = None,
     workers: int | None = None,
     ladder: str = "binary",
+    warm: frozenset[int] | None = None,
     kernel: str | None = None,
     tracer=None,
     deadline: DeadlineBudget | float | None = None,
@@ -177,6 +178,17 @@ def qmkp(
         oracle call.  Both ladders provably return an optimum of the
         same size; the adaptive one never uses more qTKP probes or
         Grover iterations.
+    warm:
+        A known-feasible k-plex of ``graph`` (input-graph vertex ids)
+        used as the search's initial incumbent: it is classically
+        re-verified, recorded as the first progression entry, and lifts
+        the binary search's lower end to ``len(warm) + 1`` — the
+        incremental solver's carry-over channel, where the previous
+        step's optimum (possibly shrunk by one endpoint) prunes the
+        bottom of the ladder.  **Not** byte-identity preserving: the
+        threshold sequence changes, so only the returned optimum size is
+        guaranteed to match a cold run.  Incompatible with
+        ``reduce_first`` (the seed is expressed in unreduced ids).
     kernel:
         Kernel-backend name for the run-local marked-set sweep
         (:mod:`repro.perf.kernels`); ignored when an explicit ``cache``
@@ -232,6 +244,11 @@ def qmkp(
         raise ValueError(
             f"ladder must be 'binary' or 'adaptive', got {ladder!r}"
         )
+    if warm is not None and reduce_first:
+        raise ValueError(
+            "warm seeds cannot be combined with reduce_first: the seed "
+            "is in input-graph ids, the reduced search space is not"
+        )
     rng = np.random.default_rng(rng)
     tracer = tracer or NULL_TRACER
     if cache is None and use_cache:
@@ -260,7 +277,7 @@ def qmkp(
             result = _qmkp_body(
                 graph, k, counting, reduce_first, use_upper_bound, rng,
                 cache, tracer, injector, deadline, checkpoint, resume,
-                on_progress, ladder,
+                on_progress, ladder, warm,
             )
         finally:
             if cache is not None:
@@ -296,6 +313,7 @@ def _journal_header(
     use_upper_bound: bool,
     rng: np.random.Generator,
     ladder: str,
+    warm: frozenset[int] | None,
 ) -> dict[str, object]:
     """The instance-binding fields a checkpoint must match to be replayed."""
     return {
@@ -308,6 +326,7 @@ def _journal_header(
         "use_upper_bound": use_upper_bound,
         "rng": type(rng.bit_generator).__name__,
         "ladder": ladder,
+        "warm": sorted(warm) if warm is not None else None,
     }
 
 
@@ -385,6 +404,7 @@ def _qmkp_body(
     resume: str | Path | None,
     on_progress: ProgressCallback | None = None,
     ladder: str = "binary",
+    warm: frozenset[int] | None = None,
 ) -> QMKPResult:
     working = graph
     translate = None
@@ -460,8 +480,24 @@ def _qmkp_body(
             note_best(subset, mid, replayed)
         lo = max(lo, len(subset) + 1)
 
+    if warm is not None:
+        warm = frozenset(int(v) for v in warm)
+        if warm and not is_kplex(working, warm, k):
+            raise ValueError(
+                f"warm seed of size {len(warm)} failed classical "
+                f"k-plex verification (k={k})"
+            )
+        if warm:
+            # A verified incumbent before any probe: the paper's
+            # progressive guarantee now starts at the seed's size, and
+            # every threshold <= len(warm) is already decided.
+            note_best(warm, len(warm), False)
+            lo = max(lo, len(warm) + 1)
+            tracer.add("warm_start_hits", 1)
+
     header = _journal_header(
-        graph, working, k, counting, reduce_first, use_upper_bound, rng, ladder
+        graph, working, k, counting, reduce_first, use_upper_bound, rng,
+        ladder, warm,
     )
 
     # ------------------------------------------------------------------

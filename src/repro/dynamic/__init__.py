@@ -1,0 +1,34 @@
+"""Dynamic graphs and incremental re-solving.
+
+Streaming layer above ``repro.core``: a mutable
+:class:`~repro.dynamic.DynamicGraph` journals edge/vertex edits, and an
+:class:`~repro.dynamic.IncrementalSolver` session re-solves the maximum
+k-plex after each mutation batch, patching the marked-set tables and
+(optionally) carrying incumbents/samplesets across steps instead of
+starting cold.  See :mod:`repro.dynamic.session` for the reuse channels
+and their identity guarantees.
+"""
+
+from .edits import (
+    EDIT_OPS,
+    Edit,
+    apply_labelled_edit,
+    format_edits,
+    parse_edits,
+    read_edits,
+)
+from .graph import DynamicGraph
+from .session import IncrementalSolver, StepResult, surviving_kplex
+
+__all__ = [
+    "EDIT_OPS",
+    "DynamicGraph",
+    "Edit",
+    "IncrementalSolver",
+    "StepResult",
+    "apply_labelled_edit",
+    "format_edits",
+    "parse_edits",
+    "read_edits",
+    "surviving_kplex",
+]

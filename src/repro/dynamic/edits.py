@@ -1,0 +1,129 @@
+"""Edit records and the edit-script text format.
+
+An :class:`Edit` is one graph mutation — edge insert, edge delete, or
+vertex add.  :class:`~repro.dynamic.DynamicGraph` journals every
+mutation as one, and the streaming entry points (``qmkp watch``, the
+service's ``edits_path`` jobs, the dynamic smoke/bench harnesses) read
+mutation streams from *edit scripts*, a line-oriented text format in
+the spirit of the edge-list files:
+
+* blank lines and lines starting with ``#`` or ``%`` are ignored;
+* ``add U V`` inserts the edge ``{U, V}``;
+* ``del U V`` deletes the edge ``{U, V}``;
+* ``addv``  adds one isolated vertex (optionally ``addv LABEL`` to
+  name it for files whose vertices carry arbitrary integer labels).
+
+Vertex fields hold whatever id space the surrounding context uses: the
+CLI parses scripts in the graph file's *label* space and translates to
+internal ids; the library-level harnesses use internal ids directly.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Edit",
+    "apply_labelled_edit",
+    "format_edits",
+    "parse_edits",
+    "read_edits",
+]
+
+#: The mutation kinds a :class:`DynamicGraph` supports.
+EDIT_OPS = ("add_edge", "remove_edge", "add_vertex")
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One graph mutation.
+
+    ``op`` is one of :data:`EDIT_OPS`.  Edge ops carry both endpoints;
+    ``add_vertex`` carries an optional label in ``u`` (None = let the
+    applier pick) and ignores ``v``.
+    """
+
+    op: str
+    u: int | None = None
+    v: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in EDIT_OPS:
+            raise ValueError(f"unknown edit op {self.op!r}; expected {EDIT_OPS}")
+        if self.op != "add_vertex":
+            if self.u is None or self.v is None:
+                raise ValueError(f"{self.op} needs two endpoints")
+            if self.u == self.v:
+                raise ValueError(f"{self.op} endpoints must differ, got {self.u}")
+
+    def as_line(self) -> str:
+        """The edit's canonical script line."""
+        if self.op == "add_edge":
+            return f"add {self.u} {self.v}"
+        if self.op == "remove_edge":
+            return f"del {self.u} {self.v}"
+        return "addv" if self.u is None else f"addv {self.u}"
+
+
+def format_edits(edits: list[Edit]) -> str:
+    """Render edits as script text (one line each, trailing newline)."""
+    return "".join(edit.as_line() + "\n" for edit in edits)
+
+
+def parse_edits(text: str) -> list[Edit]:
+    """Parse edit-script text; see the module docstring for the format."""
+    edits: list[Edit] = []
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        stripped = line.strip()
+        if not stripped or stripped[0] in "#%":
+            continue
+        parts = stripped.split()
+        word = parts[0].lower()
+        try:
+            if word in ("add", "del") and len(parts) == 3:
+                op = "add_edge" if word == "add" else "remove_edge"
+                edits.append(Edit(op, int(parts[1]), int(parts[2])))
+            elif word == "addv" and len(parts) in (1, 2):
+                label = int(parts[1]) if len(parts) == 2 else None
+                edits.append(Edit("add_vertex", label))
+            else:
+                raise ValueError("expected 'add U V', 'del U V', or 'addv [LABEL]'")
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {stripped!r}: {exc}") from None
+    return edits
+
+
+def read_edits(path: str | Path) -> list[Edit]:
+    """Read an edit-script file; see :func:`parse_edits`."""
+    return parse_edits(Path(path).read_text())
+
+
+def apply_labelled_edit(target, edit: Edit, labels: dict[int, object]) -> Edit:
+    """Apply a *label-space* edit to a graph/session, maintaining ``labels``.
+
+    ``target`` is anything with the mutation API (``add_vertex`` /
+    ``apply``) — a :class:`~repro.dynamic.DynamicGraph` or an
+    :class:`~repro.dynamic.IncrementalSolver`.  ``labels`` is the
+    ``{internal_id: file_label}`` map from
+    :func:`repro.graphs.read_edge_list`; it is updated in place when a
+    vertex is added (an explicit ``addv LABEL`` label, else one past
+    the largest existing numeric label).  Returns the internal-id
+    :class:`Edit` actually applied.
+    """
+    if edit.op == "add_vertex":
+        label = edit.u
+        if label is None:
+            numeric = [lab for lab in labels.values() if isinstance(lab, int)]
+            label = (max(numeric) + 1) if numeric else 0
+        if label in labels.values():
+            raise ValueError(f"addv label {label} already names a vertex")
+        new_id = target.add_vertex()
+        labels[new_id] = label
+        return Edit("add_vertex")
+    inverse = {label: v for v, label in labels.items()}
+    missing = [w for w in (edit.u, edit.v) if w not in inverse]
+    if missing:
+        raise ValueError(f"unknown vertex label(s) {missing} in {edit.as_line()!r}")
+    return target.apply(Edit(edit.op, inverse[edit.u], inverse[edit.v]))

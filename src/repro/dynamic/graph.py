@@ -1,0 +1,150 @@
+"""Mutable graph editing layer over the immutable :class:`Graph`.
+
+Every other layer of the library treats :class:`repro.graphs.Graph` as
+immutable — memo guards, cache keys, and oracle constructions all rely
+on it.  :class:`DynamicGraph` is the mutation boundary for streaming
+workloads: it owns a plain edge set that edits change in place, keeps
+an append-only journal of every mutation, and exposes the current
+structure only through :meth:`snapshot`, which builds a **structurally
+fresh** :class:`Graph` per version.
+
+"Structurally fresh" is a deliberate contract, not an implementation
+detail: each snapshot is constructed from scratch, so its identity-keyed
+memo slots (``_fingerprint_cache``, ``_complement_cache``) can never
+carry state across mutations, and older snapshots stay valid forever —
+a solver holding the step-3 graph is unaffected by edits applied for
+step 4.  Rebinding internals of a live ``Graph`` (the failure mode
+``tests/graphs/test_graph_caches.py`` guards against) never happens
+here because no ``Graph`` built by this class is ever touched again.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graphs import Graph
+from .edits import Edit
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """An editable graph with an edit journal and fresh snapshots.
+
+    Parameters
+    ----------
+    graph_or_n:
+        Either a :class:`Graph` to start from (copied, never aliased)
+        or a vertex count.
+    edges:
+        Initial edges when ``graph_or_n`` is a count.
+    """
+
+    def __init__(
+        self,
+        graph_or_n: Graph | int,
+        edges: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        if isinstance(graph_or_n, Graph):
+            base = graph_or_n
+        else:
+            base = Graph(graph_or_n, edges)
+        self._n = base.num_vertices
+        self._edge_set: set[tuple[int, int]] = set(base.edges)
+        self.journal: list[Edit] = []
+        self._version = 0
+        self._snapshot: tuple[int, Graph] | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_set)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (== ``len(self.journal)``)."""
+        return self._version
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        return (min(u, v), max(u, v)) in self._edge_set
+
+    def snapshot(self) -> Graph:
+        """The current structure as a brand-new immutable :class:`Graph`.
+
+        Memoized per version: repeated calls between mutations return
+        the same object (so fingerprint/complement memos amortise), and
+        the first call after any mutation builds a fresh ``Graph`` —
+        never rebinding internals of a previously returned one.
+        """
+        cached = self._snapshot
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        graph = Graph(self._n, self._edge_set)
+        self._snapshot = (self._version, graph)
+        return graph
+
+    def fingerprint(self) -> str:
+        """Structural digest of the current version (see :meth:`Graph.fingerprint`)."""
+        return self.snapshot().fingerprint()
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _check_endpoints(self, u: int, v: int) -> tuple[int, int]:
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} is not allowed")
+        for w in (u, v):
+            if not (0 <= w < self._n):
+                raise ValueError(f"vertex {w} out of range for {self._n} vertices")
+        return (u, v) if u < v else (v, u)
+
+    def add_edge(self, u: int, v: int) -> Edit:
+        """Insert the edge ``{u, v}`` (must be absent)."""
+        edge = self._check_endpoints(u, v)
+        if edge in self._edge_set:
+            raise ValueError(f"edge {edge} already present")
+        self._edge_set.add(edge)
+        return self._record(Edit("add_edge", *edge))
+
+    def remove_edge(self, u: int, v: int) -> Edit:
+        """Delete the edge ``{u, v}`` (must be present)."""
+        edge = self._check_endpoints(u, v)
+        if edge not in self._edge_set:
+            raise ValueError(f"edge {edge} not present")
+        self._edge_set.discard(edge)
+        return self._record(Edit("remove_edge", *edge))
+
+    def add_vertex(self) -> int:
+        """Append one isolated vertex; returns its (internal) id."""
+        new_id = self._n
+        self._n += 1
+        self._record(Edit("add_vertex"))
+        return new_id
+
+    def apply(self, edit: Edit) -> Edit:
+        """Apply one :class:`Edit` (internal-id space) and journal it."""
+        if edit.op == "add_edge":
+            return self.add_edge(edit.u, edit.v)
+        if edit.op == "remove_edge":
+            return self.remove_edge(edit.u, edit.v)
+        self.add_vertex()
+        return self.journal[-1]
+
+    def _record(self, edit: Edit) -> Edit:
+        self.journal.append(edit)
+        self._version += 1
+        return edit
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(n={self._n}, m={self.num_edges}, "
+            f"version={self._version})"
+        )

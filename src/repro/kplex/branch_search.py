@@ -158,6 +158,7 @@ def maximum_kplex(
     warm_start: bool = True,
     time_limit_s: float | None = None,
     on_incumbent: IncumbentCallback | None = None,
+    initial_incumbent: frozenset[int] | None = None,
 ) -> BranchSearchResult:
     """Exact maximum k-plex via branch-and-search.
 
@@ -168,6 +169,12 @@ def maximum_kplex(
     warm_start:
         Seed the incumbent with :func:`repro.kplex.heuristics.greedy_kplex`
         so bound pruning bites immediately.
+    initial_incumbent:
+        A caller-supplied feasible k-plex (re-verified here) adopted as
+        the starting incumbent when it beats the greedy seed — the
+        incremental solver hands the previous step's optimum through
+        this so the bound pruning starts at yesterday's answer.  Raises
+        ``ValueError`` if the set is not a k-plex of ``graph``.
     time_limit_s:
         Optional wall-clock budget; on expiry the best incumbent is
         returned with ``stats.timed_out`` set (optimality not proven).
@@ -189,6 +196,17 @@ def maximum_kplex(
         seed = greedy_kplex(graph, k)
         if is_kplex(graph, seed, k):
             searcher.best = frozenset(seed)
+            if on_incumbent is not None:
+                on_incumbent(searcher.best, 0)
+    if initial_incumbent is not None:
+        incumbent = frozenset(initial_incumbent)
+        if incumbent and not is_kplex(graph, incumbent, k):
+            raise ValueError(
+                f"initial_incumbent of size {len(incumbent)} is not a "
+                f"k-plex (k={k})"
+            )
+        if len(incumbent) > len(searcher.best):
+            searcher.best = incumbent
             if on_incumbent is not None:
                 on_incumbent(searcher.best, 0)
     searcher.run()

@@ -18,7 +18,14 @@ from .anneal import (
     sa_sweep,
     tabu_descend,
 )
-from .bitparallel import MAX_VERTICES, kcplex_masks, kplex_masks, popcount_u64
+from .bitparallel import (
+    MAX_VERTICES,
+    kcplex_masks,
+    kplex_mask_status,
+    kplex_masks,
+    kplex_masks_containing,
+    popcount_u64,
+)
 from .cache import MarkedSetCache, MarkedSetTable, PredicateMaskCache
 from .kernels import KernelBackend, available_backends, resolve as resolve_kernel
 
@@ -36,7 +43,9 @@ __all__ = [
     "fields_energies",
     "fields_energies_t",
     "kcplex_masks",
+    "kplex_mask_status",
     "kplex_masks",
+    "kplex_masks_containing",
     "local_fields",
     "popcount_u64",
     "refresh_fields_t",

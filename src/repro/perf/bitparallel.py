@@ -37,6 +37,8 @@ __all__ = [
     "popcount_u64",
     "kcplex_masks",
     "kplex_masks",
+    "kplex_mask_status",
+    "kplex_masks_containing",
 ]
 
 #: Same ceiling as ``PhaseOracleGrover.MAX_QUBITS`` — beyond this the
@@ -189,6 +191,117 @@ def kcplex_masks(
         graph.adjacency_masks(), graph.num_vertices, k, chunk_masks, workers,
         tracer, kernel,
     )
+
+
+def kplex_mask_status(
+    graph: Graph,
+    k: int,
+    masks: np.ndarray,
+) -> np.ndarray:
+    """k-plex status of *arbitrary* subset bitmasks, as a boolean array.
+
+    The full-sweep entry points above always scan the contiguous range
+    ``[0, 2^n)``; this evaluates the same predicate on any mask array —
+    the primitive behind :meth:`repro.perf.MarkedSetCache.patch`, which
+    re-checks only the masks an edge edit can actually affect instead
+    of re-sweeping the whole space.  Status agrees element-for-element
+    with membership in :func:`kplex_masks`' output.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if graph.num_vertices > MAX_VERTICES:
+        raise ValueError(
+            f"bit-parallel evaluation supports n <= {MAX_VERTICES}, "
+            f"got {graph.num_vertices}"
+        )
+    masks = np.asarray(masks, dtype=np.uint64)
+    limit = k - 1
+    keep = np.ones(masks.shape, dtype=bool)
+    for v, am in enumerate(graph.complement_adjacency_masks()):
+        if am == 0 or am.bit_count() <= limit:
+            continue
+        degree = popcount_u64(masks & np.uint64(am))
+        selected = (masks >> np.uint64(v)) & np.uint64(1)
+        keep &= (degree <= limit) | (selected == 0)
+    return keep
+
+
+def kplex_masks_containing(
+    graph: Graph,
+    k: int,
+    *vertices: int,
+    chunk_masks: int | None = None,
+    tracer=None,
+    kernel: str | None = None,
+) -> np.ndarray:
+    """Marked k-plex masks among all masks containing every ``vertices``.
+
+    Equivalent to filtering :func:`kplex_masks` down to masks with all
+    the given bits set, but scans only that ``2^(n-r)`` subspace — the
+    re-evaluation set of an incremental patch (``r = 2`` for an edge
+    insertion, ``r = 1`` for a vertex add).  A vertex permutation
+    sending the pinned vertices to the ``r`` highest bit positions
+    turns the candidate set into the contiguous range
+    ``[(2^r - 1) << (n-r), 2^n)``, which any enumeration kernel sweeps
+    natively; the surviving masks are then mapped back (an
+    order-preserving bit scatter, so the result stays ascending) —
+    byte-identical to the filtered full sweep at ``1/2^r`` of its mask
+    count, through the same compiled tiers.
+    """
+    n = graph.num_vertices
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n > MAX_VERTICES:
+        raise ValueError(
+            f"bit-parallel enumeration supports n <= {MAX_VERTICES}, got {n}"
+        )
+    r = len(vertices)
+    if not 1 <= r < n or len(set(vertices)) != r:
+        raise ValueError(
+            f"need 1..{n - 1} distinct pinned vertices, got {vertices}"
+        )
+    if any(not 0 <= w < n for w in vertices):
+        raise ValueError(f"pinned vertices out of range: {vertices}")
+    from .kernels import resolve
+
+    backend = resolve(kernel)
+    tracer = tracer or NULL_TRACER
+    free = [w for w in range(n) if w not in vertices]
+    perm = free + list(vertices)  # new bit position -> original vertex
+    inv = [0] * n
+    for pos, orig in enumerate(perm):
+        inv[orig] = pos
+    cam = graph.complement_adjacency_masks()
+    remapped = []
+    for orig in perm:
+        am = int(cam[orig])
+        shuffled = 0
+        while am:
+            low = am & -am
+            shuffled |= 1 << inv[low.bit_length() - 1]
+            am ^= low
+        remapped.append(shuffled)
+
+    start, stop = ((1 << r) - 1) << (n - r), 1 << n
+    size = _chunk_size(stop - start, chunk_masks)
+    parts = []
+    for s in range(start, stop, size):
+        e = min(s + size, stop)
+        parts.append(backend.enumerate_chunk(remapped, k - 1, s, e)[0])
+        tracer.add("perf_chunks_scanned", 1)
+        tracer.add("perf_masks_scanned", e - s)
+    permuted = np.concatenate(parts).astype(np.uint64)
+
+    # Scatter the free bits back to their original positions.  Both the
+    # scan order and the scatter are monotone, so the output stays
+    # ascending without a sort.
+    pinned = 0
+    for w in vertices:
+        pinned |= 1 << w
+    out = np.full(permuted.shape, pinned, dtype=np.uint64)
+    for pos, orig in enumerate(free):
+        out |= ((permuted >> np.uint64(pos)) & np.uint64(1)) << np.uint64(orig)
+    return out.astype(np.int64)
 
 
 def kplex_masks(

@@ -32,9 +32,31 @@ import numpy as np
 
 from ..graphs import Graph
 from ..obs import NULL_TRACER
-from .bitparallel import kplex_masks
+from .bitparallel import (
+    kplex_mask_status,
+    kplex_masks,
+    kplex_masks_containing,
+    popcount_u64,
+)
 
 __all__ = ["MarkedSetTable", "MarkedSetCache", "PredicateMaskCache"]
+
+
+def _masks_containing(num_vertices: int, u: int, v: int) -> np.ndarray:
+    """All ``2^(n-2)`` subset bitmasks containing both ``u`` and ``v``,
+    ascending.
+
+    Scattering the free bits into increasing positions preserves order,
+    so the result is ascending without a sort — the candidate set for
+    an edge edit's re-evaluation (only subsets holding both endpoints
+    can change k-plex status when the edge ``{u, v}`` flips).
+    """
+    rest = [b for b in range(num_vertices) if b not in (u, v)]
+    base = np.arange(1 << len(rest), dtype=np.uint64)
+    out = np.full(base.shape, (1 << u) | (1 << v), dtype=np.uint64)
+    for i, b in enumerate(rest):
+        out |= ((base >> np.uint64(i)) & np.uint64(1)) << np.uint64(b)
+    return out
 
 
 class MarkedSetTable:
@@ -92,6 +114,49 @@ class MarkedSetTable:
         nonzero = np.nonzero(self._counts)[0]
         return int(nonzero[-1]) if nonzero.size else -1
 
+    def ascending(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(masks, sizes)`` in ascending mask order.
+
+        This is the sweep's native order (and the constructor's input
+        order), recovered from the size partition; masks are unique, so
+        a plain sort restores it exactly.
+        """
+        masks = np.sort(self._by_size).astype(np.int64)
+        return masks, popcount_u64(masks)
+
+    def retain(self, keep: np.ndarray) -> "MarkedSetTable":
+        """New table holding only the ascending-order masks flagged in
+        ``keep`` (a boolean array parallel to :meth:`ascending`)."""
+        return self.patch(keep, np.empty(0, dtype=np.int64))
+
+    def patch(
+        self,
+        keep: np.ndarray,
+        add_masks: np.ndarray,
+        num_vertices: int | None = None,
+    ) -> "MarkedSetTable":
+        """New table: ``keep``-filtered old masks merged with ``add_masks``.
+
+        ``keep`` is boolean, parallel to :meth:`ascending`; ``add_masks``
+        must be disjoint from the retained masks.  The result is
+        byte-identical (``_by_size`` and ``_offsets`` alike) to a table
+        built fresh from the union's ascending sweep — the invariant the
+        incremental solver's bit-identity guarantee rests on.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        old_masks, _ = self.ascending()
+        if keep.shape != old_masks.shape:
+            raise ValueError(
+                f"keep must be parallel to the {old_masks.size} marked "
+                f"masks, got shape {keep.shape}"
+            )
+        merged = np.sort(np.concatenate([
+            old_masks[keep],
+            np.asarray(add_masks, dtype=np.int64),
+        ])).astype(np.int64)
+        n = self.num_vertices if num_vertices is None else num_vertices
+        return MarkedSetTable(n, merged, popcount_u64(merged))
+
 
 class MarkedSetCache:
     """LRU cache of :class:`MarkedSetTable` keyed on graph structure.
@@ -140,6 +205,8 @@ class MarkedSetCache:
         self.tracer = tracer or NULL_TRACER
         self.hits = 0
         self.misses = 0
+        self.patches = 0
+        self.reused_partitions = 0
         self._tables: OrderedDict[tuple[str, int], MarkedSetTable] = OrderedDict()
 
     def __len__(self) -> int:
@@ -179,16 +246,124 @@ class MarkedSetCache:
         never triggers a sweep and charges no hit/miss, so the adaptive
         threshold ladder can consult it for free before deciding whether
         a qTKP probe is worth dispatching (a zero suffix count proves
-        the probe would come back empty-handed).
+        the probe would come back empty-handed).  A peek-hit does bump
+        the entry's LRU recency: the adaptive ladder's hottest table
+        must not be evicted by unrelated ``table()`` inserts just
+        because the ladder only ever peeked at it.
         """
-        table = self._tables.get((graph.fingerprint(), k))
+        key = (graph.fingerprint(), k)
+        table = self._tables.get(key)
         if table is None:
             return None
+        self._tables.move_to_end(key)
         return table.count_at_least(threshold)
 
+    def patch(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        k: int,
+        op: str,
+        u: int | None = None,
+        v: int | None = None,
+    ) -> MarkedSetTable | None:
+        """Derive ``new_graph``'s table from ``old_graph``'s by a single edit.
+
+        ``op`` names the mutation that turned ``old_graph`` into
+        ``new_graph``: ``"add_edge"`` / ``"remove_edge"`` (endpoints
+        ``u``, ``v``) or ``"add_vertex"`` (one isolated vertex appended).
+        Only the masks the edit can affect are re-evaluated:
+
+        * an edge edit touches exactly the ``2^(n-2)`` masks containing
+          *both* endpoints — inserting an edge only relaxes the k-plex
+          condition there (the marked set grows), deleting only tightens
+          it (re-check the previously marked touched masks, nothing new
+          can appear);
+        * a vertex add leaves every old mask's status unchanged and
+          evaluates the ``2^n`` masks containing the new vertex.
+
+        The patched table is byte-identical to a fresh sweep of
+        ``new_graph``.  Returns None (and charges nothing) when the old
+        table is not cached — the next :meth:`table` call sweeps fresh.
+        Masks carried over without re-evaluation are charged to the
+        tracer as ``reused_partitions``.
+        """
+        if op not in ("add_edge", "remove_edge", "add_vertex"):
+            raise ValueError(f"unknown patch op {op!r}")
+        new_key = (new_graph.fingerprint(), k)
+        existing = self._tables.get(new_key)
+        if existing is not None:
+            self._tables.move_to_end(new_key)
+            return existing
+        old = self._tables.get((old_graph.fingerprint(), k))
+        if old is None:
+            return None
+        n = new_graph.num_vertices
+        old_masks, _ = old.ascending()
+        pinned: tuple[int, ...] | None = None
+        candidates = None
+        if op == "add_vertex":
+            if n != old.num_vertices + 1:
+                raise ValueError(
+                    f"add_vertex patch expects n to grow by 1, got "
+                    f"{old.num_vertices} -> {n}"
+                )
+            # Masks without the new vertex keep their status verbatim;
+            # masks with it sweep through the kernel-tiered subspace
+            # enumerator (the contiguous top-bit half-space).
+            keep = np.ones(old_masks.shape, dtype=bool)
+            pinned = (n - 1,)
+        else:
+            if u is None or v is None or u == v:
+                raise ValueError(f"{op} patch needs two distinct endpoints")
+            both = np.uint64((1 << u) | (1 << v))
+            touched = (old_masks.astype(np.uint64) & both) == both
+            if op == "add_edge":
+                # Touched masks can only gain membership: drop them from
+                # the carry-over and re-sweep the ``2^(n-2)`` candidate
+                # subspace through the kernel tiers.
+                keep = ~touched
+                pinned = (u, v)
+            else:
+                # Deletion can only lose membership: re-check just the
+                # previously marked touched masks.
+                keep = ~touched
+                candidates = old_masks[touched].astype(np.uint64)
+        num_candidates = (
+            1 << (n - len(pinned)) if pinned is not None else int(candidates.size)
+        )
+        with self.tracer.span(
+            "perf.patch", op=op, n=n, k=k, candidates=num_candidates
+        ) as span:
+            if pinned is not None:
+                additions = kplex_masks_containing(
+                    new_graph, k, *pinned, kernel=self.kernel
+                )
+            else:
+                status = kplex_mask_status(new_graph, k, candidates)
+                additions = candidates[status].astype(np.int64)
+            table = old.patch(keep, additions, num_vertices=n)
+            reused = int(keep.sum())
+            span.set("num_marked", table.num_marked)
+            span.set("reused", reused)
+        self.patches += 1
+        self.reused_partitions += reused
+        self.tracer.add("marked_cache_patches", 1)
+        self.tracer.add("reused_partitions", reused)
+        self._tables[new_key] = table
+        while len(self._tables) > self.max_entries:
+            self._tables.popitem(last=False)
+        return table
+
     def stats(self) -> dict[str, int]:
-        """Hit/miss/entry counters, for logging and tests."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._tables)}
+        """Hit/miss/patch/entry counters, for logging and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "patches": self.patches,
+            "reused_partitions": self.reused_partitions,
+            "entries": len(self._tables),
+        }
 
 
 class PredicateMaskCache:

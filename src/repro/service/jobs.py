@@ -87,6 +87,10 @@ class JobSpec:
     ``gate_deadline`` is a per-job :class:`~repro.resilience.DeadlineBudget`
     in gate units (qmkp only) — on expiry the job degrades to the
     classical branch search inside the solver, per the PR 5 semantics.
+    ``edits_path`` turns the job into a *mutation job* (qmkp only): the
+    worker runs an incremental session over the edit script
+    (:mod:`repro.dynamic`), re-solving after every edit, with per-step
+    checkpoints next to the job's journal path.
     """
 
     graph_path: str
@@ -97,6 +101,7 @@ class JobSpec:
     name: str | None = None
     gate_deadline: float | None = None
     runtime_us: float = 1000.0  # annealing backends' budget
+    edits_path: str | None = None  # dynamic-graph mutation jobs (qmkp)
 
     def __post_init__(self) -> None:
         if self.solver not in SOLVERS:
@@ -105,6 +110,11 @@ class JobSpec:
             )
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.edits_path is not None and self.solver != "qmkp":
+            raise ValueError(
+                "edits_path (dynamic mutation jobs) requires solver='qmkp', "
+                f"got {self.solver!r}"
+            )
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -116,6 +126,9 @@ class JobSpec:
             "name": self.name,
             "gate_deadline": self.gate_deadline,
             "runtime_us": self.runtime_us,
+            "edits_path": (
+                str(self.edits_path) if self.edits_path is not None else None
+            ),
         }
 
     @classmethod

@@ -97,6 +97,83 @@ def _solve_qmkp(spec: JobSpec, graph, labels, job_id, checkpoint, tracer):
     return answer, extra
 
 
+def _solve_qmkp_dynamic(spec: JobSpec, graph, labels, job_id, checkpoint, tracer):
+    """Mutation job: an incremental session over the spec's edit script.
+
+    Each step re-solves after one edit, journalling its probes into a
+    per-step WAL under ``<checkpoint>.d/`` — a SIGKILL mid-stream loses
+    at most the probe in flight of the step it landed in, and the
+    resumed run replays the finished steps bit-identically.  The
+    ``answer`` carries only crash-stable fields (sizes, vertices, cost
+    totals); volatile resume/reuse counters ride in ``extra``.
+    """
+    from ..dynamic import IncrementalSolver, apply_labelled_edit, read_edits
+
+    edits = read_edits(spec.edits_path)
+    labels = dict(labels)
+    session = IncrementalSolver(
+        graph,
+        spec.k,
+        seed=spec.seed if spec.seed is not None else 0,
+        tracer=tracer,
+        checkpoint_dir=checkpoint.parent / (checkpoint.name + ".d"),
+    )
+
+    steps: list[dict[str, object]] = []
+    totals = {"gate_units": 0, "oracle_calls": 0, "qtkp_calls": 0}
+    resumed = 0
+    reused = 0
+
+    def run_step() -> None:
+        nonlocal resumed, reused
+        step = session.resolve()
+        result = step.result
+        totals["gate_units"] += result.gate_units
+        totals["oracle_calls"] += result.oracle_calls
+        totals["qtkp_calls"] += result.qtkp_calls
+        resumed += step.resumed_probes
+        reused += step.reused_partitions
+        vertices = _translate(step.subset, labels)
+        _emit({
+            "event": "incumbent",
+            "job_id": job_id,
+            "size": step.size,
+            "threshold": step.step,
+            "cumulative_gate_units": totals["gate_units"],
+            "cumulative_oracle_calls": totals["oracle_calls"],
+            "vertices": vertices,
+            "replayed": step.resumed_probes > 0,
+        })
+        steps.append({
+            "step": step.step,
+            "edits": [edit.as_line() for edit in step.edits],
+            "size": step.size,
+            "vertices": vertices,
+            "gate_units": result.gate_units,
+            "oracle_calls": result.oracle_calls,
+        })
+
+    run_step()  # step 0: the unedited graph
+    for edit in edits:
+        apply_labelled_edit(session, edit, labels)
+        run_step()
+    final = steps[-1]
+    answer = {
+        "solver": "qmkp",
+        "mode": "dynamic",
+        "k": spec.k,
+        "size": final["size"],
+        "vertices": final["vertices"],
+        "gate_units": totals["gate_units"],
+        "oracle_calls": totals["oracle_calls"],
+        "qtkp_calls": totals["qtkp_calls"],
+        "steps": steps,
+        "degraded_to": None,
+    }
+    extra = {"resumed_probes": resumed, "reused_partitions": reused}
+    return answer, extra
+
+
 def _solve_bs(spec: JobSpec, graph, labels, job_id, tracer):
     def on_incumbent(subset, nodes) -> None:
         _emit({
@@ -171,7 +248,11 @@ def execute(job: dict[str, object]) -> int:
         if hold_s:  # chaos/test hook: pin the job in the running state
             time.sleep(hold_s)
         graph, labels = read_edge_list(spec.graph_path)
-        if spec.solver == "qmkp":
+        if spec.solver == "qmkp" and spec.edits_path is not None:
+            answer, extra = _solve_qmkp_dynamic(
+                spec, graph, labels, job_id, checkpoint, tracer
+            )
+        elif spec.solver == "qmkp":
             answer, extra = _solve_qmkp(
                 spec, graph, labels, job_id, checkpoint, tracer
             )

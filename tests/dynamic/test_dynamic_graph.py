@@ -1,0 +1,125 @@
+"""DynamicGraph semantics: journalling, snapshots, memo freshness.
+
+The second half mirrors ``tests/graphs/test_graph_caches.py`` from the
+mutation side: the whole library keys caches on ``Graph`` identity or
+structural fingerprints, so the one component that *does* mutate
+structure must never leak a stale memo — every post-edit snapshot is a
+brand-new ``Graph`` and previously returned snapshots stay frozen.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicGraph, Edit, parse_edits
+from repro.graphs import Graph, gnm_random_graph
+from repro.perf import MarkedSetCache, kplex_masks
+
+
+class TestMutations:
+    def test_add_remove_roundtrip(self):
+        dg = DynamicGraph(4, [(0, 1), (1, 2)])
+        assert dg.num_edges == 2 and dg.version == 0
+        dg.add_edge(2, 3)
+        assert dg.has_edge(3, 2)
+        dg.remove_edge(0, 1)
+        assert not dg.has_edge(0, 1)
+        assert dg.version == 2
+        assert [e.op for e in dg.journal] == ["add_edge", "remove_edge"]
+
+    def test_from_graph_copies_not_aliases(self):
+        base = gnm_random_graph(6, 7, seed=0)
+        dg = DynamicGraph(base)
+        dg.add_edge(*next(
+            (u, v) for u in range(6) for v in range(u + 1, 6)
+            if not base.has_edge(u, v)
+        ))
+        assert dg.num_edges == base.num_edges + 1
+        assert base.num_edges == 7  # the source Graph is untouched
+
+    def test_add_vertex_appends_isolated(self):
+        dg = DynamicGraph(3, [(0, 1)])
+        new_id = dg.add_vertex()
+        assert new_id == 3
+        assert dg.num_vertices == 4
+        snap = dg.snapshot()
+        assert snap.degree(3) == 0
+
+    def test_validation(self):
+        dg = DynamicGraph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            dg.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            dg.add_edge(0, 1)  # already present
+        with pytest.raises(ValueError):
+            dg.remove_edge(1, 2)  # absent
+        with pytest.raises(ValueError):
+            dg.add_edge(0, 7)  # out of range
+
+    def test_apply_edit_script(self):
+        dg = DynamicGraph(3, [(0, 1)])
+        for edit in parse_edits("del 0 1\nadd 1 2\naddv\n"):
+            dg.apply(edit)
+        assert dg.num_vertices == 4
+        assert sorted(dg.snapshot().edges) == [(1, 2)]
+        assert dg.journal == [
+            Edit("remove_edge", 0, 1), Edit("add_edge", 1, 2),
+            Edit("add_vertex"),
+        ]
+
+
+class TestSnapshotFreshness:
+    """The memo-guard audit: DynamicGraph must interact safely with
+    every identity- and fingerprint-keyed cache in the library."""
+
+    def test_snapshot_memoized_per_version(self):
+        dg = DynamicGraph(5, [(0, 1), (2, 3)])
+        assert dg.snapshot() is dg.snapshot()
+        dg.add_edge(0, 2)
+        assert dg.snapshot() is dg.snapshot()
+
+    def test_mutation_yields_structurally_fresh_graph(self):
+        # A new snapshot object per version: identity-keyed memos
+        # (fingerprint, complement) can never carry across an edit.
+        dg = DynamicGraph(5, [(0, 1), (2, 3)])
+        before = dg.snapshot()
+        fp_before = before.fingerprint()
+        comp_before = before.complement()
+        dg.add_edge(1, 2)
+        after = dg.snapshot()
+        assert after is not before
+        assert after.fingerprint() != fp_before
+        assert after.complement().has_edge(1, 2) is False
+        # The old snapshot is frozen: same memos, same structure.
+        assert before.fingerprint() == fp_before
+        assert before.complement() is comp_before
+        assert not before.has_edge(1, 2)
+
+    def test_old_snapshots_survive_vertex_growth(self):
+        dg = DynamicGraph(4, [(0, 1)])
+        old = dg.snapshot()
+        dg.add_vertex()
+        assert old.num_vertices == 4
+        assert dg.snapshot().num_vertices == 5
+
+    def test_marked_cache_never_serves_stale_across_mutations(self):
+        # The fingerprint-keyed MarkedSetCache sees each version as a
+        # distinct key; mutating the DynamicGraph can't poison lookups
+        # the way in-place Graph mutation would (the regression pinned
+        # in tests/graphs/test_graph_caches.py).
+        cache = MarkedSetCache()
+        dg = DynamicGraph(gnm_random_graph(6, 9, seed=2))
+        t0 = cache.table(dg.snapshot(), 2)
+        dg.remove_edge(*sorted(dg.snapshot().edges)[0])
+        t1 = cache.table(dg.snapshot(), 2)
+        assert t1 is not t0
+        assert cache.misses == 2
+        want, _ = kplex_masks(dg.snapshot(), 2)
+        assert np.array_equal(np.sort(t1.masks_at_least(0)), np.sort(want))
+
+    def test_snapshot_equals_fresh_graph(self):
+        dg = DynamicGraph(6, [(0, 1), (1, 2), (3, 4)])
+        dg.add_edge(4, 5)
+        dg.remove_edge(0, 1)
+        rebuilt = Graph(6, [(1, 2), (3, 4), (4, 5)])
+        assert dg.snapshot().fingerprint() == rebuilt.fingerprint()
+        assert dg.fingerprint() == rebuilt.fingerprint()

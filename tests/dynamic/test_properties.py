@@ -1,0 +1,130 @@
+"""Property-based tests: incremental re-solves equal cold solves.
+
+Hypothesis drives random graphs through random edit streams and pins
+the exact profile's contract at every step: the incremental result is
+byte-identical (subset, oracle calls, gate units, probe progression) to
+a cold :func:`repro.core.qmkp` solve of the post-edit graph with the
+step's own seed, and the session ledger's reuse claims reconcile.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.core import qmkp
+from repro.dynamic import DynamicGraph, Edit, IncrementalSolver, surviving_kplex
+from repro.graphs import Graph
+from repro.kplex import is_kplex, maximum_kplex
+from repro.obs import Tracer
+from repro.perf import kplex_masks
+
+
+@st.composite
+def graphs(draw, min_n=3, max_n=7):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pairs), unique=True)) if pairs else []
+    return Graph(n, edges)
+
+
+@st.composite
+def edit_streams(draw, graph, max_edits=4, allow_addv=True):
+    """A legal edit sequence for ``graph`` (toggles tracked statefully)."""
+    n = graph.num_vertices
+    present = {tuple(sorted(e)) for e in graph.edges}
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_edits))):
+        choices = ["toggle"]
+        if allow_addv and n < 8:
+            choices.append("addv")
+        kind = draw(st.sampled_from(choices))
+        if kind == "addv":
+            ops.append(Edit("add_vertex"))
+            n += 1
+            continue
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        u, v = draw(st.sampled_from(pairs))
+        if (u, v) in present:
+            present.discard((u, v))
+            ops.append(Edit("remove_edge", u, v))
+        else:
+            present.add((u, v))
+            ops.append(Edit("add_edge", u, v))
+    return ops
+
+
+class TestExactEquivalence:
+    @given(data=st.data(), k=st.integers(1, 3), seed=st.integers(0, 999))
+    @settings(max_examples=25, deadline=None)
+    def test_every_step_matches_cold_solve(self, data, k, seed):
+        graph = data.draw(graphs())
+        edits = data.draw(edit_streams(graph))
+        tracer = Tracer()
+        session = IncrementalSolver(graph, k, seed=seed, tracer=tracer)
+        session.resolve()
+        for edit in edits:
+            session.apply(edit)
+            step = session.resolve()
+            cold = qmkp(
+                session.graph.snapshot(), k, rng=session.step_rng(step.step)
+            )
+            assert step.subset == cold.subset
+            assert step.result.oracle_calls == cold.oracle_calls
+            assert step.result.gate_units == cold.gate_units
+            assert step.result.progression == cold.progression
+        assert session.cache.stats()["misses"] == 1
+        session.ledger().verify()
+
+    @given(data=st.data(), k=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_patched_tables_match_fresh_sweeps(self, data, k):
+        graph = data.draw(graphs())
+        edits = data.draw(edit_streams(graph))
+        session = IncrementalSolver(graph, k, seed=0)
+        session.resolve()
+        session.apply_edits(edits)
+        session.resolve()
+        table = session.cache.table(session.graph.snapshot(), k)
+        want, _ = kplex_masks(session.graph.snapshot(), k)
+        got, _ = table.ascending()
+        assert np.array_equal(got, want)
+        assert session.cache.stats()["misses"] == 1
+
+
+class TestWarmEquivalence:
+    @given(data=st.data(), k=st.integers(1, 3), seed=st.integers(0, 99))
+    @settings(max_examples=15, deadline=None)
+    def test_warm_profile_finds_same_optimum_size(self, data, k, seed):
+        graph = data.draw(graphs(min_n=4))
+        edits = data.draw(edit_streams(graph, max_edits=3, allow_addv=False))
+        session = IncrementalSolver(graph, k, profile="warm", seed=seed)
+        session.resolve()
+        for edit in edits:
+            session.apply(edit)
+            step = session.resolve()
+            reference = maximum_kplex(session.graph.snapshot(), k)
+            assert step.size == reference.size
+            assert is_kplex(session.graph.snapshot(), step.subset, k)
+
+
+class TestSurvivingKplex:
+    @given(data=st.data(), k=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_survivor_is_feasible_subset(self, data, k):
+        graph = data.draw(graphs(min_n=4))
+        optimum = maximum_kplex(graph, k).subset
+        dg = DynamicGraph(graph)
+        for edit in data.draw(edit_streams(graph, allow_addv=False)):
+            dg.apply(edit)
+        survivor = surviving_kplex(dg.snapshot(), optimum, k)
+        if survivor is not None:
+            assert survivor <= optimum
+            assert is_kplex(dg.snapshot(), survivor, k)
+
+    @given(data=st.data(), k=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_still_valid_subset_is_returned_verbatim(self, data, k):
+        graph = data.draw(graphs(min_n=4))
+        optimum = maximum_kplex(graph, k).subset
+        assert surviving_kplex(graph, optimum, k) == optimum

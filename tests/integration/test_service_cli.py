@@ -186,3 +186,65 @@ class TestSpool:
             server.join(timeout=120)
         assert waited.returncode == 0, waited.stderr
         assert "maximum 2-plex size:" in waited.stdout
+
+    def test_wait_on_rejected_record_exits_nonzero_with_reason(
+        self, graph_file, tmp_path
+    ):
+        # Regression: --wait used to exit 0 on *any* settled record,
+        # reporting "size: None" for a rejected job instead of failing.
+        import threading
+        import time
+
+        spool = tmp_path / "spool"
+        ok = _run_cli(
+            [
+                "submit", str(spool), graph_file,
+                "-k", "2", "--seed", "7", "--name", "a-first",
+            ],
+            tmp_path,
+        )
+        assert ok.returncode == 0, ok.stderr
+
+        # The waiter's own request is the one that gets rejected: its
+        # file is spooled before the server starts, so the server's
+        # first claim pass admits "a-first" and — the one-slot queue
+        # being full with no await in between — turns "b-burst" away.
+        waited: list = []
+        waiter = threading.Thread(
+            target=lambda: waited.append(_run_cli(
+                [
+                    "submit", str(spool), graph_file,
+                    "-k", "2", "--seed", "7", "--name", "b-burst", "--wait",
+                    "--timeout", "60",
+                ],
+                tmp_path,
+            ))
+        )
+        waiter.start()
+        try:
+            for _ in range(200):
+                if (spool / "jobs" / "b-burst.json").exists():
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("waiter never spooled its request")
+            served = _run_cli(
+                [
+                    "serve", str(spool),
+                    "--queue-capacity", "1", "--workers", "1",
+                    "--max-jobs", "2",
+                ],
+                tmp_path,
+            )
+        finally:
+            waiter.join(timeout=120)
+        assert served.returncode == 0, served.stderr
+        record = json.loads((spool / "results" / "b-burst.json").read_text())
+        assert record["state"] == "rejected"
+        assert "BackpressureError" in record["error"]
+
+        result = waited[0]
+        assert result.returncode == 1
+        assert "job settled rejected" in result.stderr
+        assert "BackpressureError" in result.stderr
+        assert "maximum" not in result.stdout

@@ -57,7 +57,10 @@ class TestMarkedSetCache:
         graph = gnm_random_graph(7, 12, seed=2)
         for threshold in range(5):
             cache.marked(graph, 2, threshold)
-        assert cache.stats() == {"hits": 4, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 4, "misses": 1, "patches": 0,
+            "reused_partitions": 0, "entries": 1,
+        }
         cache.marked(graph, 3, 1)
         assert cache.stats()["misses"] == 2
 
@@ -69,6 +72,32 @@ class TestMarkedSetCache:
         assert len(cache) == 2
         cache.table(graphs[0], 2)  # evicted -> recomputed
         assert cache.misses == 4
+
+    def test_peek_bumps_recency_without_charging(self):
+        # Regression: peek() used to read the entry without touching
+        # LRU order, so the adaptive ladder's hottest table — consulted
+        # exclusively through peeks — was evicted by unrelated table()
+        # inserts.  A peek-hit must refresh recency yet stay invisible
+        # to the hit/miss counters (it answers for free by contract).
+        cache = MarkedSetCache(max_entries=2)
+        hot = gnm_random_graph(5, 6, seed=20)
+        cold = gnm_random_graph(5, 6, seed=21)
+        cache.table(hot, 2)
+        cache.table(cold, 2)  # `hot` is now the LRU entry
+        before = cache.stats()
+        assert cache.peek(hot, 2, 0) is not None
+        assert cache.stats() == before  # no hit, no miss, no sweep
+        cache.table(gnm_random_graph(5, 6, seed=22), 2)
+        # The peeked-at table survived; the unpeeked one was evicted.
+        assert cache.peek(hot, 2, 0) is not None
+        assert cache.peek(cold, 2, 0) is None
+        assert cache.misses == 3
+
+    def test_peek_miss_is_free_and_triggers_nothing(self):
+        cache = MarkedSetCache()
+        assert cache.peek(gnm_random_graph(4, 3, seed=23), 2, 0) is None
+        assert cache.stats()["entries"] == 0
+        assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0
 
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
@@ -85,7 +114,10 @@ class TestMarkedSetCache:
         a = cache.table(first, 2)
         b = cache.table(rebuilt, 2)
         assert b is a
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "patches": 0,
+            "reused_partitions": 0, "entries": 1,
+        }
 
     def test_mutated_graph_does_not_serve_stale_table(self):
         # Regression: keying on the graph object let a graph whose
