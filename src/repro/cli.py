@@ -192,6 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. --tenant-budget acme=50000)",
     )
     serve.add_argument(
+        "--shared-cache", action="store_true",
+        help="share one marked-set table store across all workers "
+        "(identical graphs enumerate once per fleet, not once per job); "
+        "stored under the workdir unless --shared-cache-dir is given",
+    )
+    serve.add_argument(
+        "--shared-cache-dir", default=None, metavar="DIR",
+        help="directory for the fleet-shared table store "
+        "(implies --shared-cache)",
+    )
+    serve.add_argument(
         "--metrics", choices=["json", "prom"], default=None,
         help="print the service metric registry on exit",
     )
@@ -774,6 +785,13 @@ def _cmd_serve(args) -> int:
             )
             return 2
     workdir = args.workdir or str(Path(args.spool) / "work")
+    shared_cache_dir = None
+    if args.shared_cache_dir is not None:
+        shared_cache_dir = args.shared_cache_dir
+    elif args.shared_cache:
+        # Default under the workdir: shared segments then survive server
+        # restarts exactly as long as the checkpoints they sit next to.
+        shared_cache_dir = str(Path(workdir) / "shared-cache")
     try:
         config = ServiceConfig(
             workers=args.workers,
@@ -781,6 +799,7 @@ def _cmd_serve(args) -> int:
             max_resumes=args.max_resumes,
             tenant_budgets=budgets,
             workdir=workdir,
+            shared_cache_dir=shared_cache_dir,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

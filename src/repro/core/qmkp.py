@@ -301,6 +301,15 @@ def qmkp(
                 "marked_cache_misses",
                 stats_after["misses"] - stats_before["misses"],
             )
+            if getattr(cache, "shared", None) is not None:
+                # Shared-tier activity reconciles like every other claim;
+                # the keys exist only when the tier is configured, so
+                # no-shared ledgers are byte-identical to before.
+                for shared_key in ("shared_hits", "shared_misses", "shared_publishes"):
+                    span.claim(
+                        f"cache_{shared_key}",
+                        stats_after[shared_key] - stats_before[shared_key],
+                    )
     return result
 
 
@@ -651,9 +660,18 @@ def _qmkp_body(
         # Documented degradation: the gate budget is spent, so the
         # remaining interval is decided by the exact classical branch
         # search — never a silent "best so far".
-        with tracer.span("qmkp.fallback", reason="deadline", lo=lo, hi=hi):
+        with tracer.span(
+            "qmkp.fallback", reason="deadline", lo=lo, hi=hi,
+            warm_incumbent=len(best),
+        ):
             tracer.add("deadline_fallbacks", 1)
-            classical = maximum_kplex(working, k).subset
+            # Seed the branch search with the surviving incumbent — a
+            # verified k-plex of ``working`` — so resumed or mutation
+            # jobs degrade with their bound intact instead of
+            # re-deriving it from the greedy seed.
+            classical = maximum_kplex(
+                working, k, initial_incumbent=best if best else None
+            ).subset
         degraded_to = "kplex.branch_search"
         if len(classical) > len(best):
             best = classical

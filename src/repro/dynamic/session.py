@@ -179,7 +179,10 @@ class IncrementalSolver:
         self.ladder = ladder
         self.runtime_us = runtime_us
         self.kernel = kernel
-        self.cache = cache or MarkedSetCache(kernel=kernel)
+        # ``cache or ...`` would discard a caller-provided *empty* cache
+        # (``MarkedSetCache.__len__`` makes it falsy) — e.g. the service
+        # runner's fleet-shared cache before its first table build.
+        self.cache = cache if cache is not None else MarkedSetCache(kernel=kernel)
         self.tracer = tracer or NULL_TRACER
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -307,10 +310,23 @@ class IncrementalSolver:
         self.cache.tracer = self.tracer
         before = self.cache.stats()["reused_partitions"]
         try:
-            for old_graph, edit, new_graph in pending:
-                u = edit.u if edit.op != "add_vertex" else None
-                v = edit.v if edit.op != "add_vertex" else None
-                self.cache.patch(old_graph, new_graph, self.k, edit.op, u, v)
+            if len(pending) >= 2 and all(
+                edit.op == "add_edge" for _, edit, _ in pending
+            ):
+                # Batch fusion: one re-sweep of the union pinned
+                # subspace against the final graph, byte-identical to
+                # patching through every intermediate snapshot.
+                self.cache.patch_batch(
+                    pending[0][0],
+                    pending[-1][2],
+                    self.k,
+                    [(edit.u, edit.v) for _, edit, _ in pending],
+                )
+            else:
+                for old_graph, edit, new_graph in pending:
+                    u = edit.u if edit.op != "add_vertex" else None
+                    v = edit.v if edit.op != "add_vertex" else None
+                    self.cache.patch(old_graph, new_graph, self.k, edit.op, u, v)
         finally:
             self.cache.tracer = prev_tracer
         return self.cache.stats()["reused_partitions"] - before

@@ -28,14 +28,24 @@ from .bitparallel import (
 )
 from .cache import MarkedSetCache, MarkedSetTable, PredicateMaskCache
 from .kernels import KernelBackend, available_backends, resolve as resolve_kernel
+from .shared import (
+    PUBLISH_KILL_ENV,
+    SHARED_CACHE_ENV,
+    SegmentError,
+    SharedTableStore,
+)
 
 __all__ = [
     "MAX_VERTICES",
+    "PUBLISH_KILL_ENV",
+    "SHARED_CACHE_ENV",
     "CSRQuadratic",
     "KernelBackend",
     "MarkedSetCache",
     "MarkedSetTable",
     "PredicateMaskCache",
+    "SegmentError",
+    "SharedTableStore",
     "SweepPlan",
     "available_backends",
     "resolve_kernel",

@@ -83,6 +83,35 @@ class MarkedSetTable:
         self._offsets = np.concatenate(([0], np.cumsum(counts)))
         self._counts = counts
 
+    @classmethod
+    def from_partitions(
+        cls, num_vertices: int, by_size: np.ndarray, offsets: np.ndarray
+    ) -> "MarkedSetTable":
+        """Rebuild a table from its serialized partition arrays verbatim.
+
+        ``by_size`` and ``offsets`` are trusted to be a table's own
+        ``_by_size`` / ``_offsets`` (size-partitioned masks plus the
+        suffix index) — no re-sort happens, so a zero-copy view (e.g.
+        an ``np.memmap`` over a shared segment) is served as-is and the
+        result is byte-identical to the table that was serialized.
+        """
+        if offsets.shape != (num_vertices + 2,):
+            raise ValueError(
+                f"offsets must have {num_vertices + 2} entries, "
+                f"got shape {offsets.shape}"
+            )
+        if int(offsets[-1]) != int(by_size.size):
+            raise ValueError(
+                f"offsets cover {int(offsets[-1])} masks but by_size has "
+                f"{by_size.size}"
+            )
+        table = cls.__new__(cls)
+        table.num_vertices = num_vertices
+        table._by_size = by_size
+        table._offsets = offsets
+        table._counts = np.diff(offsets).astype(np.int64)
+        return table
+
     @property
     def num_marked(self) -> int:
         """Total marked masks, irrespective of size."""
@@ -186,6 +215,15 @@ class MarkedSetCache:
         sweep span are recorded through it.  ``qmkp`` re-points this at
         its own tracer for the duration of a traced run, so a shared
         cache's activity lands in the right ledger.
+    shared:
+        Optional :class:`repro.perf.shared.SharedTableStore` backing
+        tier, consulted between the in-process LRU and a cold sweep:
+        a local miss first tries a zero-copy attach to a segment some
+        other process published; a cold build (and every patch)
+        publishes back so the rest of the fleet attaches instead of
+        enumerating.  Shared activity is tracked by the
+        ``shared_hits`` / ``shared_misses`` / ``shared_publishes``
+        counters and charged to the tracer as ``cache_shared_*``.
     """
 
     def __init__(
@@ -195,6 +233,7 @@ class MarkedSetCache:
         workers: int | None = None,
         kernel: str | None = None,
         tracer=None,
+        shared=None,
     ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -203,17 +242,49 @@ class MarkedSetCache:
         self.workers = workers
         self.kernel = kernel
         self.tracer = tracer or NULL_TRACER
+        self.shared = shared
         self.hits = 0
         self.misses = 0
         self.patches = 0
         self.reused_partitions = 0
+        self.shared_hits = 0
+        self.shared_misses = 0
+        self.shared_publishes = 0
         self._tables: OrderedDict[tuple[str, int], MarkedSetTable] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._tables)
 
+    def _insert(self, key: tuple[str, int], table: MarkedSetTable) -> None:
+        self._tables[key] = table
+        while len(self._tables) > self.max_entries:
+            self._tables.popitem(last=False)
+
+    def _shared_attach(self, key: tuple[str, int], num_vertices: int):
+        """Try the shared tier on a local miss; charges shared counters."""
+        attached = self.shared.attach(key[0], key[1], num_vertices=num_vertices)
+        if attached is not None:
+            self.shared_hits += 1
+            self.tracer.add("cache_shared_hits", 1)
+            self._insert(key, attached)
+        else:
+            self.shared_misses += 1
+            self.tracer.add("cache_shared_misses", 1)
+        return attached
+
+    def _shared_publish(self, key: tuple[str, int], table: MarkedSetTable) -> None:
+        """Feed a freshly built (or patched) table back to the fleet."""
+        if self.shared.publish(key[0], key[1], table, kernel=self.kernel):
+            self.shared_publishes += 1
+            self.tracer.add("cache_shared_publishes", 1)
+
     def table(self, graph: Graph, k: int) -> MarkedSetTable:
-        """The k-plex mask table for ``(graph, k)``, computing it on miss."""
+        """The k-plex mask table for ``(graph, k)``, computing it on miss.
+
+        Lookup order: in-process LRU, then (when configured) a
+        zero-copy attach to the shared store, then a cold bit-parallel
+        sweep whose result is published back to the store.
+        """
         key = (graph.fingerprint(), k)
         table = self._tables.get(key)
         if table is not None:
@@ -223,6 +294,10 @@ class MarkedSetCache:
             return table
         self.misses += 1
         self.tracer.add("marked_cache_misses", 1)
+        if self.shared is not None:
+            attached = self._shared_attach(key, graph.num_vertices)
+            if attached is not None:
+                return attached
         with self.tracer.span("perf.sweep", n=graph.num_vertices, k=k) as span:
             masks, sizes = kplex_masks(
                 graph, k, chunk_masks=self.chunk_masks, workers=self.workers,
@@ -230,9 +305,9 @@ class MarkedSetCache:
             )
             span.set("num_marked", int(masks.size))
         table = MarkedSetTable(graph.num_vertices, masks, sizes)
-        self._tables[key] = table
-        while len(self._tables) > self.max_entries:
-            self._tables.popitem(last=False)
+        self._insert(key, table)
+        if self.shared is not None:
+            self._shared_publish(key, table)
         return table
 
     def marked(self, graph: Graph, k: int, threshold: int) -> np.ndarray:
@@ -295,7 +370,13 @@ class MarkedSetCache:
         if existing is not None:
             self._tables.move_to_end(new_key)
             return existing
-        old = self._tables.get((old_graph.fingerprint(), k))
+        old_key = (old_graph.fingerprint(), k)
+        old = self._tables.get(old_key)
+        if old is None and self.shared is not None:
+            # A sibling worker may have published the pre-edit table
+            # (e.g. the same streaming session resumed on another
+            # worker); attaching lets the patch proceed incrementally.
+            old = self._shared_attach(old_key, old_graph.num_vertices)
         if old is None:
             return None
         n = new_graph.num_vertices
@@ -350,20 +431,113 @@ class MarkedSetCache:
         self.reused_partitions += reused
         self.tracer.add("marked_cache_patches", 1)
         self.tracer.add("reused_partitions", reused)
-        self._tables[new_key] = table
-        while len(self._tables) > self.max_entries:
-            self._tables.popitem(last=False)
+        self._insert(new_key, table)
+        if self.shared is not None:
+            # Republish so streaming sessions feed the fleet: a sibling
+            # worker asked to solve the post-edit graph attaches instead
+            # of sweeping.
+            self._shared_publish(new_key, table)
+        return table
+
+    def patch_batch(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        k: int,
+        edges: "list[tuple[int, int]]",
+    ) -> MarkedSetTable | None:
+        """Derive ``new_graph``'s table across a *batch* of edge insertions.
+
+        ``edges`` lists the endpoint pairs inserted (in any order) to
+        turn ``old_graph`` into ``new_graph``.  Instead of patching once
+        per edit through every intermediate graph, the union of the
+        pinned ``2^(n-2)`` subspaces is re-swept once against the final
+        graph: masks containing no inserted pair keep their status
+        verbatim (insertions only relax the k-plex condition elsewhere),
+        and each pair's subspace is enumerated via
+        :func:`kplex_masks_containing` on ``new_graph`` — deduplicated,
+        because the subspaces overlap wherever a mask contains two
+        inserted pairs.  The result is byte-identical to sequential
+        :meth:`patch` calls (and to a fresh sweep); the whole batch
+        charges **one** patch, with ``reused_partitions`` counting the
+        masks outside the union subspace.
+
+        Returns None when the old table is neither cached nor
+        attachable — the next :meth:`table` call sweeps fresh.
+        """
+        pairs = []
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"edge ({u}, {v}) has identical endpoints")
+            pairs.append((min(u, v), max(u, v)))
+        pairs = sorted(set(pairs))
+        if not pairs:
+            raise ValueError("patch_batch needs at least one inserted edge")
+        new_key = (new_graph.fingerprint(), k)
+        existing = self._tables.get(new_key)
+        if existing is not None:
+            self._tables.move_to_end(new_key)
+            return existing
+        old_key = (old_graph.fingerprint(), k)
+        old = self._tables.get(old_key)
+        if old is None and self.shared is not None:
+            old = self._shared_attach(old_key, old_graph.num_vertices)
+        if old is None:
+            return None
+        n = new_graph.num_vertices
+        if n != old.num_vertices:
+            raise ValueError(
+                f"patch_batch is edge-only, but n changed "
+                f"{old.num_vertices} -> {n}"
+            )
+        old_masks, _ = old.ascending()
+        om = old_masks.astype(np.uint64)
+        touched = np.zeros(om.shape, dtype=bool)
+        for u, v in pairs:
+            both = np.uint64((1 << u) | (1 << v))
+            touched |= (om & both) == both
+        keep = ~touched
+        num_candidates = len(pairs) * (1 << max(n - 2, 0))
+        with self.tracer.span(
+            "perf.patch", op="add_edge_batch", n=n, k=k,
+            edits=len(pairs), candidates=num_candidates,
+        ) as span:
+            parts = [
+                kplex_masks_containing(new_graph, k, u, v, kernel=self.kernel)
+                for u, v in pairs
+            ]
+            additions = np.unique(np.concatenate(parts)).astype(np.int64)
+            table = old.patch(keep, additions, num_vertices=n)
+            reused = int(keep.sum())
+            span.set("num_marked", table.num_marked)
+            span.set("reused", reused)
+        self.patches += 1
+        self.reused_partitions += reused
+        self.tracer.add("marked_cache_patches", 1)
+        self.tracer.add("reused_partitions", reused)
+        self._insert(new_key, table)
+        if self.shared is not None:
+            self._shared_publish(new_key, table)
         return table
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/patch/entry counters, for logging and tests."""
-        return {
+        """Hit/miss/patch/entry counters, for logging and tests.
+
+        The ``shared_*`` keys appear only when a shared store is
+        configured, so the no-shared stats dict is unchanged.
+        """
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "patches": self.patches,
             "reused_partitions": self.reused_partitions,
             "entries": len(self._tables),
         }
+        if self.shared is not None:
+            out["shared_hits"] = self.shared_hits
+            out["shared_misses"] = self.shared_misses
+            out["shared_publishes"] = self.shared_publishes
+        return out
 
 
 class PredicateMaskCache:

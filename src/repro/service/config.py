@@ -44,6 +44,14 @@ class ServiceConfig:
         Gate-unit allowance per tenant (absent tenant = unlimited).
     workdir:
         Directory for per-job checkpoint journals and ledger receipts.
+    shared_cache_dir:
+        Directory of the fleet-shared marked-set table store
+        (:class:`repro.perf.SharedTableStore`).  When set, every worker
+        subprocess attaches its :class:`~repro.perf.MarkedSetCache` to
+        the store, so identical graphs submitted by different tenants
+        enumerate once per fleet instead of once per job.  None (the
+        default) keeps workers fully independent — results, span trees,
+        and ledgers are byte-identical to a service without the tier.
     python:
         Interpreter used for worker subprocesses.
     """
@@ -55,6 +63,7 @@ class ServiceConfig:
     breaker_cooldown_calls: int = 2
     tenant_budgets: dict[str, float] = field(default_factory=dict)
     workdir: str | Path | None = None
+    shared_cache_dir: str | Path | None = None
     python: str = sys.executable
 
     def __post_init__(self) -> None:

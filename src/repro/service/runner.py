@@ -42,6 +42,8 @@ from ..core import qamkp, qmkp
 from ..graphs import read_edge_list
 from ..kplex import maximum_kplex
 from ..obs import RunLedger, Tracer
+from ..perf import MarkedSetCache
+from ..perf.shared import SHARED_CACHE_ENV, SharedTableStore
 from ..resilience import CheckpointError, CheckpointJournal
 from .chaos import HOLD_ENV
 from .jobs import JobSpec
@@ -54,11 +56,24 @@ def _emit(payload: dict[str, object]) -> None:
     sys.stdout.flush()
 
 
+def _job_cache() -> MarkedSetCache:
+    """The job's marked-set cache, fleet-shared when the supervisor says so.
+
+    With ``REPRO_SHARED_CACHE_DIR`` unset this is exactly the run-local
+    cache ``qmkp``/``IncrementalSolver`` would have created themselves
+    (same defaults, same spans, same ledger) — building it here just
+    makes its counters observable in the result event either way.
+    """
+    shared_dir = os.environ.get(SHARED_CACHE_ENV)
+    shared = SharedTableStore(shared_dir) if shared_dir else None
+    return MarkedSetCache(shared=shared)
+
+
 def _translate(subset, labels) -> list[object]:
     return sorted(labels[v] for v in subset)
 
 
-def _solve_qmkp(spec: JobSpec, graph, labels, job_id, checkpoint, tracer):
+def _solve_qmkp(spec: JobSpec, graph, labels, job_id, checkpoint, tracer, cache):
     resume = checkpoint if CheckpointJournal.resumable(checkpoint) else None
 
     def on_progress(event, subset, replayed) -> None:
@@ -77,6 +92,7 @@ def _solve_qmkp(spec: JobSpec, graph, labels, job_id, checkpoint, tracer):
         graph,
         spec.k,
         rng=np.random.default_rng(spec.seed),
+        cache=cache,
         tracer=tracer,
         deadline=spec.gate_deadline,
         checkpoint=checkpoint,
@@ -97,7 +113,9 @@ def _solve_qmkp(spec: JobSpec, graph, labels, job_id, checkpoint, tracer):
     return answer, extra
 
 
-def _solve_qmkp_dynamic(spec: JobSpec, graph, labels, job_id, checkpoint, tracer):
+def _solve_qmkp_dynamic(
+    spec: JobSpec, graph, labels, job_id, checkpoint, tracer, cache
+):
     """Mutation job: an incremental session over the spec's edit script.
 
     Each step re-solves after one edit, journalling its probes into a
@@ -115,6 +133,7 @@ def _solve_qmkp_dynamic(spec: JobSpec, graph, labels, job_id, checkpoint, tracer
         graph,
         spec.k,
         seed=spec.seed if spec.seed is not None else 0,
+        cache=cache,
         tracer=tracer,
         checkpoint_dir=checkpoint.parent / (checkpoint.name + ".d"),
     )
@@ -248,13 +267,16 @@ def execute(job: dict[str, object]) -> int:
         if hold_s:  # chaos/test hook: pin the job in the running state
             time.sleep(hold_s)
         graph, labels = read_edge_list(spec.graph_path)
+        cache = None
         if spec.solver == "qmkp" and spec.edits_path is not None:
+            cache = _job_cache()
             answer, extra = _solve_qmkp_dynamic(
-                spec, graph, labels, job_id, checkpoint, tracer
+                spec, graph, labels, job_id, checkpoint, tracer, cache
             )
         elif spec.solver == "qmkp":
+            cache = _job_cache()
             answer, extra = _solve_qmkp(
-                spec, graph, labels, job_id, checkpoint, tracer
+                spec, graph, labels, job_id, checkpoint, tracer, cache
             )
         elif spec.solver == "bs":
             answer, extra = _solve_bs(spec, graph, labels, job_id, tracer)
@@ -270,6 +292,11 @@ def execute(job: dict[str, object]) -> int:
         })
         return 130
 
+    # Cache counters ride along only when the fleet tier is on: with it
+    # off, result events, spool records, and receipts stay byte-identical
+    # to a service that predates the shared store.
+    if cache is not None and cache.shared is not None:
+        extra = {**extra, "cache": cache.stats()}
     ledger = RunLedger.from_tracer(
         tracer,
         meta={"job_id": job_id, "spec": spec.as_dict()},

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import repro
 
+from ..perf.shared import PUBLISH_KILL_ENV, SHARED_CACHE_ENV
 from .jobs import IncumbentEvent, Job
 
 __all__ = ["Worker"]
@@ -106,6 +107,13 @@ class Worker:
         # service environment; the plan below re-adds what it scripts.
         env.pop("QMKP_CRASH_AFTER_PROBES", None)
         env.pop("QMKP_SIGINT_AFTER_PROBES", None)
+        env.pop(PUBLISH_KILL_ENV, None)
+        # The shared tier is supervisor policy, not ambient environment:
+        # the child sees it exactly when the config enables it.
+        env.pop(SHARED_CACHE_ENV, None)
+        shared_dir = self.supervisor.shared_cache_dir
+        if shared_dir is not None:
+            env[SHARED_CACHE_ENV] = str(shared_dir)
         chaos = self.supervisor.chaos
         if chaos is not None:
             env.update(chaos.env_for(job.spec.name, job.resumes))
@@ -181,6 +189,8 @@ class Worker:
                     "receipt": payload.get("receipt"),
                     "resumed_probes": payload.get("resumed_probes", 0),
                 }
+                if "cache" in payload:
+                    job.result["cache"] = payload["cache"]
             elif event == "started":
                 # Once this is seen the child's SIGINT handler is
                 # installed: a suspend signal from here on is graceful.

@@ -141,6 +141,21 @@ class TestWarmProfile:
 
 
 class TestValidation:
+    def test_provided_empty_cache_is_adopted(self):
+        # Regression: ``MarkedSetCache`` is falsy while empty, so a
+        # ``cache or MarkedSetCache()`` default silently replaced the
+        # caller's cache — breaking any external observer of its stats
+        # (e.g. the service's fleet-shared tier).
+        from repro.perf import MarkedSetCache
+
+        cache = MarkedSetCache()
+        session = IncrementalSolver(
+            gnm_random_graph(6, 9, seed=8), 2, seed=1, cache=cache
+        )
+        assert session.cache is cache
+        session.resolve()
+        assert cache.stats()["misses"] == 1
+
     def test_bad_solver_and_profile(self):
         g = gnm_random_graph(5, 5, seed=8)
         with pytest.raises(ValueError):

@@ -128,3 +128,83 @@ class TestSurvivingKplex:
         graph = data.draw(graphs(min_n=4))
         optimum = maximum_kplex(graph, k).subset
         assert surviving_kplex(graph, optimum, k) == optimum
+
+
+class TestBatchFusion:
+    """Fused all-insertion batches keep every exact-profile guarantee."""
+
+    @st.composite
+    @staticmethod
+    def _insert_batches(draw, graph, min_edits=2, max_edits=4):
+        n = graph.num_vertices
+        absent = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if not graph.has_edge(u, v)
+        ]
+        count = draw(st.integers(min_edits, min(max_edits, len(absent))))
+        return draw(
+            st.lists(
+                st.sampled_from(absent),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+
+    @given(data=st.data(), k=st.integers(1, 3), seed=st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_fused_step_matches_cold_solve(self, data, k, seed):
+        graph = data.draw(graphs(min_n=4))
+        n = graph.num_vertices
+        if len(graph.edges) > n * (n - 1) // 2 - 2:
+            return  # not enough absent edges to form a batch
+        batch = data.draw(self._insert_batches(graph))
+        tracer = Tracer()
+        session = IncrementalSolver(graph, k, seed=seed, tracer=tracer)
+        session.resolve()
+        for u, v in batch:
+            session.add_edge(u, v)
+        step = session.resolve()
+        cold = qmkp(
+            session.graph.snapshot(), k, rng=session.step_rng(step.step)
+        )
+        assert step.subset == cold.subset
+        assert step.result.oracle_calls == cold.oracle_calls
+        assert step.result.gate_units == cold.gate_units
+        assert step.result.progression == cold.progression
+        stats = session.cache.stats()
+        assert stats["misses"] == 1  # the batch never re-swept from cold
+        assert stats["patches"] == 1  # ...and fused into a single patch
+        session.ledger().verify()
+
+    @given(data=st.data(), k=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_fused_equals_sequential_patching(self, data, k):
+        from repro.perf import MarkedSetCache
+
+        graph = data.draw(graphs(min_n=4))
+        n = graph.num_vertices
+        if len(graph.edges) > n * (n - 1) // 2 - 2:
+            return
+        batch = data.draw(self._insert_batches(graph))
+        fused_cache = MarkedSetCache()
+        seq_cache = MarkedSetCache()
+        fused_cache.table(graph, k)
+        seq_cache.table(graph, k)
+        dg = DynamicGraph(graph)
+        snapshots = [graph]
+        for u, v in batch:
+            dg.add_edge(u, v)
+            snapshots.append(dg.snapshot())
+        fused = fused_cache.patch_batch(graph, snapshots[-1], k, batch)
+        for i, (u, v) in enumerate(batch):
+            seq = seq_cache.patch(
+                snapshots[i], snapshots[i + 1], k, "add_edge", u, v
+            )
+        assert np.array_equal(fused._by_size, seq._by_size)
+        assert np.array_equal(fused._offsets, seq._offsets)
+        assert fused._by_size.dtype == seq._by_size.dtype
+        assert fused_cache.stats()["patches"] == 1
+        assert seq_cache.stats()["patches"] == len(batch)

@@ -238,3 +238,98 @@ class TestCachePatch:
         bigger = Graph(7, list(g.edges))
         with pytest.raises(ValueError):
             cache.patch(g, bigger, 2, "add_vertex")
+
+
+class TestBatchPatch:
+    """Fused multi-edge patching: one re-sweep, byte-identical."""
+
+    def _absent_edges(self, graph):
+        n = graph.num_vertices
+        return [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if not graph.has_edge(u, v)
+        ]
+
+    def test_fused_equals_sequential_and_fresh(self):
+        fused_cache = MarkedSetCache()
+        seq_cache = MarkedSetCache()
+        dg = DynamicGraph(gnm_random_graph(8, 12, seed=21))
+        g0 = dg.snapshot()
+        fused_cache.table(g0, 2)
+        seq_cache.table(g0, 2)
+        edges = self._absent_edges(g0)[:3]
+        snapshots = [g0]
+        for u, v in edges:
+            dg.add_edge(u, v)
+            snapshots.append(dg.snapshot())
+        fused = fused_cache.patch_batch(g0, snapshots[-1], 2, edges)
+        for i, (u, v) in enumerate(edges):
+            seq = seq_cache.patch(
+                snapshots[i], snapshots[i + 1], 2, "add_edge", u, v
+            )
+        fresh = MarkedSetCache().table(snapshots[-1], 2)
+        assert_tables_identical(fused, fresh)
+        assert_tables_identical(seq, fresh)
+        # The whole batch charges exactly one patch, vs one per edit.
+        assert fused_cache.stats()["patches"] == 1
+        assert seq_cache.stats()["patches"] == len(edges)
+
+    @pytest.mark.parametrize("k,seed,batch", [(1, 31, 2), (2, 32, 4), (3, 33, 3)])
+    def test_fused_byte_identical_across_params(self, k, seed, batch):
+        cache = MarkedSetCache()
+        dg = DynamicGraph(gnm_random_graph(7, 9, seed=seed))
+        g0 = dg.snapshot()
+        cache.table(g0, k)
+        edges = self._absent_edges(g0)[:batch]
+        for u, v in edges:
+            dg.add_edge(u, v)
+        fused = cache.patch_batch(g0, dg.snapshot(), k, edges)
+        assert_tables_identical(fused, MarkedSetCache().table(dg.snapshot(), k))
+
+    def test_overlapping_subspaces_deduplicated(self):
+        # Edges sharing an endpoint pin overlapping 2^(n-2) subspaces;
+        # the union sweep must not double-count the intersection.
+        cache = MarkedSetCache()
+        dg = DynamicGraph(Graph(6, [(0, 1), (2, 3)]))
+        g0 = dg.snapshot()
+        cache.table(g0, 2)
+        edges = [(0, 4), (0, 5), (4, 5)]
+        for u, v in edges:
+            dg.add_edge(u, v)
+        fused = cache.patch_batch(g0, dg.snapshot(), 2, edges)
+        assert_tables_identical(fused, MarkedSetCache().table(dg.snapshot(), 2))
+
+    def test_validation(self):
+        cache = MarkedSetCache()
+        g = gnm_random_graph(6, 8, seed=34)
+        cache.table(g, 2)
+        with pytest.raises(ValueError):
+            cache.patch_batch(g, g, 2, [])
+        with pytest.raises(ValueError):
+            cache.patch_batch(g, g, 2, [(1, 1)])
+        bigger = Graph(7, list(g.edges))
+        with pytest.raises(ValueError):
+            cache.patch_batch(g, bigger, 2, [(0, 1)])
+
+    def test_without_old_table_returns_none(self):
+        cache = MarkedSetCache()
+        dg = DynamicGraph(gnm_random_graph(6, 8, seed=35))
+        g0 = dg.snapshot()
+        u, v = self._absent_edges(g0)[0]
+        dg.add_edge(u, v)
+        assert cache.patch_batch(g0, dg.snapshot(), 2, [(u, v)]) is None
+        assert cache.stats()["patches"] == 0
+
+    def test_cached_target_shortcut(self):
+        cache = MarkedSetCache()
+        dg = DynamicGraph(gnm_random_graph(6, 8, seed=36))
+        g0 = dg.snapshot()
+        u, v = self._absent_edges(g0)[0]
+        dg.add_edge(u, v)
+        g1 = dg.snapshot()
+        target = cache.table(g1, 2)
+        cache.table(g0, 2)
+        assert cache.patch_batch(g0, g1, 2, [(u, v)]) is target
+        assert cache.stats()["patches"] == 0

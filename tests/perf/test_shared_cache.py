@@ -1,0 +1,410 @@
+"""Fleet-shared marked-set store: crash-safe publish, zero-copy attach.
+
+The contracts under test, in the order the tentpole states them:
+
+* **Byte identity** — an attached table is indistinguishable from the
+  table the publisher built (``_by_size`` bytes, dtype, ``_offsets``),
+  and a qMKP solve off a shared hit matches a cold solve bit for bit
+  (hypothesis-driven).
+* **Never a torn read** — truncated, corrupted, foreign, or mid-publish
+  leftover files are rejected and the reader falls back to local
+  enumeration; a SIGKILL during publish (before the atomic rename)
+  leaves the old segment or nothing.
+* **Structural keying** — segments key on ``Graph.fingerprint()``, so
+  structurally identical graphs share one segment while different
+  structures (or a different ``k``) never collide.
+* **Bounded attachments** — long-lived readers keep at most
+  ``max_attached`` mappings alive (LRU), correctness unaffected.
+* **Concurrency** — threaded and multiprocess attach/publish races
+  converge on one valid segment with every reader byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import qmkp
+from repro.graphs import Graph, gnm_random_graph
+from repro.obs import RunLedger, Tracer
+from repro.perf import (
+    PUBLISH_KILL_ENV,
+    MarkedSetCache,
+    MarkedSetTable,
+    SharedTableStore,
+)
+
+
+def tables_identical(a: MarkedSetTable, b: MarkedSetTable) -> bool:
+    return (
+        a.num_vertices == b.num_vertices
+        and np.array_equal(a._by_size, b._by_size)
+        and a._by_size.dtype == b._by_size.dtype
+        and np.array_equal(a._offsets, b._offsets)
+        and a._offsets.dtype == b._offsets.dtype
+    )
+
+
+@pytest.fixture()
+def store(tmp_path: Path) -> SharedTableStore:
+    return SharedTableStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_publish_then_attach_is_byte_identical(self, store):
+        graph = gnm_random_graph(10, 24, seed=3)
+        table = MarkedSetCache().table(graph, 2)
+        assert store.publish(graph.fingerprint(), 2, table)
+        attached = store.attach(graph.fingerprint(), 2)
+        assert attached is not None
+        assert tables_identical(attached, table)
+
+    def test_attach_is_zero_copy_memmap(self, store):
+        graph = gnm_random_graph(9, 16, seed=1)
+        table = MarkedSetCache().table(graph, 2)
+        store.publish(graph.fingerprint(), 2, table)
+        attached = store.attach(graph.fingerprint(), 2)
+        assert isinstance(attached._by_size, np.memmap)
+
+    def test_attach_missing_key_returns_none(self, store):
+        assert store.attach("0" * 64, 2) is None
+        assert store.torn_rejected == 0  # absence is not a torn read
+
+    def test_second_publish_skips(self, store):
+        graph = gnm_random_graph(8, 12, seed=2)
+        table = MarkedSetCache().table(graph, 2)
+        assert store.publish(graph.fingerprint(), 2, table)
+        assert not store.publish(graph.fingerprint(), 2, table)
+        assert store.publishes == 1
+
+    def test_empty_table_roundtrip(self, store):
+        empty = MarkedSetTable(
+            6, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert store.publish("f" * 64, 3, empty)
+        attached = store.attach("f" * 64, 3)
+        assert attached is not None
+        assert attached.num_marked == 0
+        assert tables_identical(attached, empty)
+
+    def test_generation_bumps_on_publish(self, store, tmp_path):
+        graph = gnm_random_graph(8, 12, seed=2)
+        table = MarkedSetCache().table(graph, 2)
+        fp = graph.fingerprint()
+        assert store.generation(fp, 2) == 0
+        store.publish(fp, 2, table)
+        assert store.generation(fp, 2) == 1
+
+
+class TestCacheTier:
+    def test_miss_attach_hit_order(self, tmp_path):
+        graph = gnm_random_graph(10, 30, seed=4)
+        first = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        t1 = first.table(graph, 2)
+        assert first.stats()["shared_publishes"] == 1
+        assert first.stats()["shared_misses"] == 1
+
+        second = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        t2 = second.table(graph, 2)
+        stats = second.stats()
+        assert stats["misses"] == 1  # local miss, as ever
+        assert stats["shared_hits"] == 1  # ...served by the fleet
+        assert stats["shared_publishes"] == 0
+        assert tables_identical(t1, t2)
+
+        # Third call inside the same process is a plain local hit.
+        second.table(graph, 2)
+        assert second.stats()["hits"] == 1
+
+    def test_stats_keys_absent_without_shared(self):
+        cache = MarkedSetCache()
+        assert "shared_hits" not in cache.stats()
+
+    def test_reader_falls_back_when_store_empty(self, tmp_path):
+        graph = gnm_random_graph(9, 20, seed=5)
+        cache = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        table = cache.table(graph, 2)
+        fresh = MarkedSetCache().table(graph, 2)
+        assert tables_identical(table, fresh)
+
+    def test_patch_republishes(self, tmp_path):
+        from repro.dynamic import DynamicGraph
+
+        graph = gnm_random_graph(9, 14, seed=6)
+        dg = DynamicGraph(graph)
+        cache = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        cache.table(dg.snapshot(), 2)
+        old = dg.snapshot()
+        dg.add_edge(0, 1) if not graph.has_edge(0, 1) else dg.remove_edge(0, 1)
+        new = dg.snapshot()
+        op = "add_edge" if not graph.has_edge(0, 1) else "remove_edge"
+        cache.patch(old, new, 2, op, 0, 1)
+        assert cache.stats()["shared_publishes"] == 2
+
+        # A sibling worker attaches the patched table instead of sweeping.
+        sibling = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        attached = sibling.table(new, 2)
+        assert sibling.stats()["shared_hits"] == 1
+        assert tables_identical(attached, MarkedSetCache().table(new, 2))
+
+    def test_patch_attaches_old_table_from_fleet(self, tmp_path):
+        """A worker that never built the pre-edit table still patches."""
+        from repro.dynamic import DynamicGraph
+
+        graph = gnm_random_graph(9, 14, seed=7)
+        publisher = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        publisher.table(graph, 2)
+
+        dg = DynamicGraph(graph)
+        old = dg.snapshot()
+        u, v = next(
+            (u, v)
+            for u in range(9)
+            for v in range(u + 1, 9)
+            if not graph.has_edge(u, v)
+        )
+        dg.add_edge(u, v)
+        new = dg.snapshot()
+        cold_cache = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        patched = cold_cache.patch(old, new, 2, "add_edge", u, v)
+        assert patched is not None
+        assert cold_cache.stats()["shared_hits"] == 1
+        assert tables_identical(patched, MarkedSetCache().table(new, 2))
+
+
+class TestTornSegments:
+    def _published(self, store):
+        graph = gnm_random_graph(10, 22, seed=8)
+        table = MarkedSetCache().table(graph, 2)
+        fp = graph.fingerprint()
+        store.publish(fp, 2, table)
+        return graph, table, fp, store.segment_path(fp, 2)
+
+    def test_truncated_segment_rejected(self, store):
+        _, _, fp, path = self._published(store)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert store.attach(fp, 2) is None
+        assert store.torn_rejected == 1
+
+    def test_bad_magic_rejected(self, store):
+        _, _, fp, path = self._published(store)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"XXXX"
+        path.write_bytes(bytes(raw))
+        assert store.attach(fp, 2) is None
+        assert store.torn_rejected == 1
+
+    def test_missing_trailer_rejected(self, store):
+        _, _, fp, path = self._published(store)
+        raw = bytearray(path.read_bytes())
+        raw[-8:] = b"\0" * 8
+        path.write_bytes(bytes(raw))
+        assert store.attach(fp, 2) is None
+
+    def test_garbage_file_rejected_and_reader_falls_back(self, store):
+        graph = gnm_random_graph(9, 18, seed=9)
+        fp = graph.fingerprint()
+        store.segment_path(fp, 2).write_bytes(os.urandom(256))
+        cache = MarkedSetCache(shared=store)
+        table = cache.table(graph, 2)  # degrades to a local sweep
+        assert cache.stats()["shared_misses"] == 1
+        assert tables_identical(table, MarkedSetCache().table(graph, 2))
+
+    def test_publish_overwrites_torn_leftover(self, store):
+        graph, table, fp, path = self._published(store)
+        path.write_bytes(b"torn")
+        assert store.publish(fp, 2, table)  # validity check fails -> rewrite
+        attached = store.attach(fp, 2)
+        assert attached is not None and tables_identical(attached, table)
+
+    def test_foreign_fingerprint_rejected(self, store):
+        graph, table, fp, path = self._published(store)
+        other = "0" * 64
+        path.rename(store.segment_path(other, 2))
+        assert store.attach(other, 2) is None
+        assert store.torn_rejected == 1
+
+    def test_wrong_k_never_served(self, store):
+        graph, table, fp, path = self._published(store)
+        assert store.attach(fp, 3) is None
+
+
+class TestStructuralKeying:
+    def test_structurally_equal_graphs_share_a_segment(self, tmp_path):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]
+        a = Graph(5, edges)
+        b = Graph(5, [(v, u) for u, v in reversed(edges)])
+        first = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        first.table(a, 2)
+        second = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        second.table(b, 2)
+        assert second.stats()["shared_hits"] == 1
+        assert len(SharedTableStore(tmp_path)) == 1
+
+    def test_different_structures_get_distinct_segments(self, tmp_path):
+        a = gnm_random_graph(8, 10, seed=1)
+        b = gnm_random_graph(8, 10, seed=2)
+        cache = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        cache.table(a, 2)
+        cache.table(b, 2)
+        assert cache.stats()["shared_publishes"] == 2
+        assert len(SharedTableStore(tmp_path)) == 2
+
+    def test_same_graph_different_k_distinct(self, tmp_path):
+        g = gnm_random_graph(8, 14, seed=3)
+        cache = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        t2 = cache.table(g, 2)
+        t3 = cache.table(g, 3)
+        assert cache.stats()["shared_publishes"] == 2
+        assert not tables_identical(t2, t3)
+
+
+class TestAttachmentLRU:
+    def test_eviction_keeps_store_usable(self, tmp_path):
+        store = SharedTableStore(tmp_path, max_attached=2)
+        graphs = [gnm_random_graph(8, 12, seed=s) for s in range(4)]
+        tables = {}
+        for g in graphs:
+            t = MarkedSetCache().table(g, 2)
+            tables[g.fingerprint()] = t
+            store.publish(g.fingerprint(), 2, t)
+        for g in graphs:
+            attached = store.attach(g.fingerprint(), 2)
+            assert tables_identical(attached, tables[g.fingerprint()])
+            assert store.stats()["attached_entries"] <= 2
+        # Re-attaching an evicted key re-maps it, still byte-identical.
+        first = graphs[0]
+        attached = store.attach(first.fingerprint(), 2)
+        assert tables_identical(attached, tables[first.fingerprint()])
+
+    def test_cached_attachment_is_reused(self, store):
+        g = gnm_random_graph(8, 12, seed=5)
+        store.publish(g.fingerprint(), 2, MarkedSetCache().table(g, 2))
+        a = store.attach(g.fingerprint(), 2)
+        b = store.attach(g.fingerprint(), 2)
+        assert a is b  # same generation -> same mapping, no re-open
+
+
+class TestMidPublishKill:
+    def test_sigkilled_publisher_leaves_nothing_torn(self, tmp_path):
+        """A writer killed between fsync and rename publishes nothing."""
+        script = f"""
+import os
+os.environ[{PUBLISH_KILL_ENV!r}] = "1"
+from repro.graphs import gnm_random_graph
+from repro.perf import MarkedSetCache, SharedTableStore
+cache = MarkedSetCache(shared=SharedTableStore({str(tmp_path)!r}))
+cache.table(gnm_random_graph(9, 20, seed=11), 2)
+print("unreachable")
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[2] / "src"
+        ) + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True
+        )
+        assert proc.returncode == -signal.SIGKILL
+        store = SharedTableStore(tmp_path)
+        assert len(store) == 0  # no visible segment, torn or otherwise
+        graph = gnm_random_graph(9, 20, seed=11)
+        assert store.attach(graph.fingerprint(), 2) is None
+
+        # Readers degrade to a local sweep; the next publisher succeeds.
+        cache = MarkedSetCache(shared=store)
+        table = cache.table(graph, 2)
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "patches": 0, "reused_partitions": 0,
+            "entries": 1, "shared_hits": 0, "shared_misses": 1,
+            "shared_publishes": 1,
+        }
+        assert tables_identical(table, MarkedSetCache().table(graph, 2))
+
+
+class TestConcurrency:
+    def test_threaded_attach_publish_race(self, tmp_path):
+        graph = gnm_random_graph(10, 26, seed=12)
+        reference = MarkedSetCache().table(graph, 2)
+        results, errors = [], []
+
+        def worker():
+            try:
+                cache = MarkedSetCache(shared=SharedTableStore(tmp_path))
+                results.append(cache.table(graph, 2))
+            except Exception as exc:  # noqa: BLE001 — fail the test below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 8
+        for table in results:
+            assert tables_identical(table, reference)
+        assert len(SharedTableStore(tmp_path)) == 1
+
+    def test_multiprocess_publish_then_attach(self, tmp_path):
+        """A segment published by another OS process attaches cleanly."""
+        script = f"""
+from repro.graphs import gnm_random_graph
+from repro.perf import MarkedSetCache, SharedTableStore
+cache = MarkedSetCache(shared=SharedTableStore({str(tmp_path)!r}))
+cache.table(gnm_random_graph(10, 26, seed=13), 2)
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[2] / "src"
+        ) + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        graph = gnm_random_graph(10, 26, seed=13)
+        cache = MarkedSetCache(shared=SharedTableStore(tmp_path))
+        table = cache.table(graph, 2)
+        assert cache.stats()["shared_hits"] == 1
+        assert tables_identical(table, MarkedSetCache().table(graph, 2))
+
+
+class TestSolveByteIdentity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=10),
+        k=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_shared_hit_solve_matches_cold_solve(self, tmp_path_factory, n, k, seed):
+        root = tmp_path_factory.mktemp("shared")
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(0, n * (n - 1) // 2 + 1))
+        graph = gnm_random_graph(n, m, seed=seed % 997)
+
+        cold = qmkp(graph, k, rng=np.random.default_rng(seed))
+
+        publisher = MarkedSetCache(shared=SharedTableStore(root))
+        publisher.table(graph, k)
+
+        tracer = Tracer()
+        warm_cache = MarkedSetCache(shared=SharedTableStore(root))
+        warm = qmkp(
+            graph, k, rng=np.random.default_rng(seed),
+            cache=warm_cache, tracer=tracer,
+        )
+        assert warm.subset == cold.subset
+        assert warm.oracle_calls == cold.oracle_calls
+        assert warm.gate_units == cold.gate_units
+        assert warm.progression == cold.progression
+        assert warm_cache.stats()["shared_hits"] >= 1
+        assert not RunLedger.from_tracer(tracer).verify(raise_on_drift=False)

@@ -90,6 +90,54 @@ class TestQmkpDeadline:
         assert result.degraded_to == "kplex.branch_search"
         assert RunLedger.from_tracer(tracer).verify(raise_on_drift=False) == []
 
+    def _fallback_span(self, tracer):
+        stack = list(tracer.roots)
+        while stack:
+            span = stack.pop()
+            if span.name == "qmkp.fallback":
+                return span
+            stack.extend(span.children)
+        return None
+
+    def test_fallback_is_warm_started(self, fig1):
+        # A budget wide enough for a few probes leaves a verified
+        # incumbent behind; the classical fallback must be seeded with
+        # it (recorded as the span's ``warm_incumbent``) rather than
+        # re-deriving the bound from the greedy seed.
+        tracer = Tracer()
+        result = self._run(fig1, deadline=200.0, tracer=tracer)
+        assert result.deadline_expired
+        span = self._fallback_span(tracer)
+        assert span is not None
+        warm = span.attributes["warm_incumbent"]
+        assert warm > 0
+        # The seed was a genuine k-plex, and seeding preserved exactness.
+        assert is_kplex(fig1, result.subset, 2)
+        assert len(result.subset) == maximum_kplex(fig1, 2).size
+        assert len(result.subset) >= warm
+
+    def test_minimal_budget_still_records_feasible_incumbent(self, fig1):
+        # Even a 1-unit budget lets the first probe complete, so the
+        # fallback span advertises a bound that is feasible (never
+        # above the optimum) — the degraded path starts from a real
+        # k-plex, not a guess.
+        tracer = Tracer()
+        result = self._run(fig1, deadline=1.0, tracer=tracer)
+        assert result.deadline_expired
+        span = self._fallback_span(tracer)
+        assert span is not None
+        optimum = maximum_kplex(fig1, 2).size
+        assert 0 < span.attributes["warm_incumbent"] <= optimum
+        assert len(result.subset) == optimum
+
+    def test_warm_fallback_matches_cold_fallback_answer(self, fig1):
+        # Seeding the branch search changes its pruning order, never
+        # its answer: both fallback flavours return an optimum.
+        warm = self._run(fig1, deadline=200.0)
+        cold = self._run(fig1, deadline=1.0)
+        assert warm.degraded_to == cold.degraded_to == "kplex.branch_search"
+        assert len(warm.subset) == len(cold.subset)
+
 
 class TestSharedPoolEdges:
     """Edge semantics the service's per-tenant pools rely on."""

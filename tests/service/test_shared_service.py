@@ -1,0 +1,152 @@
+"""Fleet-shared cache through the full service stack.
+
+Real worker subprocesses against a supervisor configured with
+``shared_cache_dir``: the first qMKP job cold-builds and publishes the
+marked-set segment, subsequent identical-graph jobs attach instead of
+enumerating, answers stay byte-identical to a no-shared service, the
+mid-publish SIGKILL chaos hook degrades cleanly, and per-worker cache
+counters surface as fleet-level ``service_cache_*`` gauges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import qmkp
+from repro.graphs import gnm_random_graph, write_edge_list
+from repro.perf import SharedTableStore
+from repro.service import ChaosPlan, JobSpec, ServiceConfig, Supervisor
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "gnm.edges"
+    write_edge_list(gnm_random_graph(9, 20, seed=3), path)
+    return str(path)
+
+
+def _config(tmp_path, shared: bool, **kwargs) -> ServiceConfig:
+    kwargs.setdefault("workdir", str(tmp_path / ("work-shared" if shared else "work")))
+    if shared:
+        kwargs.setdefault("shared_cache_dir", str(tmp_path / "shared-cache"))
+    return ServiceConfig(**kwargs)
+
+
+async def _run_batch(config, specs, chaos=None):
+    async with Supervisor(config, chaos=chaos) as sup:
+        jobs = [sup.submit(spec) for spec in specs]
+        results = await asyncio.gather(*(job.result_dict() for job in jobs))
+    return sup, jobs, results
+
+
+def _specs(graph_file, count):
+    return [
+        JobSpec(graph_file, k=2, seed=7, name=f"job-{i}") for i in range(count)
+    ]
+
+
+class TestSharedService:
+    def test_identical_jobs_share_one_enumeration(self, graph_file, tmp_path):
+        sup, jobs, results = asyncio.run(
+            _run_batch(_config(tmp_path, shared=True, workers=2), _specs(graph_file, 4))
+        )
+        direct = qmkp(gnm_random_graph(9, 20, seed=3), 2, rng=np.random.default_rng(7))
+        for res in results:
+            assert res["verified"]
+            assert res["answer"]["size"] == direct.size
+            assert res["answer"]["vertices"] == sorted(direct.subset)
+            assert res["answer"]["gate_units"] == direct.gate_units
+            assert res["answer"]["oracle_calls"] == direct.oracle_calls
+        # At most the two concurrently-starting jobs (one per worker
+        # slot) cold-built — and since segment content is a pure
+        # function of (fingerprint, k), a double publish just installs
+        # identical bytes twice.  Everyone else attached.
+        cache_stats = [res["cache"] for res in results]
+        assert 1 <= sum(s["shared_publishes"] for s in cache_stats) <= 2
+        assert sum(s["shared_hits"] for s in cache_stats) >= len(results) - 2
+        assert all(s["misses"] == 1 for s in cache_stats)
+        assert len(SharedTableStore(tmp_path / "shared-cache")) == 1
+
+    def test_shared_answers_match_no_shared_service(self, graph_file, tmp_path):
+        sup_off, _, plain = asyncio.run(
+            _run_batch(_config(tmp_path, shared=False, workers=2), _specs(graph_file, 3))
+        )
+        sup_on, _, shared = asyncio.run(
+            _run_batch(_config(tmp_path, shared=True, workers=2), _specs(graph_file, 3))
+        )
+        for off, on in zip(plain, shared):
+            assert off["answer"] == on["answer"]
+        # The no-shared result record is untouched by this feature.
+        assert all("cache" not in res for res in plain)
+        gauges = sup_off.tracer.registry.as_dict().get("gauges", {})
+        assert not any(name.startswith("service_cache_") for name in gauges)
+
+    def test_fleet_gauges_aggregate_worker_stats(self, graph_file, tmp_path):
+        sup, _, results = asyncio.run(
+            _run_batch(_config(tmp_path, shared=True, workers=2), _specs(graph_file, 4))
+        )
+        gauges = sup.tracer.registry.as_dict()["gauges"]
+        assert 1 <= gauges["service_cache_shared_publishes"] <= 2
+        assert gauges["service_cache_shared_hits"] >= len(results) - 2
+        assert gauges["service_cache_misses"] == len(results)
+        rendered = sup.render_metrics("prom")
+        assert "service_cache_shared_hits" in rendered
+
+    def test_mid_publish_sigkill_degrades_cleanly(self, graph_file, tmp_path):
+        """The publishing worker dies between fsync and rename; the
+        resumed attempt finds an empty store, falls back to local
+        enumeration, and the batch's answers are byte-identical to an
+        undisturbed run.  One worker slot keeps the schedule exact:
+        job-0 is provably the publisher-victim, job-1/job-2 the readers.
+        """
+        chaos = ChaosPlan(publish_kills={"job-0": [1]})
+        sup, jobs, results = asyncio.run(
+            _run_batch(
+                _config(tmp_path, shared=True, workers=1),
+                _specs(graph_file, 3),
+                chaos=chaos,
+            )
+        )
+        direct = qmkp(gnm_random_graph(9, 20, seed=3), 2, rng=np.random.default_rng(7))
+        for res in results:
+            assert res["verified"]
+            assert res["answer"]["size"] == direct.size
+            assert res["answer"]["vertices"] == sorted(direct.subset)
+            assert res["answer"]["gate_units"] == direct.gate_units
+        counters = sup.tracer.registry.as_dict()["counters"]
+        assert counters["service_worker_crashes"] == 1
+        assert counters["service_jobs_resumed"] == 1
+        assert counters["service_jobs_completed"] == 3
+        # The kill left nothing visible; the resumed attempt re-swept
+        # locally and published the one valid segment the others hit.
+        cache_stats = [res["cache"] for res in results]
+        assert sum(s["shared_publishes"] for s in cache_stats) == 1
+        assert sum(s["shared_hits"] for s in cache_stats) == 2
+        assert len(SharedTableStore(tmp_path / "shared-cache")) == 1
+
+    def test_dynamic_jobs_republish_patched_tables(self, graph_file, tmp_path):
+        base = gnm_random_graph(9, 20, seed=3)
+        absent = [
+            (u, v)
+            for u in range(9)
+            for v in range(u + 1, 9)
+            if not base.has_edge(u, v)
+        ]
+        edits = tmp_path / "edits.txt"
+        edits.write_text(
+            "".join(f"add {u} {v}\n" for u, v in absent[:2])
+        )
+        spec = JobSpec(
+            graph_file, k=2, seed=7, name="dyn", edits_path=str(edits)
+        )
+        sup, _, results = asyncio.run(
+            _run_batch(_config(tmp_path, shared=True, workers=1), [spec])
+        )
+        stats = results[0]["cache"]
+        # Initial sweep publishes, then each patched step republishes.
+        assert stats["shared_publishes"] >= 2
+        assert stats["patches"] >= 1
+        assert len(SharedTableStore(tmp_path / "shared-cache")) >= 2
