@@ -206,11 +206,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", choices=["json", "prom"], default=None,
         help="print the service metric registry on exit",
     )
+    serve.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="also serve the HTTP/SSE gateway on this address (PORT 0 "
+        "picks a free port; the bound address is printed on startup)",
+    )
+    serve.add_argument(
+        "--spool-retention", type=float, default=None, metavar="SECONDS",
+        help="garbage-collect settled spool records older than this "
+        "(default: keep forever); live and resumable artifacts are "
+        "never touched",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a solve request to a service spool"
     )
-    submit.add_argument("spool", help="spool directory of a running server")
+    submit.add_argument(
+        "spool", nargs="?", default=None,
+        help="spool directory of a running server (omit with --url)",
+    )
     submit.add_argument("graph", help="edge-list file")
     submit.add_argument("-k", type=int, default=2)
     submit.add_argument(
@@ -244,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--edits", metavar="PATH", default=None,
         help="edit-script file: submit a dynamic mutation job (qmkp "
         "only) that re-solves incrementally after every edit",
+    )
+    submit.add_argument(
+        "--url", default=None, metavar="http://HOST:PORT",
+        help="submit over the HTTP gateway instead of a spool; "
+        "idempotent and reconnect-resumable (implies streaming "
+        "incumbents when combined with --wait)",
     )
 
     watch = sub.add_parser(
@@ -800,10 +820,24 @@ def _cmd_serve(args) -> int:
             tenant_budgets=budgets,
             workdir=workdir,
             shared_cache_dir=shared_cache_dir,
+            spool_retention_s=args.spool_retention,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    http_host = http_port = None
+    if args.http is not None:
+        http_host, sep, port_text = args.http.rpartition(":")
+        try:
+            http_port = int(port_text)
+        except ValueError:
+            sep = ""
+        if not sep or not http_host:
+            print(
+                f"error: --http expects HOST:PORT, got {args.http!r}",
+                file=sys.stderr,
+            )
+            return 2
 
     async def run() -> int:
         import signal as _signal
@@ -812,10 +846,20 @@ def _cmd_serve(args) -> int:
         interrupted = asyncio.Event()
         # A plain KeyboardInterrupt tears the event loop down before any
         # coroutine can catch it; a loop signal handler lets us suspend
-        # gracefully instead.
+        # gracefully instead.  SIGTERM gets the same graceful-drain
+        # path so a supervised gateway process (systemd, the chaos
+        # harness) suspends rather than drops its jobs.
         loop.add_signal_handler(_signal.SIGINT, interrupted.set)
+        loop.add_signal_handler(_signal.SIGTERM, interrupted.set)
         supervisor = Supervisor(config)
         await supervisor.start()
+        gateway = None
+        if http_host is not None:
+            from .service import Gateway
+
+            gateway = Gateway(supervisor, http_host, http_port)
+            host, port = await gateway.start()
+            print(f"gateway listening on http://{host}:{port}", flush=True)
         serve_task = asyncio.ensure_future(serve_spool(
             supervisor,
             args.spool,
@@ -828,16 +872,21 @@ def _cmd_serve(args) -> int:
                 {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
             )
             if interrupted.is_set():
-                # Graceful suspend: SIGINT in-flight children so they
-                # flush their journals; queued jobs settle suspended.
-                # The workdir keeps their checkpoints — the next serve
+                # Graceful suspend: drain the gateway's in-flight
+                # responses, SIGINT in-flight children so they flush
+                # their journals; queued jobs settle suspended.  The
+                # workdir keeps their checkpoints — the next serve
                 # against the same spool resumes them.
                 serve_task.cancel()
                 try:
                     await serve_task
                 except asyncio.CancelledError:
                     pass
+                if gateway is not None:
+                    await gateway.stop_accepting()
                 await supervisor.shutdown(drain=False)
+                if gateway is not None:
+                    await gateway.close()
                 print(
                     "interrupted; suspended in-flight jobs are resumable "
                     f"under {supervisor.workdir}",
@@ -847,8 +896,11 @@ def _cmd_serve(args) -> int:
             stop_task.cancel()
             served = serve_task.result()
             await supervisor.drain()
+            if gateway is not None:
+                await gateway.close()
         finally:
             loop.remove_signal_handler(_signal.SIGINT)
+            loop.remove_signal_handler(_signal.SIGTERM)
         print(f"served {served} request(s)")
         if args.metrics:
             out = supervisor.render_metrics(args.metrics)
@@ -858,9 +910,64 @@ def _cmd_serve(args) -> int:
     return asyncio.run(run())
 
 
-def _cmd_submit(args) -> int:
-    from .service import JobSpec, submit_to_spool, wait_for_result
+def _print_answer(args, record: dict) -> int:
+    state = record.get("state")
+    if state == "done":
+        answer = record.get("answer", {})
+        print(f"maximum {args.k}-plex size: {answer.get('size')}")
+        print(f"vertices: {answer.get('vertices')}")
+        if record.get("degraded_from"):
+            print(f"degraded from: {record['degraded_from']}")
+        return 0
+    print(f"error: job settled {state}: {record.get('error')}", file=sys.stderr)
+    return 1
 
+
+def _submit_http(args, spec) -> int:
+    """Gateway submission: idempotent POST, reconnect-resumable stream."""
+    from .service import GatewayClient, GatewayError
+
+    client = GatewayClient(args.url, timeout_s=max(args.timeout, 10.0))
+    try:
+        doc = client.submit_with_retries(spec)
+    except (GatewayError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    marker = " (replayed)" if doc.get("replayed") else ""
+    print(f"submitted {doc['job']}{marker}")
+    if not args.wait:
+        return 0
+
+    def progress(record):
+        if record["event"] == "incumbent":
+            data = record["data"]
+            replayed = " (replayed)" if data.get("replayed") else ""
+            print(f"incumbent: size {data.get('size')}{replayed}")
+
+    try:
+        _, result = client.solve(spec, on_event=progress)
+    except GatewayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _print_answer(args, result)
+
+
+def _cmd_submit(args) -> int:
+    from .service import (
+        JobSpec,
+        NoServerError,
+        SpoolTimeout,
+        submit_to_spool,
+        wait_for_result,
+    )
+
+    if (args.spool is None) == (args.url is None):
+        print(
+            "error: provide either a SPOOL directory or --url, not "
+            + ("both" if args.spool else "neither"),
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = JobSpec(
             graph_path=args.graph,
@@ -876,25 +983,36 @@ def _cmd_submit(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.url is not None:
+        return _submit_http(args, spec)
     request_id = submit_to_spool(args.spool, spec)
     print(f"submitted {request_id}")
     if not args.wait:
         return 0
     try:
-        record = wait_for_result(args.spool, request_id, timeout_s=args.timeout)
-    except TimeoutError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        record = wait_for_result(
+            args.spool, request_id, timeout_s=args.timeout, require_server=True
+        )
+    except NoServerError:
+        # Distinguish "nobody is serving this spool" from "the result
+        # is merely still pending" — they need different operator
+        # action, and only one of them heals by waiting longer.
+        print(
+            f"error: no live server on spool {args.spool} (missing or "
+            "stale heartbeat); request "
+            f"{request_id!r} is parked — start 'repro serve "
+            f"{args.spool}' to pick it up",
+            file=sys.stderr,
+        )
         return 2
-    state = record.get("state")
-    if state == "done":
-        answer = record.get("answer", {})
-        print(f"maximum {args.k}-plex size: {answer.get('size')}")
-        print(f"vertices: {answer.get('vertices')}")
-        if record.get("degraded_from"):
-            print(f"degraded from: {record['degraded_from']}")
-        return 0
-    print(f"error: job settled {state}: {record.get('error')}", file=sys.stderr)
-    return 1
+    except SpoolTimeout as exc:
+        print(
+            f"error: {exc} (a live server is working the spool; the "
+            "result is still pending — re-run with a longer --timeout)",
+            file=sys.stderr,
+        )
+        return 2
+    return _print_answer(args, record)
 
 
 def _cmd_draw(args, graph) -> int:

@@ -28,6 +28,7 @@ transitions — is recorded in a :class:`ResilienceReport`.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -102,6 +103,14 @@ class CircuitBreaker:
     semantics (open fails fast, a half-open probe closes or re-opens)
     match the standard pattern.
 
+    Half-open admits **exactly one** trial call, atomically: concurrent
+    :meth:`allow` callers racing the probe are rejected (and counted as
+    rejections) until the probe resolves through
+    :meth:`record_success` / :meth:`record_failure`.  All transitions
+    run under one lock, so a breaker shared across threads — the
+    service supervisor shares one per backend — never double-admits a
+    trial or loses a caller's typed :class:`CircuitOpenError`.
+
     Breaker health is observable: :meth:`bind` attaches a recording
     :class:`~repro.obs.Tracer`, after which every state transition
     charges the ``breaker_transitions`` counter, every open-state
@@ -131,6 +140,8 @@ class CircuitBreaker:
         self.rejections_total = 0
         self.transitions_total = 0
         self._rejections = 0
+        self._probe_in_flight = False
+        self._lock = threading.RLock()
         self._tracer = None
 
     def bind(self, tracer, name: str | None = None) -> "CircuitBreaker":
@@ -162,30 +173,46 @@ class CircuitBreaker:
             self._tracer.add("breaker_transitions", 1)
         self._publish_state()
 
+    def _count_rejection(self) -> None:
+        self.rejections_total += 1
+        if self._tracer is not None:
+            self._tracer.add("breaker_rejections", 1)
+
     def allow(self) -> bool:
-        if self.state == "open":
-            self._rejections += 1
-            self.rejections_total += 1
-            if self._tracer is not None:
-                self._tracer.add("breaker_rejections", 1)
-            if self._rejections >= self.cooldown_calls:
-                self._set_state("half_open")
-                return True
-            return False
-        return True
+        with self._lock:
+            if self.state == "open":
+                self._rejections += 1
+                self._count_rejection()
+                if self._rejections >= self.cooldown_calls:
+                    # This caller *is* the half-open probe; racers are
+                    # rejected below until it resolves.
+                    self._set_state("half_open")
+                    self._probe_in_flight = True
+                    return True
+                return False
+            if self.state == "half_open" and self._probe_in_flight:
+                # One trial at a time: a second caller racing the probe
+                # gets the typed rejection, never a duplicate trial.
+                self._count_rejection()
+                return False
+            return True
 
     def record_success(self) -> None:
-        self._set_state("closed")
-        self.consecutive_failures = 0
-        self._rejections = 0
+        with self._lock:
+            self._set_state("closed")
+            self.consecutive_failures = 0
+            self._rejections = 0
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if self.state == "half_open" or (
-            self.consecutive_failures >= self.failure_threshold
-        ):
-            self._set_state("open")
-            self._rejections = 0
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == "half_open" or (
+                self.consecutive_failures >= self.failure_threshold
+            ):
+                self._set_state("open")
+                self._rejections = 0
+            self._probe_in_flight = False
 
 
 @dataclass

@@ -47,8 +47,18 @@ from .jobs import (
     JobSpec,
     ServiceError,
 )
+from .http import Gateway, GatewayClient, GatewayError
 from .queue import JobQueue, TenantPools
-from .spool import serve_spool, submit_to_spool, wait_for_result
+from .spool import (
+    NoServerError,
+    SpoolTimeout,
+    serve_spool,
+    spool_server_alive,
+    submit_to_spool,
+    sweep_spool,
+    wait_for_result,
+)
+from .sse import EventJournal
 from .supervisor import Supervisor
 from .worker import Worker
 
@@ -57,19 +67,27 @@ __all__ = [
     "BackpressureError",
     "ChaosPlan",
     "DEGRADATION",
+    "EventJournal",
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
     "HOLD_ENV",
     "IncumbentEvent",
     "JOB_STATES",
     "Job",
     "JobQueue",
     "JobSpec",
+    "NoServerError",
     "SOLVERS",
     "ServiceConfig",
     "ServiceError",
+    "SpoolTimeout",
     "Supervisor",
     "TenantPools",
     "Worker",
     "serve_spool",
+    "spool_server_alive",
     "submit_to_spool",
+    "sweep_spool",
     "wait_for_result",
 ]

@@ -23,6 +23,22 @@ into the worker subprocess environment:
   crash-safety contract — readers see the old segment or nothing,
   never a torn table, and fall back to local enumeration.
 
+The gateway smoke adds **connection-level** faults, consumed by the
+client-side harness (:meth:`ChaosPlan.stream_faults`) rather than the
+worker environment — the network front end's fault domain is the
+connection, not the subprocess:
+
+* ``conn_drops[name] = [2, 5]`` — the client tears its SSE connection
+  down right after consuming the 2nd, then (post-reconnect) the 5th
+  event id; the harness then asserts ``Last-Event-ID`` resume closes
+  every gap without duplicates.
+* ``stalled_readers[name] = seconds`` — the client connects and then
+  stops reading for this long, which must trip the gateway's
+  slow-reader eviction rather than stall the supervisor.
+* ``gateway_kills[name] = [3]`` — the harness SIGKILLs the *gateway
+  process* after the client consumed the 3rd event; the restarted
+  gateway must replay the journal from disk and finish the stream.
+
 Everything is seeded/scripted — no wall-clock randomness — so a chaos
 run's kill points, and therefore its resumed answers, are exactly
 reproducible.
@@ -49,6 +65,10 @@ class ChaosPlan:
     interrupts: dict[str, list[int]] = field(default_factory=dict)
     holds: dict[str, float] = field(default_factory=dict)
     publish_kills: dict[str, list[int]] = field(default_factory=dict)
+    # Connection-level faults (gateway harness; not worker env):
+    conn_drops: dict[str, list[int]] = field(default_factory=dict)
+    stalled_readers: dict[str, float] = field(default_factory=dict)
+    gateway_kills: dict[str, list[int]] = field(default_factory=dict)
 
     def env_for(self, name: str | None, attempt: int) -> dict[str, str]:
         """Environment overrides for ``name``'s ``attempt``-th run.
@@ -72,3 +92,21 @@ class ChaosPlan:
         if hold:
             env[HOLD_ENV] = str(hold)
         return env
+
+    def stream_faults(self, name: str | None) -> dict[str, object]:
+        """Connection-fault schedule for ``name``'s event stream.
+
+        Returned keys: ``drop_after`` (sorted event ids after which the
+        client tears the connection down, each consumed once),
+        ``stall_s`` (seconds a stalled-reader connection stays silent;
+        0 = no stall scenario), ``kill_after`` (event ids after which
+        the harness SIGKILLs the gateway process).  Client-side
+        harnesses consume this; nothing here touches the worker env.
+        """
+        if name is None:
+            return {"drop_after": [], "stall_s": 0.0, "kill_after": []}
+        return {
+            "drop_after": sorted(self.conn_drops.get(name, [])),
+            "stall_s": float(self.stalled_readers.get(name, 0.0)),
+            "kill_after": sorted(self.gateway_kills.get(name, [])),
+        }

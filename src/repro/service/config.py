@@ -52,6 +52,27 @@ class ServiceConfig:
         enumerate once per fleet instead of once per job.  None (the
         default) keeps workers fully independent — results, span trees,
         and ledgers are byte-identical to a service without the tier.
+    spool_retention_s:
+        Horizon for the spool's retention sweep: settled request records
+        (results + event logs + claimed request files) older than this
+        are garbage-collected while the server runs.  ``None`` (the
+        default) disables the sweep entirely.  Live and resumable
+        artifacts — pending requests, running jobs' event logs,
+        ``suspended`` records whose checkpoints are still on disk —
+        are never touched regardless of age.
+    http_send_queue:
+        Per-SSE-connection bound on buffered events.  A reader slow
+        enough to fall this many events behind is evicted (connection
+        closed, ``service_slow_client_evictions`` counted) instead of
+        backing the supervisor up; it can reconnect with
+        ``Last-Event-ID`` and replay what it missed from the journal.
+    http_heartbeat_s:
+        Idle interval after which an SSE connection emits a comment
+        heartbeat, so proxies/clients can distinguish a quiet solve
+        from a dead gateway.
+    http_write_timeout_s:
+        Deadline for flushing one SSE frame to a client socket; a
+        stalled reader that blocks the write this long is evicted.
     python:
         Interpreter used for worker subprocesses.
     """
@@ -64,6 +85,10 @@ class ServiceConfig:
     tenant_budgets: dict[str, float] = field(default_factory=dict)
     workdir: str | Path | None = None
     shared_cache_dir: str | Path | None = None
+    spool_retention_s: float | None = None
+    http_send_queue: int = 64
+    http_heartbeat_s: float = 10.0
+    http_write_timeout_s: float = 30.0
     python: str = sys.executable
 
     def __post_init__(self) -> None:
@@ -82,6 +107,19 @@ class ServiceConfig:
                 raise ValueError(
                     f"tenant {tenant!r} budget must be > 0, got {units}"
                 )
+        if self.spool_retention_s is not None and not self.spool_retention_s > 0:
+            raise ValueError(
+                "spool_retention_s must be > 0 (or None to disable), got "
+                f"{self.spool_retention_s}"
+            )
+        if self.http_send_queue < 1:
+            raise ValueError(
+                f"http_send_queue must be >= 1, got {self.http_send_queue}"
+            )
+        if not self.http_heartbeat_s > 0 or not self.http_write_timeout_s > 0:
+            raise ValueError(
+                "http_heartbeat_s and http_write_timeout_s must be > 0"
+            )
 
     def degraded(self, solver: str) -> str | None:
         """Next rung down from ``solver`` (None at the bottom)."""

@@ -16,6 +16,17 @@ processes without a network stack:
 A request file is *moved* into ``jobs/claimed/`` the moment the server
 picks it up, so a crashed server leaves unclaimed requests intact for
 the next ``repro serve`` to find.
+
+Liveness and hygiene, both opt-in for byte-compatibility:
+
+* ``SPOOL/server.json`` is the server's **heartbeat** — refreshed about
+  once a second while ``serve_spool`` runs, so a waiting submitter can
+  tell "result pending" apart from "nobody is serving this spool"
+  (:func:`spool_server_alive`) instead of burning its whole timeout;
+* :func:`sweep_spool` is the **retention sweep**: settled records older
+  than a horizon are garbage-collected, while live and resumable
+  artifacts (pending requests, running jobs' event logs, ``suspended``
+  records with checkpoints on disk) are never touched.
 """
 
 from __future__ import annotations
@@ -24,13 +35,43 @@ import asyncio
 import itertools
 import json
 import os
+import random
+import time
 from pathlib import Path
 
-from .jobs import AdmissionError, BackpressureError, Job, JobSpec
+from ..resilience.retry import RetryPolicy
+from .jobs import AdmissionError, BackpressureError, Job, JobSpec, ServiceError
 
-__all__ = ["submit_to_spool", "serve_spool", "wait_for_result"]
+__all__ = [
+    "NoServerError",
+    "SpoolTimeout",
+    "spool_server_alive",
+    "submit_to_spool",
+    "serve_spool",
+    "sweep_spool",
+    "wait_for_result",
+]
 
 _counter = itertools.count()
+
+#: Heartbeat refresh interval while serving, and the staleness bound a
+#: waiter applies: a heartbeat older than ``HEARTBEAT_STALE_S`` means no
+#: live server (SIGKILLed, suspended, or never started).
+HEARTBEAT_INTERVAL_S = 1.0
+HEARTBEAT_STALE_S = 5.0
+
+#: States whose spool records hold no resumable work — the retention
+#: sweep may collect them.  ``suspended`` is deliberately absent: its
+#: record points at a checkpoint journal the next server resumes.
+_SETTLED_STATES = ("done", "failed", "rejected")
+
+
+class SpoolTimeout(ServiceError, TimeoutError):
+    """Typed: no result record appeared within the caller's deadline."""
+
+
+class NoServerError(ServiceError):
+    """Typed: the spool has no live server (missing/stale heartbeat)."""
 
 
 def _spool_dirs(spool: Path) -> tuple[Path, Path, Path, Path]:
@@ -78,19 +119,123 @@ def submit_to_spool(spool: str | Path, spec: JobSpec) -> str:
         tmp.unlink(missing_ok=True)
 
 
-def wait_for_result(
-    spool: str | Path, request_id: str, timeout_s: float = 120.0
-) -> dict[str, object]:
-    """Block (sync, for the submit CLI) until the result file appears."""
-    import time
+def _write_heartbeat(spool: Path) -> None:
+    """Refresh ``SPOOL/server.json`` (atomic, torn-read-proof)."""
+    doc = {"pid": os.getpid(), "ts": time.time()}
+    tmp = spool / f".server.{os.getpid()}.json.tmp"
+    tmp.write_text(json.dumps(doc, sort_keys=True) + "\n")
+    os.replace(tmp, spool / "server.json")
 
+
+def spool_server_alive(
+    spool: str | Path, stale_after_s: float = HEARTBEAT_STALE_S
+) -> bool:
+    """True iff a serve process heartbeat is present and fresh."""
+    path = Path(spool) / "server.json"
+    try:
+        doc = json.loads(path.read_text())
+        ts = float(doc["ts"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return False
+    return (time.time() - ts) < stale_after_s
+
+
+#: Poll shape for :func:`wait_for_result`: exponential from 50 ms to a
+#: 1 s ceiling (``max_attempts`` is irrelevant here — the overall
+#: timeout bounds the loop, not an attempt count).
+_WAIT_POLICY = RetryPolicy(
+    max_attempts=1, backoff_base_us=50_000.0, backoff_cap_us=1_000_000.0
+)
+
+
+def wait_for_result(
+    spool: str | Path,
+    request_id: str,
+    timeout_s: float | None = 120.0,
+    policy: RetryPolicy | None = None,
+    require_server: bool = False,
+    rng: random.Random | None = None,
+) -> dict[str, object]:
+    """Block (sync, for the submit CLI) until the result file appears.
+
+    Polls with jittered exponential backoff — attempt ``i`` sleeps
+    ``uniform(bound/2, bound)`` seconds where ``bound`` is
+    ``policy.backoff_bound_us(i) / 1e6`` — so a thousand waiting
+    submitters do not hammer one filesystem in lockstep.  After
+    ``timeout_s`` (``None`` = wait forever) raises the typed
+    :class:`SpoolTimeout` instead of hanging.
+
+    With ``require_server=True``, a missing or stale server heartbeat
+    (after a grace of :data:`HEARTBEAT_STALE_S` so a server still
+    booting is not misdiagnosed) raises :class:`NoServerError` — the
+    "nobody is serving this spool" answer, worth more than a timeout.
+    """
+    policy = policy or _WAIT_POLICY
+    rng = rng or random.Random()
     path = Path(spool) / "results" / f"{request_id}.json"
-    deadline = time.monotonic() + timeout_s
-    while time.monotonic() < deadline:
+    start = time.monotonic()
+    deadline = None if timeout_s is None else start + timeout_s
+    attempt = 0
+    while True:
         if path.exists():
             return json.loads(path.read_text())
-        time.sleep(0.05)
-    raise TimeoutError(f"no result for {request_id!r} within {timeout_s:g}s")
+        now = time.monotonic()
+        if require_server and (now - start) >= HEARTBEAT_STALE_S \
+                and not spool_server_alive(spool):
+            raise NoServerError(
+                f"no result for {request_id!r} and no live server on spool "
+                f"{spool} (missing or stale heartbeat); start one with "
+                "'repro serve'"
+            )
+        if deadline is not None and now >= deadline:
+            raise SpoolTimeout(
+                f"no result for {request_id!r} within {timeout_s:g}s"
+            )
+        bound_s = policy.backoff_bound_us(attempt) / 1e6
+        sleep_s = rng.uniform(bound_s / 2.0, bound_s) if bound_s > 0 else 0.0
+        if deadline is not None:
+            sleep_s = min(sleep_s, max(0.0, deadline - now))
+        time.sleep(sleep_s)
+        attempt += 1
+
+
+def sweep_spool(
+    spool: str | Path,
+    retention_s: float,
+    now: float | None = None,
+) -> int:
+    """Garbage-collect settled records older than ``retention_s``.
+
+    A record is collected only when its ``results/<id>.json`` exists,
+    parses, carries a terminal non-resumable state (``done`` /
+    ``failed`` / ``rejected`` — **not** ``suspended``), and is older
+    than the horizon (result-file mtime).  Collection removes the
+    result file, the event log, and the claimed request file for that
+    id — never pending requests, never another id's artifacts, never
+    checkpoint journals (those live in the workdir and belong to the
+    supervisor).  Returns the number of records collected.
+    """
+    spool = Path(spool)
+    jobs, claimed, events, results = _spool_dirs(spool)
+    horizon = (time.time() if now is None else now) - retention_s
+    collected = 0
+    for record_path in sorted(results.glob("*.json")):
+        if record_path.name.startswith("."):
+            continue  # in-flight temp file
+        try:
+            if record_path.stat().st_mtime > horizon:
+                continue
+            record = json.loads(record_path.read_text())
+        except (OSError, ValueError):
+            continue  # torn/vanished: leave it for a later sweep
+        if record.get("state") not in _SETTLED_STATES:
+            continue
+        request_id = record_path.stem
+        (events / f"{request_id}.jsonl").unlink(missing_ok=True)
+        (claimed / f"{request_id}.json").unlink(missing_ok=True)
+        record_path.unlink(missing_ok=True)
+        collected += 1
+    return collected
 
 
 async def _consume(job: Job, request_id: str, events: Path, results: Path) -> None:
@@ -127,6 +272,7 @@ async def serve_spool(
     max_jobs: int | None = None,
     poll_s: float = 0.05,
     idle_timeout_s: float | None = None,
+    retention_s: float | None = None,
 ) -> int:
     """Poll the spool and feed the supervisor until told to stop.
 
@@ -134,13 +280,36 @@ async def serve_spool(
     claimed), or after ``idle_timeout_s`` with nothing claimed and
     nothing running.  Returns the number of requests served.  The
     caller owns the supervisor's lifecycle (start/shutdown).
+
+    While running, refreshes the ``server.json`` heartbeat about once a
+    second (see :func:`spool_server_alive`) and — when ``retention_s``
+    or ``supervisor.config.spool_retention_s`` is set — periodically
+    runs :func:`sweep_spool` against that horizon.
     """
     spool = Path(spool)
     jobs_dir, claimed, events, results = _spool_dirs(spool)
+    if retention_s is None:
+        retention_s = getattr(supervisor.config, "spool_retention_s", None)
     consumers: list[asyncio.Task] = []
     served = 0
     idle_s = 0.0
+    last_heartbeat = -float("inf")
+    last_sweep = -float("inf")  # first sweep right at boot
+    sweep_every = (
+        max(retention_s / 4.0, HEARTBEAT_INTERVAL_S)
+        if retention_s is not None
+        else None
+    )
     while True:
+        now = time.monotonic()
+        if now - last_heartbeat >= HEARTBEAT_INTERVAL_S:
+            _write_heartbeat(spool)
+            last_heartbeat = now
+        if sweep_every is not None and now - last_sweep >= sweep_every:
+            swept = sweep_spool(spool, retention_s)
+            if swept:
+                supervisor.tracer.add("service_spool_records_swept", swept)
+            last_sweep = now
         claimed_any = False
         for request in sorted(jobs_dir.glob("*.json")):
             # Claim before parsing: a malformed request must leave the

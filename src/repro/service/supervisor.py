@@ -70,6 +70,7 @@ class Supervisor:
         self.tenants = TenantPools(self.config.tenant_budgets)
         self.chaos = chaos
         self.jobs: dict[str, Job] = {}
+        self._by_key: dict[str, Job] = {}  # content_key -> latest job
         self._breakers: dict[str, CircuitBreaker] = {}
         self._workers: list[Worker] = []
         self._tasks: list[asyncio.Task] = []
@@ -164,9 +165,38 @@ class Supervisor:
             raise
         self._job_seq += 1
         self.jobs[job_id] = job
+        self._by_key[spec.content_key()] = job
         self.tracer.add("service_jobs_submitted", 1)
         self._update_depth()
         return job
+
+    def submit_idempotent(self, spec: JobSpec) -> tuple[Job, bool]:
+        """Admit ``spec`` exactly once; duplicate submissions attach.
+
+        The network front end's submission semantics: a client retrying
+        a timed-out ``POST`` must never double-solve.  Keyed on
+        :meth:`JobSpec.content_key`, so two byte-identical specs are one
+        job:
+
+        * a **live** job with this key → return it (``replayed=True``);
+        * a job that settled **done** → return it, so the retrier gets
+          the finished answer (``replayed=True``);
+        * settled ``failed`` / ``suspended``, or no job → a fresh
+          :meth:`submit` (``replayed=False``).  A suspended job's fresh
+          submission resumes from its content-keyed checkpoint journal,
+          which is exactly the restart-survival contract.
+
+        Replays never consume queue capacity or tenant admission — the
+        original submission already paid both.
+        """
+        key = spec.content_key()
+        existing = self._by_key.get(key)
+        if existing is not None and (
+            not existing.done or existing.state == "done"
+        ):
+            self.tracer.add("service_jobs_replayed", 1)
+            return existing, True
+        return self.submit(spec), False
 
     def _artifact_stem(self, spec: JobSpec) -> str:
         """Artifact basename for ``spec``, unique among live jobs.

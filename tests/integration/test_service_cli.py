@@ -248,3 +248,94 @@ class TestSpool:
         assert "job settled rejected" in result.stderr
         assert "BackpressureError" in result.stderr
         assert "maximum" not in result.stdout
+
+    def test_wait_with_no_server_diagnoses_not_timeouts(
+        self, graph_file, tmp_path
+    ):
+        # A spool nobody serves must produce the "no live server" exit-2
+        # diagnosis (after the boot grace), not a generic timeout that
+        # sends the operator hunting for a slow solve.
+        spool = tmp_path / "spool"
+        result = _run_cli(
+            [
+                "submit", str(spool), graph_file,
+                "-k", "2", "--seed", "7", "--name", "orphan", "--wait",
+                "--timeout", "60",
+            ],
+            tmp_path,
+        )
+        assert result.returncode == 2
+        assert "no live server" in result.stderr
+        assert "orphan" in result.stderr
+
+
+class TestGatewayCLI:
+    def _start_server(self, spool, tmp_path, extra=()):
+        """Launch ``serve --http`` and return (process, base_url)."""
+        import threading
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(spool),
+                "--http", "127.0.0.1:0", "--workers", "1", *extra,
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env, cwd=tmp_path,
+        )
+        banner: list[str] = []
+        reader = threading.Thread(
+            target=lambda: banner.append(proc.stdout.readline())
+        )
+        reader.start()
+        reader.join(timeout=60)
+        if not banner or "gateway listening on " not in banner[0]:
+            proc.kill()
+            raise AssertionError(f"no gateway banner, got {banner!r}")
+        return proc, banner[0].split("gateway listening on ")[1].strip()
+
+    def test_submit_url_streams_and_replays(self, graph_file, tmp_path):
+        import signal
+
+        spool = tmp_path / "spool"
+        proc, url = self._start_server(spool, tmp_path)
+        try:
+            waited = _run_cli(
+                [
+                    "submit", "--url", url, graph_file,
+                    "-k", "2", "--seed", "7", "--wait",
+                ],
+                tmp_path,
+            )
+            assert waited.returncode == 0, waited.stderr
+            assert "maximum 2-plex size:" in waited.stdout
+            assert "incumbent: size" in waited.stdout
+
+            # Identical spec again: attaches, never re-solves.
+            again = _run_cli(
+                ["submit", "--url", url, graph_file, "-k", "2", "--seed", "7"],
+                tmp_path,
+            )
+            assert again.returncode == 0, again.stderr
+            assert "(replayed)" in again.stdout
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=60)
+        # SIGINT is the graceful-drain path: exit 130 with the hint.
+        assert proc.returncode == 130, err
+        assert "resumable" in err
+
+    def test_submit_needs_exactly_one_front_end(self, graph_file, tmp_path):
+        both = _run_cli(
+            [
+                "submit", str(tmp_path / "spool"), graph_file,
+                "--url", "http://127.0.0.1:1",
+            ],
+            tmp_path,
+        )
+        assert both.returncode == 2
+        assert "not both" in both.stderr
+        neither = _run_cli(["submit", graph_file], tmp_path)
+        assert neither.returncode == 2
+        assert "neither" in neither.stderr

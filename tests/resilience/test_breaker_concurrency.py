@@ -1,0 +1,153 @@
+"""CircuitBreaker half-open behavior under concurrency.
+
+A breaker shared across threads (the service supervisor keeps one per
+backend, and the gateway's handlers run callers from many connections)
+must admit **exactly one** half-open trial call no matter how many
+callers race it, and a failed trial must re-open the breaker without
+losing the racer's typed rejection.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.resilience import CircuitBreaker, CircuitOpenError
+
+
+def _open_breaker(cooldown_calls: int = 1) -> CircuitBreaker:
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=cooldown_calls)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    return breaker
+
+
+class TestHalfOpenSingleProbe:
+    def test_two_racing_threads_admit_exactly_one_trial(self):
+        breaker = _open_breaker(cooldown_calls=1)
+        barrier = threading.Barrier(2)
+        admitted: list[bool] = []
+        lock = threading.Lock()
+
+        def caller() -> None:
+            barrier.wait()
+            allowed = breaker.allow()
+            with lock:
+                admitted.append(allowed)
+
+        threads = [threading.Thread(target=caller) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert sorted(admitted) == [False, True]
+        assert breaker.state == "half_open"
+
+    def test_many_racers_still_admit_exactly_one(self):
+        for _ in range(20):  # repeat to shake out interleavings
+            breaker = _open_breaker(cooldown_calls=1)
+            n = 8
+            barrier = threading.Barrier(n)
+            results: list[bool] = []
+            lock = threading.Lock()
+
+            def caller() -> None:
+                barrier.wait()
+                allowed = breaker.allow()
+                with lock:
+                    results.append(allowed)
+
+            threads = [threading.Thread(target=caller) for _ in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results.count(True) == 1, results
+
+    def test_sequential_callers_behind_the_probe_are_rejected(self):
+        breaker = _open_breaker(cooldown_calls=1)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        before = breaker.rejections_total
+        assert not breaker.allow()  # racer: rejected, counted
+        assert not breaker.allow()
+        assert breaker.rejections_total == before + 2
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_trial_reopens_without_dropping_racer_rejection(self):
+        breaker = _open_breaker(cooldown_calls=1)
+        assert breaker.allow()  # probe admitted
+        racer_allowed = breaker.allow()  # racing caller
+        breaker.record_failure()  # the trial call failed
+        assert breaker.state == "open"
+        # The racer was rejected — in the sampler loop that surfaces as
+        # CircuitOpenError — and the failed probe must not have eaten
+        # that rejection's accounting.
+        assert racer_allowed is False
+        assert breaker.rejections_total >= 2  # cooldown rejection + racer
+        # The re-opened breaker starts a fresh cooldown: the next call
+        # is the new half-open probe only after cooldown_calls misses.
+        assert breaker.allow()  # cooldown_calls=1 -> immediately probes
+        assert breaker.state == "half_open"
+        assert breaker._probe_in_flight
+
+    def test_typed_error_path_survives_a_concurrent_failed_trial(self):
+        """End-to-end shape of the race the service can produce.
+
+        Thread A runs the half-open trial and fails it; thread B races
+        `allow()` and must observe a typed rejection (here modeled the
+        way ResilientSampler raises it), not a second admitted trial.
+        """
+        breaker = _open_breaker(cooldown_calls=2)
+        assert not breaker.allow()  # cooldown rejection 1
+        started = threading.Event()
+        errors: list[BaseException] = []
+
+        def trial() -> None:
+            assert breaker.allow()  # cooldown rejection 2 -> the probe
+            started.set()
+            breaker.record_failure()
+
+        def racer() -> None:
+            started.wait()
+            if not breaker.allow():
+                errors.append(CircuitOpenError("circuit open"))
+
+        a = threading.Thread(target=trial)
+        b = threading.Thread(target=racer)
+        a.start()
+        b.start()
+        a.join()
+        b.join()
+        # Whether the racer hit half_open (probe in flight) or the
+        # re-opened state (fresh cooldown), it was rejected with the
+        # typed error — never admitted as a duplicate trial.
+        assert breaker.state == "open"
+        assert len(errors) == 1
+        assert isinstance(errors[0], CircuitOpenError)
+
+    def test_success_clears_probe_so_next_half_open_admits_again(self):
+        breaker = _open_breaker(cooldown_calls=1)
+        assert breaker.allow()
+        breaker.record_success()
+        breaker.record_failure()  # threshold 1 -> open again
+        assert breaker.state == "open"
+        assert breaker.allow()  # new probe admitted, not blocked by stale flag
+        assert breaker.state == "half_open"
+
+
+class TestRacerRejectionIsDeterministicInState:
+    def test_half_open_rejections_do_not_advance_cooldown(self):
+        breaker = _open_breaker(cooldown_calls=2)
+        assert not breaker.allow()  # rejection 1 of the cooldown
+        assert breaker.allow()  # rejection 2 -> this caller is the probe
+        assert breaker.state == "half_open"
+        for _ in range(5):
+            assert not breaker.allow()
+        # Still half-open, still exactly one probe outstanding.
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+

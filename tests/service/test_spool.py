@@ -1,4 +1,5 @@
-"""Spool front-end robustness: poison requests, request-id collisions.
+"""Spool front-end robustness: poison requests, request-id collisions,
+result waiting, heartbeats, and the retention sweep.
 
 The spool is the crash boundary between untrusted submitters and the
 long-running server, so a malformed request file must become a typed
@@ -11,24 +12,42 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import random
+import time
 
 import pytest
 
 from repro.datasets import figure1_graph
-from repro.graphs import write_edge_list
+from repro.graphs import gnm_random_graph, write_edge_list
 from repro.service import (
+    ChaosPlan,
     JobSpec,
+    NoServerError,
     ServiceConfig,
+    SpoolTimeout,
     Supervisor,
     serve_spool,
+    spool_server_alive,
     submit_to_spool,
+    sweep_spool,
+    wait_for_result,
 )
+from repro.service import spool as spool_mod
 
 
 @pytest.fixture
 def graph_file(tmp_path):
     path = tmp_path / "fig1.edges"
     write_edge_list(figure1_graph(), path)
+    return str(path)
+
+
+@pytest.fixture
+def multi_probe_graph_file(tmp_path):
+    """Needs three qMKP probes, so interrupts after probe 1 land mid-search."""
+    path = tmp_path / "gnm.edges"
+    write_edge_list(gnm_random_graph(7, 10, seed=1), path)
     return str(path)
 
 
@@ -95,3 +114,217 @@ class TestRequestIds:
         assert request_id == "demo-2"
         assert (spool / "jobs" / "demo-2.json").exists()
         assert (results / "demo.json").read_text() == '{"state": "done"}\n'
+
+
+def _write_record(spool, request_id, record, age_s=0.0):
+    results = spool / "results"
+    results.mkdir(parents=True, exist_ok=True)
+    path = results / f"{request_id}.json"
+    path.write_text(json.dumps(record, sort_keys=True) + "\n")
+    if age_s:
+        stamp = time.time() - age_s
+        os.utime(path, (stamp, stamp))
+    return path
+
+
+class TestWaitForResult:
+    def test_returns_record_once_it_lands(self, tmp_path):
+        spool = tmp_path / "spool"
+        _write_record(spool, "req", {"state": "done", "answer": {"size": 3}})
+        record = wait_for_result(spool, "req", timeout_s=5.0)
+        assert record["answer"]["size"] == 3
+
+    def test_typed_timeout(self, tmp_path):
+        spool = tmp_path / "spool"
+        (spool / "results").mkdir(parents=True)
+        start = time.monotonic()
+        with pytest.raises(SpoolTimeout, match="within 0.3s"):
+            wait_for_result(spool, "missing", timeout_s=0.3)
+        # SpoolTimeout is also a TimeoutError for generic callers.
+        assert issubclass(SpoolTimeout, TimeoutError)
+        assert time.monotonic() - start < 5.0
+
+    def test_no_server_is_diagnosed_not_timed_out(self, tmp_path, monkeypatch):
+        spool = tmp_path / "spool"
+        (spool / "results").mkdir(parents=True)
+        # Shrink the boot grace so the diagnosis fires fast in-test.
+        monkeypatch.setattr(spool_mod, "HEARTBEAT_STALE_S", 0.2)
+        with pytest.raises(NoServerError, match="no live server"):
+            wait_for_result(spool, "missing", timeout_s=5.0, require_server=True)
+
+    def test_fresh_heartbeat_keeps_waiting(self, tmp_path, monkeypatch):
+        spool = tmp_path / "spool"
+        (spool / "results").mkdir(parents=True)
+        monkeypatch.setattr(spool_mod, "HEARTBEAT_STALE_S", 0.1)
+        spool_mod._write_heartbeat(spool)
+        # Live heartbeat: the wait runs to its own deadline instead of
+        # misdiagnosing a slow solve as a dead server.
+        with pytest.raises(SpoolTimeout):
+            wait_for_result(spool, "slow", timeout_s=0.5, require_server=True)
+
+    def test_backoff_is_jittered_and_capped(self, tmp_path):
+        spool = tmp_path / "spool"
+        _write_record(spool, "req", {"state": "done"})
+
+        class Recorder(random.Random):
+            def __init__(self):
+                super().__init__(0)
+                self.bounds = []
+
+            def uniform(self, lo, hi):
+                self.bounds.append((lo, hi))
+                return lo
+
+        rng = Recorder()
+        wait_for_result(spool, "req", timeout_s=1.0, rng=rng)
+        assert rng.bounds == []  # found immediately: no sleeps at all
+
+
+class TestHeartbeat:
+    def test_serve_writes_heartbeat(self, graph_file, tmp_path):
+        spool = tmp_path / "spool"
+        submit_to_spool(spool, JobSpec(graph_file, k=2, seed=7, name="hb"))
+
+        async def scenario():
+            config = ServiceConfig(workers=1, workdir=str(tmp_path / "work"))
+            async with Supervisor(config) as sup:
+                await serve_spool(sup, spool, max_jobs=1)
+
+        asyncio.run(scenario())
+        doc = json.loads((spool / "server.json").read_text())
+        assert doc["pid"] == os.getpid()
+        assert spool_server_alive(spool, stale_after_s=60.0)
+        assert not spool_server_alive(spool, stale_after_s=0.0)
+
+
+class TestRetentionSweep:
+    def test_collects_only_stale_settled_records(self, tmp_path):
+        spool = tmp_path / "spool"
+        old_done = _write_record(spool, "old-done", {"state": "done"}, age_s=600)
+        old_failed = _write_record(
+            spool, "old-failed", {"state": "failed"}, age_s=600
+        )
+        fresh_done = _write_record(spool, "fresh-done", {"state": "done"})
+        suspended = _write_record(
+            spool, "parked", {"state": "suspended", "checkpoint": "x.wal"},
+            age_s=600,
+        )
+        torn = (spool / "results" / "torn.json")
+        torn.write_text('{"state": "do')  # mid-write crash artifact
+        stamp = time.time() - 600
+        os.utime(torn, (stamp, stamp))
+        # Sibling artifacts for a collected and a kept record.
+        events = spool / "events"
+        claimed = spool / "jobs" / "claimed"
+        events.mkdir(parents=True)
+        claimed.mkdir(parents=True)
+        for request_id in ("old-done", "parked"):
+            (events / f"{request_id}.jsonl").write_text("{}\n")
+            (claimed / f"{request_id}.json").write_text("{}\n")
+        pending = spool / "jobs" / "pending.json"
+        pending.write_text("{}\n")
+        stamp = time.time() - 600
+        os.utime(pending, (stamp, stamp))
+
+        assert sweep_spool(spool, retention_s=60.0) == 2
+
+        assert not old_done.exists() and not old_failed.exists()
+        assert not (events / "old-done.jsonl").exists()
+        assert not (claimed / "old-done.json").exists()
+        # Live, resumable, pending, and torn artifacts all survive.
+        assert fresh_done.exists()
+        assert suspended.exists()
+        assert (events / "parked.jsonl").exists()
+        assert (claimed / "parked.json").exists()
+        assert pending.exists()
+        assert torn.exists()
+
+    def test_mid_chaos_sweep_loses_nothing(
+        self, multi_probe_graph_file, tmp_path
+    ):
+        """A sweep racing an active chaos scenario must not break resume.
+
+        Server 1 suspends the victim job mid-search (scripted SIGINT
+        after its first journaled probe).  An aggressive sweep then runs
+        with everything older than the horizon — only the *settled*
+        decoy may go; the suspended record and its artifacts must stay,
+        and server 2 must still resume the victim to the reference
+        answer.
+        """
+        import numpy as np
+
+        from repro.core import qmkp
+        from repro.graphs import read_edge_list
+
+        spool = tmp_path / "spool"
+        workdir = tmp_path / "work"
+        chaos = ChaosPlan(interrupts={"victim": [1]})
+        victim_spec = JobSpec(
+            multi_probe_graph_file, k=2, seed=7, name="victim"
+        )
+        submit_to_spool(spool, victim_spec)
+
+        async def server1():
+            config = ServiceConfig(workers=1, workdir=str(workdir))
+            async with Supervisor(config, chaos=chaos) as sup:
+                await serve_spool(sup, spool, max_jobs=1)
+
+        asyncio.run(server1())
+        record = json.loads((spool / "results" / "victim.json").read_text())
+        assert record["state"] == "suspended"
+
+        # Make everything look ancient, then sweep hard: only the
+        # settled decoy is eligible.
+        _write_record(spool, "decoy", {"state": "done"}, age_s=600)
+        for path in spool.rglob("*"):
+            if path.is_file():
+                stamp = time.time() - 600
+                os.utime(path, (stamp, stamp))
+        assert sweep_spool(spool, retention_s=1.0) == 1
+        assert not (spool / "results" / "decoy.json").exists()
+        assert (spool / "results" / "victim.json").exists()
+        assert (spool / "events" / "victim.jsonl").exists()
+
+        # Server 2: resubmit the identical spec; its content-keyed
+        # checkpoint survived the sweep, so it resumes — never restarts.
+        resumed_id = submit_to_spool(spool, victim_spec)
+
+        async def server2():
+            config = ServiceConfig(workers=1, workdir=str(workdir))
+            async with Supervisor(config) as sup:
+                await serve_spool(sup, spool, max_jobs=1)
+
+        asyncio.run(server2())
+        final = json.loads(
+            (spool / "results" / f"{resumed_id}.json").read_text()
+        )
+        assert final["state"] == "done"
+        assert final["resumed_probes"] == 1
+        graph, _ = read_edge_list(multi_probe_graph_file)
+        reference = qmkp(graph, 2, rng=np.random.default_rng(7))
+        assert final["answer"]["size"] == reference.size
+        assert final["answer"]["gate_units"] == reference.gate_units
+
+    def test_serve_loop_sweeps_with_configured_retention(
+        self, graph_file, tmp_path
+    ):
+        spool = tmp_path / "spool"
+        _write_record(spool, "ancient", {"state": "done"}, age_s=600)
+        submit_to_spool(spool, JobSpec(graph_file, k=2, seed=7, name="live"))
+
+        async def scenario():
+            config = ServiceConfig(
+                workers=1,
+                workdir=str(tmp_path / "work"),
+                spool_retention_s=60.0,
+            )
+            async with Supervisor(config) as sup:
+                # idle_timeout keeps the loop alive past the first
+                # sweep interval (retention/4 >= 1s heartbeat floor).
+                await serve_spool(sup, spool, max_jobs=1, idle_timeout_s=0.2)
+                return sup.tracer.registry.as_dict()["counters"]
+
+        counters = asyncio.run(scenario())
+        assert not (spool / "results" / "ancient.json").exists()
+        assert (spool / "results" / "live.json").exists()
+        assert counters.get("service_spool_records_swept") == 1
